@@ -1,0 +1,50 @@
+// Figure 16: reduction throughput on the DGX-1 against GPU count, comparing
+// the multi-grid persistent kernel with the CPU-side-barrier version.
+// Paper: near-linear scaling to ~7000 GB/s at 8 GPUs; the implicit
+// (CPU-side) version is always slightly ahead.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "reduction/reduce.hpp"
+#include "syncbench/report.hpp"
+
+int main() {
+  using namespace reduction;
+  using syncbench::fmt;
+
+  // Fixed overheads (multi-device launch coordination, fabric barriers,
+  // host barriers) amortize with shard size; the paper's near-unity
+  // mgrid/CPU ratio needs ~1 GB per GPU. 128 MB keeps the harness fast;
+  // override with GSB_FIG16_MB for closer-to-paper runs.
+  std::int64_t shard_mb = 128;
+  if (const char* e = std::getenv("GSB_FIG16_MB")) shard_mb = std::atoll(e);
+  const std::int64_t kShardBytes = shard_mb << 20;
+  const std::int64_t n_per = kShardBytes / 8;
+
+  std::cout << "Figure 16 — multi-GPU reduction throughput on DGX-1 (V100),\n"
+            << shard_mb << " MB per GPU\n\n";
+
+  std::vector<std::vector<std::string>> cells;
+  for (int gpus = 1; gpus <= 8; ++gpus) {
+    scuda::System sys(vgpu::MachineConfig::dgx1_v100(std::max(gpus, 2)));
+    std::vector<vgpu::DevPtr> shards;
+    for (int g = 0; g < gpus; ++g) {
+      vgpu::DevPtr p = sys.malloc(g, kShardBytes);
+      fill_pattern(sys, p, n_per);
+      shards.push_back(p);
+    }
+    const double expected = expected_pattern_sum(n_per) * gpus;
+    const ReduceRun m = reduce_multi(sys, MultiGpuAlgo::MGridSync, shards, n_per);
+    const ReduceRun c = reduce_multi(sys, MultiGpuAlgo::CpuBarrier, shards, n_per);
+    auto ok = [&](const ReduceRun& r) {
+      return std::abs(r.value - expected) < 1e-6 * expected;
+    };
+    cells.push_back({std::to_string(gpus),
+                     ok(m) ? fmt(m.bandwidth_gbs, 0) : "WRONG",
+                     ok(c) ? fmt(c.bandwidth_gbs, 0) : "WRONG"});
+  }
+  syncbench::print_table(std::cout, "reduction throughput (GB/s)",
+                         {"GPUs", "mgrid sync", "CPU-side barrier"}, cells);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figures 17/18: per-lane clocks around a warp-level sync executed from an
+// if-ladder (every lane in its own branch arm).
+//   V100: all lanes block until the last arrival (ends align at the top).
+//   P100: the "sync" does not block across arms (ends trail starts lane by
+//   lane — the staircase), and shuffle results are not trustworthy.
+#include <iostream>
+
+#include "syncbench/report.hpp"
+#include "syncbench/suite.hpp"
+
+namespace {
+
+void run(const vgpu::ArchSpec& arch, syncbench::WarpSyncKind kind) {
+  using namespace syncbench;
+  const WarpTimerResult r = warp_sync_timers(arch, kind);
+  std::vector<std::vector<std::string>> cells;
+  for (int lane = 0; lane < 32; lane += 4)
+    cells.push_back({std::to_string(lane),
+                     std::to_string(r.start_cycles[static_cast<std::size_t>(lane)]),
+                     std::to_string(r.end_cycles[static_cast<std::size_t>(lane)])});
+  print_table(std::cout,
+              "Figure 18 — " + arch.name + ", " + std::string(to_string(kind)),
+              {"lane", "start (cy)", "end (cy)"}, cells);
+  std::cout << "barrier blocked the whole warp: "
+            << (r.barrier_blocked_all() ? "YES" : "NO") << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figures 17/18 — warp sync from divergent branch arms\n\n";
+  run(vgpu::v100(), syncbench::WarpSyncKind::Tile);
+  run(vgpu::p100(), syncbench::WarpSyncKind::Tile);
+  run(vgpu::v100(), syncbench::WarpSyncKind::ShuffleTile);
+  run(vgpu::p100(), syncbench::WarpSyncKind::ShuffleTile);
+  return 0;
+}

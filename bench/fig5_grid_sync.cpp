@@ -1,0 +1,15 @@
+// Figure 5: grid-synchronization latency heat maps (blocks/SM x
+// threads/block) for V100 and P100. Paper anchors: V100 1.43 us at 1x32,
+// 19.29 us at 32x32; P100 1.77 us at 1x32, 31.69 us at 32x32.
+#include <iostream>
+
+#include "syncbench/report.hpp"
+#include "syncbench/suite.hpp"
+
+int main() {
+  using namespace syncbench;
+  std::cout << "Figure 5 — grid sync latency (us)\n\n";
+  print_heatmap(std::cout, grid_sync_heatmap(vgpu::v100()));
+  print_heatmap(std::cout, grid_sync_heatmap(vgpu::p100()));
+  return 0;
+}

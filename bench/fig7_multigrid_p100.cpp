@@ -1,0 +1,17 @@
+// Figure 7: multi-grid synchronization latency heat maps on the P100/PCIe
+// platform, 1 GPU (left) and 2 GPUs (right). Paper anchors: 1.45 us at
+// 1x32/1 GPU; 7.29 us at 1x32/2 GPUs; 68.05 us at 32x64/2 GPUs.
+#include <iostream>
+
+#include "syncbench/report.hpp"
+#include "syncbench/suite.hpp"
+
+int main() {
+  using namespace syncbench;
+  std::cout << "Figure 7 — multi-grid sync latency (us), P100 over PCIe\n\n";
+  print_heatmap(std::cout,
+                mgrid_sync_heatmap(vgpu::MachineConfig::p100_pcie(2), 1));
+  print_heatmap(std::cout,
+                mgrid_sync_heatmap(vgpu::MachineConfig::p100_pcie(2), 2));
+  return 0;
+}

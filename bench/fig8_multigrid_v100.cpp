@@ -1,0 +1,20 @@
+// Figure 8: multi-grid synchronization latency heat maps on the DGX-1
+// (V100, NVLink hybrid cube-mesh) for 1, 2, 5, 6 and 8 GPUs. The paper's
+// observed step between 5 and 6 GPUs falls out of the leader-distance jump
+// in the cube-mesh topology.
+#include <iostream>
+
+#include "syncbench/report.hpp"
+#include "syncbench/suite.hpp"
+
+int main() {
+  using namespace syncbench;
+  std::cout << "Figure 8 — multi-grid sync latency (us), V100 DGX-1\n"
+               "paper anchors (1 blk/SM, 32thr): 1 GPU 1.42, 2 GPUs 6.44,\n"
+               "5 GPUs 7.02, 6 GPUs 18.67, 8 GPUs 20.97\n\n";
+  for (int gpus : {1, 2, 5, 6, 8}) {
+    print_heatmap(std::cout,
+                  mgrid_sync_heatmap(vgpu::MachineConfig::dgx1_v100(8), gpus));
+  }
+  return 0;
+}

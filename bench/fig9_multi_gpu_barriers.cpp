@@ -1,0 +1,30 @@
+// Figure 9: the three multi-GPU synchronization methods against GPU count
+// on the DGX-1 — multi-device launch as an implicit barrier, CPU-side
+// barriers (omp threads + deviceSynchronize), and multi-grid sync in three
+// configurations.
+#include <iostream>
+
+#include "syncbench/report.hpp"
+#include "syncbench/suite.hpp"
+
+int main() {
+  using namespace syncbench;
+  std::cout
+      << "Figure 9 — multi-GPU barriers on DGX-1 (V100)\n"
+         "paper anchors: multi-device launch overhead 1.26 us @1 GPU,\n"
+         "67.2 us @8; CPU-side barrier 9.3-10.6 us; mgrid slow case\n"
+         "34.04/58.60/61.66/69.70/71.90 us for 1/2/5/6/8 GPUs\n\n";
+  auto pts = characterize_multi_gpu_barriers(
+      [](int gpus) { return vgpu::MachineConfig::dgx1_v100(std::max(gpus, 1)); }, 8);
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& p : pts)
+    cells.push_back({std::to_string(p.gpus), fmt(p.multi_launch_overhead_us, 2),
+                     p.gpus >= 2 ? fmt(p.cpu_barrier_us, 2) : std::string("-"),
+                     fmt(p.mgrid_fast_us, 2), fmt(p.mgrid_general_us, 2),
+                     fmt(p.mgrid_slow_us, 2)});
+  print_table(std::cout, "multi-GPU barrier latency (us)",
+              {"GPUs", "multi-dev launch", "CPU-side barrier",
+               "mgrid 1blk/32thr", "mgrid 1blk/1024thr", "mgrid 32blk/64thr"},
+              cells);
+  return 0;
+}

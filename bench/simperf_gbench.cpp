@@ -1,0 +1,81 @@
+// google-benchmark over the *simulator's own* hot paths (wall-clock time).
+// Every other binary in bench/ reports virtual-time results — the paper's
+// quantities — for which wall-clock iteration timing would be meaningless;
+// this one keeps the simulator honest about its own cost.
+#include <benchmark/benchmark.h>
+
+#include "reduction/reduce.hpp"
+#include "syncbench/kernels.hpp"
+#include "syncbench/methods.hpp"
+
+using namespace vgpu;
+
+namespace {
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1024; ++i) q.push_callback((i * 37) % 4096, [](Ps) {});
+    while (q.step([](Warp*) {})) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_KernelLaunchRoundTrip(benchmark::State& state) {
+  scuda::System sys(MachineConfig::single(v100()));
+  auto prog = syncbench::null_kernel();
+  for (auto _ : state) {
+    sys.run([&](scuda::HostThread& h) {
+      sys.launch(h, 0, scuda::LaunchParams{prog, 1, 32, 0, {}});
+      sys.device_synchronize(h, 0);
+    });
+  }
+}
+BENCHMARK(BM_KernelLaunchRoundTrip);
+
+void BM_WarpInstructionThroughput(benchmark::State& state) {
+  // Interpreter speed on a pure-ALU kernel, full device.
+  scuda::System sys(MachineConfig::single(v100()));
+  auto prog = syncbench::alu_chain_kernel_unclocked(512);
+  const std::int64_t instrs_per_run = 512ll * 80 * 8;  // per-warp chain x warps
+  for (auto _ : state) {
+    sys.run([&](scuda::HostThread& h) {
+      sys.launch(h, 0, scuda::LaunchParams{prog, 80, 256, 0, {}});
+      sys.device_synchronize(h, 0);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * instrs_per_run);
+}
+BENCHMARK(BM_WarpInstructionThroughput);
+
+void BM_MemoryBoundReduction(benchmark::State& state) {
+  const std::int64_t n = (state.range(0) << 20) / 8;
+  scuda::System sys(MachineConfig::single(v100()));
+  DevPtr src = sys.malloc(0, n * 8);
+  reduction::fill_pattern(sys, src, n);
+  for (auto _ : state) {
+    auto r = reduction::reduce_single(sys, reduction::SingleGpuAlgo::Implicit, 0,
+                                      src, n);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_MemoryBoundReduction)->Arg(4)->Arg(16);
+
+void BM_GridSyncRound(benchmark::State& state) {
+  scuda::System sys(MachineConfig::single(v100()));
+  auto prog = syncbench::grid_sync_kernel(8);
+  for (auto _ : state) {
+    sys.run([&](scuda::HostThread& h) {
+      sys.launch_cooperative(h, 0, scuda::LaunchParams{prog, 160, 128, 0, {}});
+      sys.device_synchronize(h, 0);
+    });
+  }
+}
+BENCHMARK(BM_GridSyncRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Table I: launch overhead and null-kernel total latency of the three
+// launch functions (kernel-fusion method, Eq. 6, and the Fig. 3 repeat
+// method). The paper measured this on V100 only (nanosleep is Volta+).
+#include <iostream>
+
+#include "syncbench/report.hpp"
+#include "syncbench/suite.hpp"
+
+int main() {
+  using namespace syncbench;
+  std::cout << "Table I — launch overhead and null-kernel total latency (V100)\n"
+               "paper: traditional 1081/8888 ns, cooperative 1063/10248 ns,\n"
+               "       cooperative multi-device 1258/10874 ns\n\n";
+  auto rows = characterize_launch(vgpu::v100());
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& r : rows)
+    cells.push_back({r.name, fmt(r.overhead_ns, 0), fmt(r.null_total_ns, 0)});
+  print_table(std::cout, "measured",
+              {"Launch Type", "Launch Overhead (ns)", "Kernel Total Latency (ns)"},
+              cells);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table II: warp-level synchronization latency and throughput, plus the
+// block-sync row, on both simulated platforms.
+#include <iostream>
+
+#include "syncbench/report.hpp"
+#include "syncbench/suite.hpp"
+
+namespace {
+
+void run(const vgpu::ArchSpec& arch) {
+  using namespace syncbench;
+  auto rows = characterize_warp_sync(arch);
+  rows.push_back(characterize_block_sync_row(arch));
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& r : rows)
+    cells.push_back({r.label, fmt(r.latency_cycles, 1),
+                     fmt(r.throughput_per_cycle, 3)});
+  print_table(std::cout, "Table II — " + arch.name,
+              {"Type (group size)", "Latency (cycles)", "Throughput (sync/cycle)"},
+              cells);
+}
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "Table II — warp synchronization in a block\n"
+         "paper V100: tile 14cy@0.812, shfl(tile) 22cy@0.928, coa(1-31)\n"
+         "  108cy@0.167, coa(32) 14cy@1.306, shfl(coa) 77cy@0.121, block 22cy@0.475\n"
+         "paper P100: tile 1cy@1.774, shfl(tile) 31cy@0.642, coa(1-31)\n"
+         "  1cy@1.791, coa(32) 1cy@1.821, shfl(coa) 50cy@0.166, block 218cy@0.091\n"
+         "reference (CUDA guide): shuffle 32 thread-op/cy; __syncthreads 16\n"
+         "  op/cy (7.x) / 32 op/cy (6.0)\n\n";
+  run(vgpu::v100());
+  run(vgpu::p100());
+  return 0;
+}

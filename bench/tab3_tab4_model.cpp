@@ -1,0 +1,69 @@
+// Tables III and IV: the Little's-law performance model fed by measured
+// shared-memory microbenchmarks and measured sync latencies.
+//   Table III (V100): 1 thread 0.62 B/cy, 1 warp 19.6 B/cy, 1024 thr
+//   215 B/cy, latency 13.0 cy, concurrency 8/256/2796 B.
+//   Table IV (V100): warp Nl 70 B / Nm 76 B; 1024-thr Nl 9076 / Nm 8501 B.
+#include <iostream>
+
+#include "model/perf_model.hpp"
+#include "reduction/warp_reduce.hpp"
+#include "syncbench/report.hpp"
+#include "syncbench/suite.hpp"
+
+namespace {
+
+void run(const vgpu::ArchSpec& arch) {
+  using namespace syncbench;
+  using perfmodel::WorkerConfig;
+
+  const auto pts = characterize_smem(arch);
+  std::vector<WorkerConfig> cfgs;
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& p : pts) {
+    WorkerConfig w{p.scenario, p.bytes_per_cycle, p.latency_cycles};
+    cfgs.push_back(w);
+    cells.push_back({p.scenario, fmt(p.bytes_per_cycle, 2),
+                     fmt(p.latency_cycles, 1), fmt(w.concurrency_bytes(), 0)});
+  }
+  print_table(std::cout, "Table III — " + arch.name,
+              {"scenario", "bandwidth (B/cy)", "latency (cy)", "concurrency (B)"},
+              cells);
+
+  // Sync latencies: 5x shuffle for the warp pair; 5x block sync at 32 warps
+  // for the 1024-thread pair (Table IV's footnote: "5 times synchronization").
+  const double warp_sync_5 =
+      5 * run_warp_reduce(arch, reduction::WarpVariant::TileShfl).cycles / 5;
+  double block_lat_32w = 0;
+  for (const auto& p : characterize_block_sync(arch))
+    if (p.warps_per_sm == 32 && p.blocks_per_sm == 1) block_lat_32w = p.latency_cycles;
+  const double block_sync_5 = 5 * block_lat_32w;
+
+  const WorkerConfig& one_thread = cfgs[0];
+  const WorkerConfig& one_warp = cfgs[1];
+  const WorkerConfig& full_block = cfgs[3];
+
+  std::vector<std::vector<std::string>> rows;
+  {
+    auto p = perfmodel::predict_switch("1 thread -> 1 warp", one_thread, one_warp,
+                                       warp_sync_5);
+    rows.push_back({p.scenario, fmt(p.sync_cycles, 0), fmt(p.nl_bytes, 0),
+                    fmt(p.nm_bytes, 0)});
+  }
+  {
+    auto p = perfmodel::predict_switch("32 thr -> 1024 thr", one_warp, full_block,
+                                       block_sync_5);
+    rows.push_back({p.scenario, fmt(p.sync_cycles, 0), fmt(p.nl_bytes, 0),
+                    fmt(p.nm_bytes, 0)});
+  }
+  print_table(std::cout, "Table IV — " + arch.name,
+              {"scenario", "sync ltc (cy, 5x)", "Nl (B)", "Nm (B)"}, rows);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Tables III/IV — performance model for choosing worker counts\n\n";
+  run(vgpu::v100());
+  run(vgpu::p100());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table V: latency (cycles) to sum 32 doubles at warp level under each
+// synchronization strategy; the no-sync variant must produce a wrong value.
+// Paper (V100): serial 299, nosync* 89, volatile 237, tile 237, coa 237,
+// tile-shuffle 164, coa-shuffle 1261.  (P100): 383/112/282/281/251/212/1423.
+#include <iostream>
+
+#include "reduction/warp_reduce.hpp"
+#include "syncbench/report.hpp"
+
+namespace {
+
+void run(const vgpu::ArchSpec& arch) {
+  using namespace reduction;
+  using syncbench::fmt;
+  std::vector<std::vector<std::string>> cells;
+  for (WarpVariant v :
+       {WarpVariant::Serial, WarpVariant::NoSync, WarpVariant::Volatile,
+        WarpVariant::Tile, WarpVariant::Coalesced, WarpVariant::TileShfl,
+        WarpVariant::CoaShfl}) {
+    const WarpReduceResult r = run_warp_reduce(arch, v);
+    cells.push_back({to_string(v), fmt(r.cycles, 0),
+                     r.correct ? "correct" : "INCORRECT", fmt(r.value, 3),
+                     fmt(r.expected, 3)});
+  }
+  syncbench::print_table(std::cout, "Table V — " + arch.name,
+                         {"variant", "latency (cycles)", "result", "value",
+                          "expected"},
+                         cells);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table V — warp-level reduction of 32 doubles\n"
+               "(*) the unsynchronized tree reads stale shared memory and\n"
+               "must produce an incorrect sum\n\n";
+  run(vgpu::v100());
+  run(vgpu::p100());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Multi-GPU reduction on a simulated DGX-1, both ways the paper compares:
+// the single multi-device cooperative kernel (multi-grid sync, Fig. 13) and
+// the OpenMP-style host orchestration (Fig. 14). Prints per-GPU-count
+// latency and throughput plus the programmability story in numbers.
+#include <cmath>
+#include <cstdio>
+
+#include "reduction/reduce.hpp"
+
+using namespace reduction;
+using namespace vgpu;
+
+int main(int argc, char** argv) {
+  const std::int64_t mb = argc > 1 ? std::atoll(argv[1]) : 32;
+  const std::int64_t n_per = (mb << 20) / 8;
+
+  std::printf("multi-GPU sum of %lld MB per GPU on a simulated DGX-1\n\n",
+              static_cast<long long>(mb));
+  std::printf("%4s  %16s %10s   %16s %10s\n", "GPUs", "mgrid sync (us)", "GB/s",
+              "CPU barrier (us)", "GB/s");
+
+  for (int gpus : {1, 2, 4, 8}) {
+    scuda::System sys(MachineConfig::dgx1_v100(std::max(gpus, 2)));
+    std::vector<DevPtr> shards;
+    for (int g = 0; g < gpus; ++g) {
+      DevPtr p = sys.malloc(g, n_per * 8);
+      fill_pattern(sys, p, n_per);
+      shards.push_back(p);
+    }
+    const double expected = expected_pattern_sum(n_per) * gpus;
+    const ReduceRun m = reduce_multi(sys, MultiGpuAlgo::MGridSync, shards, n_per);
+    const ReduceRun c = reduce_multi(sys, MultiGpuAlgo::CpuBarrier, shards, n_per);
+    if (std::abs(m.value - expected) > 1e-6 * expected ||
+        std::abs(c.value - expected) > 1e-6 * expected) {
+      std::printf("WRONG RESULT at %d GPUs\n", gpus);
+      return 1;
+    }
+    std::printf("%4d  %16.1f %10.0f   %16.1f %10.0f\n", gpus, m.micros,
+                m.bandwidth_gbs, c.micros, c.bandwidth_gbs);
+  }
+
+  std::printf(
+      "\nBoth versions compute the same sum. The mgrid version is one\n"
+      "kernel launched once on all GPUs — no host threads, no barriers, no\n"
+      "per-device bookkeeping; the kernel needs no knowledge of the machine\n"
+      "(Section VII-E). The CPU version needs one host thread per GPU plus\n"
+      "explicit peer copies, and wins on raw latency (Figure 16).\n");
+  return 0;
+}

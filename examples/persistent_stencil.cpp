@@ -1,0 +1,175 @@
+// The paper's motivating "potential benefit" (Section VII): replacing one
+// kernel launch per time step with a single persistent kernel that carries
+// the time loop inside and synchronizes with grid.sync().
+//
+// A 1-D heat-diffusion stencil is iterated T times two ways:
+//   (a) classic: one kernel launch per step (implicit barriers in a stream),
+//   (b) persistent: one cooperative kernel, grid.sync() between steps.
+// Both must produce identical data; their virtual-time costs show the
+// launch-overhead-vs-barrier trade-off of Figures 5 and Table I.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "scuda/system.hpp"
+#include "vgpu/occupancy.hpp"
+#include "vgpu/program.hpp"
+
+using namespace vgpu;
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+
+namespace {
+
+// One stencil step over n interior cells: dst[i] = 0.5*src[i] +
+// 0.25*(src[i-1] + src[i+1]), grid-strided.
+void emit_step(KernelBuilder& b, Reg src, Reg dst, Reg n) {
+  Reg gtid = b.reg(), gsize = b.reg();
+  b.sreg(gtid, SpecialReg::GTid);
+  b.sreg(gsize, SpecialReg::GSize);
+  Reg i = b.reg();
+  b.iadd(i, gtid, 1);  // interior only
+  Reg p = b.reg(), a = b.reg(), v = b.reg(), l = b.reg(), r = b.reg();
+  Reg half = b.immf(0.5), quarter = b.immf(0.25);
+  b.loop_while(
+      [&] {
+        b.setp(p, i, Cmp::Lt, n);
+        return p;
+      },
+      [&] {
+        b.ishl(a, i, 3);
+        b.iadd(a, a, src);
+        b.ldg(v, a);
+        Reg t = b.reg();
+        b.iadd(t, a, -8);
+        b.ldg(l, t);
+        b.iadd(t, a, 8);
+        b.ldg(r, t);
+        b.fmul(v, v, half);
+        b.fadd(l, l, r);
+        b.fmul(l, l, quarter);
+        b.fadd(v, v, l);
+        Reg d = b.reg();
+        b.ishl(d, i, 3);
+        b.iadd(d, d, dst);
+        b.stg(d, v);
+        b.iadd(i, i, gsize);
+      });
+}
+
+ProgramPtr step_kernel() {
+  KernelBuilder b("stencil_step");
+  Reg src = b.reg(), dst = b.reg(), n = b.reg();
+  b.ld_param(src, 0);
+  b.ld_param(dst, 1);
+  b.ld_param(n, 2);
+  emit_step(b, src, dst, n);
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr persistent_kernel() {
+  // The time loop lives *inside* the kernel (params: a, c, n, steps); the
+  // buffers swap via register exchange each iteration.
+  KernelBuilder b("stencil_persistent");
+  Reg a = b.reg(), c = b.reg(), n = b.reg(), steps = b.reg();
+  b.ld_param(a, 0);
+  b.ld_param(c, 1);
+  b.ld_param(n, 2);
+  b.ld_param(steps, 3);
+  Reg s = b.imm(0);
+  Reg p = b.reg(), tmp = b.reg();
+  b.loop_while(
+      [&] {
+        b.setp(p, s, Cmp::Lt, steps);
+        return p;
+      },
+      [&] {
+        emit_step(b, a, c, n);
+        b.grid_sync();  // device-wide barrier between time steps
+        b.mov(tmp, a);
+        b.mov(a, c);
+        b.mov(c, tmp);
+        b.iadd(s, s, 1);
+      });
+  b.exit();
+  return b.finish();
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t n = 1 << 16;
+  const int steps = 16;
+  const ArchSpec& arch = v100();
+  const int bpsm = occupancy_for(arch, 256, 0).blocks_per_sm;
+  const int grid = arch.num_sms * bpsm;
+
+  auto initial = [&] {
+    std::vector<double> u(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i)
+      u[static_cast<std::size_t>(i)] = std::sin(0.001 * static_cast<double>(i));
+    return u;
+  }();
+
+  auto run_classic = [&](std::vector<double>& out_data) {
+    System sys(MachineConfig::single(arch));
+    DevPtr a = sys.malloc(0, n * 8), c = sys.malloc(0, n * 8);
+    sys.fill_f64(a, initial);
+    sys.fill_f64(c, initial);
+    double took = 0;
+    sys.run([&](HostThread& h) {
+      const double t0 = h.now_us();
+      for (int s = 0; s < steps; ++s) {
+        DevPtr src = s % 2 ? c : a, dst = s % 2 ? a : c;
+        sys.launch(h, 0, LaunchParams{step_kernel(), grid, 256, 0,
+                                      {src.raw, dst.raw, n - 1}});
+      }
+      sys.device_synchronize(h, 0);
+      took = h.now_us() - t0;
+    });
+    out_data = sys.read_f64(steps % 2 ? c : a, n);
+    return took;
+  };
+
+  auto run_persistent = [&](std::vector<double>& out_data) {
+    System sys(MachineConfig::single(arch));
+    DevPtr a = sys.malloc(0, n * 8), c = sys.malloc(0, n * 8);
+    sys.fill_f64(a, initial);
+    sys.fill_f64(c, initial);
+    double took = 0;
+    sys.run([&](HostThread& h) {
+      const double t0 = h.now_us();
+      sys.launch_cooperative(h, 0,
+                             LaunchParams{persistent_kernel(), grid, 256, 0,
+                                          {a.raw, c.raw, n - 1, steps}});
+      sys.device_synchronize(h, 0);
+      took = h.now_us() - t0;
+    });
+    out_data = sys.read_f64(steps % 2 ? c : a, n);
+    return took;
+  };
+
+  std::vector<double> classic, persistent;
+  const double t_classic = run_classic(classic);
+  const double t_persistent = run_persistent(persistent);
+
+  double max_diff = 0;
+  for (std::int64_t i = 0; i < n; ++i)
+    max_diff = std::max(max_diff, std::abs(classic[static_cast<std::size_t>(i)] -
+                                           persistent[static_cast<std::size_t>(i)]));
+
+  std::printf("1-D heat stencil, n=%lld, %d time steps, grid=%d x 256 (V100)\n",
+              static_cast<long long>(n), steps, grid);
+  std::printf("  classic (1 launch/step, implicit barriers): %8.1f us\n", t_classic);
+  std::printf("  persistent (grid.sync inside the kernel)  : %8.1f us\n",
+              t_persistent);
+  std::printf("  max |difference| = %.3e  (%s)\n", max_diff,
+              max_diff < 1e-12 ? "identical" : "MISMATCH");
+  std::printf("\nThe persistent kernel pays one cooperative launch and %d grid\n"
+              "barriers; the classic version pays %d kernel-launch gaps\n"
+              "(Table I) but can overlap launch work with execution.\n",
+              steps, steps);
+  return max_diff < 1e-12 ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// Interactive-ish CLI: ask the characterization suite for the cost of any
+// synchronization level at any configuration — the "analysis to design
+// choice" workflow the paper advocates.
+//
+//   sync_explorer grid  <arch v100|p100> <blocks/SM> <threads/block>
+//   sync_explorer mgrid <gpus 1..8> <blocks/SM> <threads/block>   (V100 DGX-1)
+//   sync_explorer warp  <arch> <tile|coalesced|shfl> <group 1..32>
+//   sync_explorer block <arch> <warps/SM 1..64>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "syncbench/suite.hpp"
+
+using namespace syncbench;
+using namespace vgpu;
+
+namespace {
+
+const ArchSpec& arch_of(const std::string& s) {
+  return s == "p100" ? p100() : v100();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sync_explorer grid  <v100|p100> <blocks/SM> <threads>\n"
+               "  sync_explorer mgrid <gpus> <blocks/SM> <threads>\n"
+               "  sync_explorer warp  <v100|p100> <tile|coalesced|shfl> <group>\n"
+               "  sync_explorer block <v100|p100> <warps/SM>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    // No arguments: print a one-screen cheat sheet.
+    std::printf("synchronization cheat sheet (V100, virtual measurements)\n\n");
+    auto rows = characterize_warp_sync(v100());
+    for (const auto& r : rows)
+      std::printf("  warp  %-18s %6.1f cycles\n", r.label.c_str(), r.latency_cycles);
+    auto blk = characterize_block_sync_row(v100());
+    std::printf("  block %-18s %6.1f cycles\n", "(1 warp)", blk.latency_cycles);
+    const HeatMap hm = grid_sync_heatmap(v100());
+    std::printf("  grid  1 blk/SM x 32thr %6.2f us\n", hm.latency_us[0][0]);
+    std::printf("\nrun with arguments for specific configurations.\n");
+    return 0;
+  }
+  const std::string mode = argv[1];
+
+  if (mode == "grid" && argc == 5) {
+    const ArchSpec& arch = arch_of(argv[2]);
+    const int bpsm = std::atoi(argv[3]), threads = std::atoi(argv[4]);
+    if (bpsm * threads > arch.max_threads_per_sm) {
+      std::printf("configuration does not co-reside (%d thr/SM > %d)\n",
+                  bpsm * threads, arch.max_threads_per_sm);
+      return 1;
+    }
+    scuda::System sys(MachineConfig::single(arch));
+    const Estimate e = repeat_scaling_us(
+        sys, LaunchKind::Cooperative, 1,
+        [](int r) { return grid_sync_kernel(r); },
+        {bpsm * arch.num_sms, threads, 0}, 2, 10);
+    std::printf("grid.sync() on %s, %d blocks/SM x %d threads: %.2f us\n",
+                arch.name.c_str(), bpsm, threads, e.value);
+    return 0;
+  }
+
+  if (mode == "mgrid" && argc == 5) {
+    const int gpus = std::atoi(argv[2]);
+    const int bpsm = std::atoi(argv[3]), threads = std::atoi(argv[4]);
+    scuda::System sys(MachineConfig::dgx1_v100(std::max(gpus, 2)));
+    const Estimate e = repeat_scaling_us(
+        sys, LaunchKind::CooperativeMulti, gpus,
+        [](int r) { return mgrid_sync_kernel(r); },
+        {bpsm * v100().num_sms, threads, 0}, 2, 10);
+    std::printf("multi_grid.sync() on %d x V100 (DGX-1), %d blocks/SM x %d "
+                "threads: %.2f us\n",
+                gpus, bpsm, threads, e.value);
+    return 0;
+  }
+
+  if (mode == "warp" && argc == 5) {
+    const ArchSpec& arch = arch_of(argv[2]);
+    const int group = std::atoi(argv[4]);
+    WarpSyncKind kind = WarpSyncKind::Tile;
+    if (!std::strcmp(argv[3], "coalesced")) kind = WarpSyncKind::Coalesced;
+    if (!std::strcmp(argv[3], "shfl")) kind = WarpSyncKind::ShuffleTile;
+    scuda::System sys(MachineConfig::single(arch));
+    const double cy = wong_cycles_per_op(
+        sys, warp_sync_latency_kernel(kind, group, 64), 64);
+    std::printf("%s sync (group %d) on %s: %.1f cycles\n", to_string(kind),
+                group, arch.name.c_str(), cy);
+    return 0;
+  }
+
+  if (mode == "block" && argc == 4) {
+    const ArchSpec& arch = arch_of(argv[2]);
+    const int warps = std::atoi(argv[3]);
+    for (const auto& p : characterize_block_sync(arch)) {
+      if (p.warps_per_sm == warps) {
+        std::printf("block sync on %s at %d warps/SM: %.1f cycles, %.3f "
+                    "warp-sync/cycle\n",
+                    arch.name.c_str(), warps, p.latency_cycles,
+                    p.warp_sync_per_cycle);
+        return 0;
+      }
+    }
+    std::printf("no measured point at %d warps/SM; try 1,2,4,8,16,32,48,64\n",
+                warps);
+    return 1;
+  }
+
+  return usage();
+}

@@ -1,0 +1,59 @@
+// Runtime state of the multi-GPU interconnect: per-pair DMA/traffic
+// regulators on top of the static Topology, plus cost helpers for peer
+// memory accesses issued from kernels.
+#pragma once
+
+#include <vector>
+
+#include "fabric/topology.hpp"
+#include "vgpu/event_queue.hpp"
+
+namespace vgpu {
+
+class Fabric {
+ public:
+  explicit Fabric(Topology topo) : topo_(std::move(topo)) {
+    links_.resize(static_cast<std::size_t>(topo_.num_devices));
+    for (auto& row : links_)
+      row.resize(static_cast<std::size_t>(topo_.num_devices));
+  }
+
+  const Topology& topology() const { return topo_; }
+
+  /// Completion time of a bulk DMA of `bytes` from src to dst starting when
+  /// the link is free after `ready`. bytes/(gbs GB/s) seconds -> ps.
+  Ps transfer_done(int src, int dst, std::int64_t bytes, Ps ready) {
+    const double gbs = topo_.pair_bandwidth_gbs(src, dst);
+    const Ps wire_ps = gbs > 0
+        ? static_cast<Ps>(static_cast<double>(bytes) / (gbs * 1e9) * 1e12)
+        : 0;
+    Regulator& link = links_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+    const Ps start = link.acquire(ready, wire_ps);
+    return start + wire_ps +
+           topo_.hop_latency * topo_.hops[static_cast<std::size_t>(src)]
+                                         [static_cast<std::size_t>(dst)];
+  }
+
+  /// Service slot for one remote cache-line access (kernel-side peer
+  /// load/store). `bytes` is the line footprint.
+  Ps remote_line_slot(int src, int dst, std::int64_t bytes, Ps ready) {
+    const double gbs = topo_.pair_bandwidth_gbs(src, dst);
+    const Ps service = gbs > 0
+        ? static_cast<Ps>(static_cast<double>(bytes) / (gbs * 1e9) * 1e12)
+        : 0;
+    Regulator& link = links_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+    return link.acquire(ready, service);
+  }
+
+  /// Round-trip latency surcharge for a remote access.
+  Ps remote_latency(int src, int dst) const {
+    return 2 * topo_.hop_latency *
+           topo_.hops[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+  }
+
+ private:
+  Topology topo_;
+  std::vector<std::vector<Regulator>> links_;
+};
+
+}  // namespace vgpu

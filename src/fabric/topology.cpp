@@ -1,0 +1,86 @@
+#include "fabric/topology.hpp"
+
+#include <algorithm>
+
+namespace vgpu {
+
+int Topology::max_leader_hops(int n) const {
+  int m = 0;
+  for (int d = 1; d < n; ++d) m = std::max(m, hops[0][static_cast<std::size_t>(d)]);
+  return m;
+}
+
+Ps Topology::fabric_barrier_cost(int n) const {
+  if (n <= 1) return 0;
+  const int h = max_leader_hops(n);
+  const Ps base = h <= 1 ? barrier_base_1hop : barrier_base_2hop;
+  return base + static_cast<Ps>(n) * barrier_per_gpu;
+}
+
+Topology Topology::single() {
+  Topology t;
+  t.num_devices = 1;
+  t.hops = {{0}};
+  t.link_gbs = {{0.0}};
+  return t;
+}
+
+Topology Topology::dgx1_nvlink(int num_devices) {
+  if (num_devices < 1 || num_devices > 8)
+    throw SimError("DGX-1 topology supports 1..8 devices");
+  Topology t;
+  t.num_devices = num_devices;
+  t.hops.assign(8, std::vector<int>(8, 2));
+  t.link_gbs.assign(8, std::vector<double>(8, 0.0));
+  for (int i = 0; i < 8; ++i) t.hops[i][static_cast<std::size_t>(i)] = 0;
+  auto direct = [&](int a, int b, double gbs) {
+    t.hops[a][static_cast<std::size_t>(b)] = t.hops[b][static_cast<std::size_t>(a)] = 1;
+    t.link_gbs[a][static_cast<std::size_t>(b)] =
+        t.link_gbs[b][static_cast<std::size_t>(a)] = gbs;
+  };
+  // Fully meshed quads (NVLink2, 25 GB/s per direction per link).
+  for (int q = 0; q < 8; q += 4)
+    for (int i = q; i < q + 4; ++i)
+      for (int j = i + 1; j < q + 4; ++j) direct(i, j, 25.0);
+  // Cross-quad sibling links.
+  for (int i = 0; i < 4; ++i) direct(i, i + 4, 25.0);
+  // Two-hop pairs route through a neighbour at reduced effective bandwidth.
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      if (t.hops[i][static_cast<std::size_t>(j)] == 2)
+        t.link_gbs[i][static_cast<std::size_t>(j)] = 12.5;
+
+  t.hop_latency = us(1.8);
+  // Calibration (Figure 8 minus the single-GPU column, Figure 9):
+  //   2 GPUs: +5.0 us, 5 GPUs: +5.6 us  -> base_1hop = 4.6 us, 0.2 us/GPU
+  //   6 GPUs: +17.2 us, 8 GPUs: +19.6 us -> base_2hop = 16.3 us
+  t.barrier_base_1hop = us(4.6);
+  t.barrier_base_2hop = us(16.3);
+  t.barrier_per_gpu = us(0.2);
+  t.hops.resize(static_cast<std::size_t>(num_devices));
+  t.link_gbs.resize(static_cast<std::size_t>(num_devices));
+  for (auto& row : t.hops) row.resize(static_cast<std::size_t>(num_devices));
+  for (auto& row : t.link_gbs) row.resize(static_cast<std::size_t>(num_devices));
+  return t;
+}
+
+Topology Topology::pcie(int num_devices) {
+  Topology t;
+  t.num_devices = num_devices;
+  t.hops.assign(static_cast<std::size_t>(num_devices),
+                std::vector<int>(static_cast<std::size_t>(num_devices), 1));
+  t.link_gbs.assign(static_cast<std::size_t>(num_devices),
+                    std::vector<double>(static_cast<std::size_t>(num_devices), 10.0));
+  for (int i = 0; i < num_devices; ++i) {
+    t.hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+    t.link_gbs[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0.0;
+  }
+  t.hop_latency = us(2.5);
+  // Figure 7: P100 x2 multi-grid sync is ~+5.8 us over the 1-GPU case.
+  t.barrier_base_1hop = us(5.4);
+  t.barrier_base_2hop = us(5.4);
+  t.barrier_per_gpu = us(0.2);
+  return t;
+}
+
+}  // namespace vgpu

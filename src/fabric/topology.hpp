@@ -1,0 +1,49 @@
+// Multi-GPU interconnect topologies.
+//
+// The paper's two platforms:
+//  * DGX-1 (V100): 8 GPUs on an NVLink hybrid cube-mesh — two fully-meshed
+//    quads {0,1,2,3} and {4,5,6,7} with cross links i <-> i+4.
+//  * P100 pair connected over PCIe through the root complex.
+//
+// The topology also prices the leader-based fabric barrier used by
+// multi-grid sync: the leader (lowest participating device) gathers arrivals
+// and broadcasts the release, so the cost is a function of the *maximum
+// leader distance* in the participating set plus a per-GPU service term.
+// On the cube-mesh every device in {0..4} is one hop from device 0, while
+// device 5, 6 or 7 is two hops away — which reproduces (and explains) the
+// paper's observed latency step between 5 and 6 participating GPUs.
+#pragma once
+
+#include <vector>
+
+#include "vgpu/common.hpp"
+#include "vgpu/time.hpp"
+
+namespace vgpu {
+
+struct Topology {
+  int num_devices = 1;
+  std::vector<std::vector<int>> hops;        // pairwise hop distance
+  std::vector<std::vector<double>> link_gbs; // direct-link bandwidth (GB/s)
+  Ps hop_latency = 0;                        // small-message one-way per hop
+
+  // Fabric-barrier cost model, calibrated against Figures 7-9:
+  //   cost(set) = base[max_hops(leader, set)] + |set| * per_gpu
+  Ps barrier_base_1hop = 0;
+  Ps barrier_base_2hop = 0;
+  Ps barrier_per_gpu = 0;
+
+  /// Barrier cost for `n` participating devices (devices 0..n-1, leader 0).
+  /// Returns 0 for n <= 1 (a single grid needs no fabric round).
+  Ps fabric_barrier_cost(int n) const;
+
+  int max_leader_hops(int n) const;
+
+  double pair_bandwidth_gbs(int a, int b) const { return link_gbs[a][b]; }
+
+  static Topology single(); // one device, no fabric
+  static Topology dgx1_nvlink(int num_devices = 8);
+  static Topology pcie(int num_devices = 2);
+};
+
+}  // namespace vgpu

@@ -1,0 +1,50 @@
+#include "model/perf_model.hpp"
+
+#include <algorithm>
+
+#include "vgpu/common.hpp"
+
+namespace perfmodel {
+
+double predicted_cycles(const WorkerConfig& w, double n_bytes, double sync_cycles) {
+  const double beyond = std::max(0.0, n_bytes - w.concurrency_bytes());
+  return w.latency_cycles + sync_cycles + beyond / w.throughput_bytes_per_cycle;
+}
+
+double switch_point_nm(const WorkerConfig& basic, double sync_cycles) {
+  return (basic.latency_cycles + sync_cycles) * basic.throughput_bytes_per_cycle;
+}
+
+double switch_point_nl(const WorkerConfig& basic, const WorkerConfig& more,
+                       double sync_cycles) {
+  const double tb = basic.throughput_bytes_per_cycle;
+  const double tm = more.throughput_bytes_per_cycle;
+  if (tm <= tb)
+    throw vgpu::SimError("switch_point_nl: 'more' must out-stream 'basic'");
+  return sync_cycles * tm * tb / (tm - tb);
+}
+
+SwitchPrediction predict_switch(const std::string& scenario,
+                                const WorkerConfig& basic,
+                                const WorkerConfig& more, double sync_cycles) {
+  SwitchPrediction p;
+  p.scenario = scenario;
+  p.sync_cycles = sync_cycles;
+  p.nl_bytes = switch_point_nl(basic, more, sync_cycles);
+  p.nm_bytes = switch_point_nm(basic, sync_cycles);
+  return p;
+}
+
+std::int64_t empirical_crossover(const WorkerConfig& basic, const WorkerConfig& more,
+                                 double sync_cycles, int elem_bytes,
+                                 std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t n = lo; n <= hi; n *= 2) {
+    const double bytes = static_cast<double>(n) * elem_bytes;
+    if (predicted_cycles(more, bytes, sync_cycles) <
+        predicted_cycles(basic, bytes, 0))
+      return n;
+  }
+  return hi + 1;
+}
+
+}  // namespace perfmodel

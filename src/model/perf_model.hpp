@@ -1,0 +1,61 @@
+// The paper's performance model (Section VII-A): Little's law plus the
+// switch-point predictor of Equations 1-5, used to decide when fewer workers
+// beat more workers for a given input size.
+//
+//   C = T * Thr                                  (Eq. 1, concurrency)
+//   T_basic + max(0, N - C_basic)/Thr_basic  <
+//       T_more + max(0, N - C_more)/Thr_more    (Eq. 2, "use fewer" test)
+//   T_more = T_basic + T_sync                    (Eq. 3)
+//   N_m < (T + T_sync) * Thr_basic               (Eq. 4, N <= C_more regime)
+//   N_l < T_sync*Thr_more*Thr_basic/(Thr_more - Thr_basic)   (Eq. 5)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace perfmodel {
+
+/// One execution configuration characterized by its streaming throughput and
+/// dependent-access latency (Table III inputs).
+struct WorkerConfig {
+  std::string name;
+  double throughput_bytes_per_cycle = 0;
+  double latency_cycles = 0;
+
+  /// Eq. 1: bytes in flight needed to sustain the throughput.
+  double concurrency_bytes() const {
+    return throughput_bytes_per_cycle * latency_cycles;
+  }
+};
+
+/// Predicted total cycles to process `n_bytes` with this configuration,
+/// paying `sync_cycles` of synchronization overhead (Eqs. 2-3).
+double predicted_cycles(const WorkerConfig& w, double n_bytes, double sync_cycles);
+
+/// Eq. 4: largest input (bytes) for which "basic" wins when N <= C_more.
+double switch_point_nm(const WorkerConfig& basic, double sync_cycles);
+
+/// Eq. 5: largest input (bytes) for which "basic" wins when N > C_more.
+/// Requires Thr_more > Thr_basic.
+double switch_point_nl(const WorkerConfig& basic, const WorkerConfig& more,
+                       double sync_cycles);
+
+/// Table IV rows: the predicted switch points for one basic/more pair.
+struct SwitchPrediction {
+  std::string scenario;
+  double sync_cycles = 0;
+  double nl_bytes = 0;
+  double nm_bytes = 0;
+};
+SwitchPrediction predict_switch(const std::string& scenario,
+                                const WorkerConfig& basic,
+                                const WorkerConfig& more, double sync_cycles);
+
+/// Empirical cross-check: smallest N (in elements of `elem_bytes`) where the
+/// "more" configuration's predicted time beats "basic", scanning powers of
+/// two in [lo, hi]. Returns hi+1 when "basic" always wins.
+std::int64_t empirical_crossover(const WorkerConfig& basic, const WorkerConfig& more,
+                                 double sync_cycles, int elem_bytes,
+                                 std::int64_t lo, std::int64_t hi);
+
+}  // namespace perfmodel

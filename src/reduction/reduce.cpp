@@ -1,0 +1,476 @@
+#include "reduction/reduce.hpp"
+
+#include <algorithm>
+
+#include "vgpu/occupancy.hpp"
+
+namespace reduction {
+
+using namespace vgpu;
+using scuda::HostThread;
+using scuda::LaunchParams;
+
+const char* to_string(SingleGpuAlgo a) {
+  switch (a) {
+    case SingleGpuAlgo::Implicit: return "implicit";
+    case SingleGpuAlgo::GridSync: return "grid sync";
+    case SingleGpuAlgo::CubLike: return "CUB-like";
+    case SingleGpuAlgo::SampleLike: return "cuda sample";
+  }
+  return "?";
+}
+
+const char* to_string(MultiGpuAlgo a) {
+  switch (a) {
+    case MultiGpuAlgo::MGridSync: return "mgrid sync";
+    case MultiGpuAlgo::CpuBarrier: return "CPU-side barrier";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Device-side building blocks
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shuffle-reduce `sum` within the warp (result in every lane's register is
+/// only guaranteed for lane 0).
+void emit_warp_shfl_reduce(KernelBuilder& b, Reg sum) {
+  Reg tmp = b.reg();
+  for (int step = 16; step >= 1; step /= 2) {
+    b.shfl_down(tmp, sum, step, kWarpSize);
+    b.fadd(sum, sum, tmp);
+  }
+}
+
+/// Block-wide reduction of `sum` into lane 0 of warp 0 (Fig. 12's
+/// block_reduce). Uses shared memory [0, 32*8).
+void emit_block_reduce(KernelBuilder& b, Reg sum) {
+  emit_warp_shfl_reduce(b, sum);
+  Reg lane = b.reg(), warp = b.reg(), bdim = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  b.sreg(warp, SpecialReg::WarpId);
+  b.sreg(bdim, SpecialReg::BlockDim);
+  Reg is_lane0 = b.reg();
+  b.setp(is_lane0, lane, Cmp::Eq, 0);
+  b.if_then(is_lane0, [&] {
+    Reg off = b.reg();
+    b.ishl(off, warp, 3);
+    b.sts(off, sum, /*vol=*/true);
+  });
+  b.bar_sync();
+  Reg is_warp0 = b.reg();
+  b.setp(is_warp0, warp, Cmp::Eq, 0);
+  b.if_then(is_warp0, [&] {
+    Reg nw = b.reg();
+    b.iadd(nw, bdim, 31);
+    b.ishr(nw, nw, 5);
+    Reg v = b.immf(0.0);
+    Reg in_range = b.reg();
+    b.setp(in_range, lane, Cmp::Lt, nw);
+    b.if_then(in_range, [&] {
+      Reg off = b.reg();
+      b.ishl(off, lane, 3);
+      b.lds(v, off, /*vol=*/true);
+    });
+    emit_warp_shfl_reduce(b, v);
+    b.mov(sum, v);
+  });
+}
+
+/// sum = grid-stride sum of src[0..n) (Fig. 12's summing()).
+void emit_grid_stride_sum(KernelBuilder& b, Reg sum, Reg src, Reg n) {
+  Reg gtid = b.reg(), gsize = b.reg();
+  b.sreg(gtid, SpecialReg::GTid);
+  b.sreg(gsize, SpecialReg::GSize);
+  Reg i = b.reg();
+  b.mov(i, gtid);
+  b.movf(sum, 0.0);
+  Reg p = b.reg(), addr = b.reg(), v = b.reg();
+  b.loop_while(
+      [&] {
+        b.setp(p, i, Cmp::Lt, n);
+        return p;
+      },
+      [&] {
+        b.ishl(addr, i, 3);
+        b.iadd(addr, addr, src);
+        b.ldg(v, addr);
+        b.fadd(sum, sum, v);
+        b.iadd(i, i, gsize);
+      });
+}
+
+/// if (tid == 0) dst[bid] = sum
+void emit_store_block_partial(KernelBuilder& b, Reg sum, Reg dst) {
+  Reg tid = b.reg();
+  b.sreg(tid, SpecialReg::Tid);
+  Reg is0 = b.reg();
+  b.setp(is0, tid, Cmp::Eq, 0);
+  b.if_then(is0, [&] {
+    Reg bid = b.reg();
+    b.sreg(bid, SpecialReg::Bid);
+    Reg addr = b.reg();
+    b.ishl(addr, bid, 3);
+    b.iadd(addr, addr, dst);
+    b.stg(addr, sum);
+  });
+}
+
+/// sum = block-stride sum of buf[0..count) (single block).
+void emit_block_stride_sum(KernelBuilder& b, Reg sum, Reg buf, Reg count) {
+  Reg tid = b.reg(), bdim = b.reg();
+  b.sreg(tid, SpecialReg::Tid);
+  b.sreg(bdim, SpecialReg::BlockDim);
+  Reg i = b.reg();
+  b.mov(i, tid);
+  b.movf(sum, 0.0);
+  Reg p = b.reg(), addr = b.reg(), v = b.reg();
+  b.loop_while(
+      [&] {
+        b.setp(p, i, Cmp::Lt, count);
+        return p;
+      },
+      [&] {
+        b.ishl(addr, i, 3);
+        b.iadd(addr, addr, buf);
+        b.ldg(v, addr);
+        b.fadd(sum, sum, v);
+        b.iadd(i, i, bdim);
+      });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+ProgramPtr partial_sum_kernel() {
+  KernelBuilder b("reduce_partial");
+  Reg src = b.reg(), n = b.reg(), part = b.reg();
+  b.ld_param(src, 0);
+  b.ld_param(n, 1);
+  b.ld_param(part, 2);
+  Reg sum = b.reg();
+  emit_grid_stride_sum(b, sum, src, n);
+  emit_block_reduce(b, sum);
+  emit_store_block_partial(b, sum, part);
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr final_sum_kernel() {
+  KernelBuilder b("reduce_final");
+  Reg part = b.reg(), count = b.reg(), out = b.reg();
+  b.ld_param(part, 0);
+  b.ld_param(count, 1);
+  b.ld_param(out, 2);
+  Reg sum = b.reg();
+  emit_block_stride_sum(b, sum, part, count);
+  emit_block_reduce(b, sum);
+  Reg tid = b.reg();
+  b.sreg(tid, SpecialReg::Tid);
+  Reg is0 = b.reg();
+  b.setp(is0, tid, Cmp::Eq, 0);
+  b.if_then(is0, [&] { b.stg(out, sum); });
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr grid_sync_reduce_kernel() {
+  KernelBuilder b("reduce_grid_sync");
+  Reg src = b.reg(), n = b.reg(), ws = b.reg(), out = b.reg();
+  b.ld_param(src, 0);
+  b.ld_param(n, 1);
+  b.ld_param(ws, 2);
+  b.ld_param(out, 3);
+  Reg sum = b.reg();
+  emit_grid_stride_sum(b, sum, src, n);
+  emit_block_reduce(b, sum);
+  emit_store_block_partial(b, sum, ws);
+  b.grid_sync();  // the explicit device-wide barrier (Fig. 13)
+  Reg bid = b.reg();
+  b.sreg(bid, SpecialReg::Bid);
+  Reg isb0 = b.reg();
+  b.setp(isb0, bid, Cmp::Eq, 0);
+  b.if_then(isb0, [&] {
+    Reg gdim = b.reg();
+    b.sreg(gdim, SpecialReg::GridDim);
+    Reg total = b.reg();
+    emit_block_stride_sum(b, total, ws, gdim);
+    emit_block_reduce(b, total);
+    Reg tid = b.reg();
+    b.sreg(tid, SpecialReg::Tid);
+    Reg is0 = b.reg();
+    b.setp(is0, tid, Cmp::Eq, 0);
+    b.if_then(is0, [&] { b.stg(out, total); });
+  });
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr mgrid_reduce_kernel() {
+  KernelBuilder b("reduce_mgrid");
+  Reg src = b.reg(), n = b.reg(), ws = b.reg(), results0 = b.reg(), out = b.reg();
+  b.ld_param(src, 0);
+  b.ld_param(n, 1);
+  b.ld_param(ws, 2);
+  b.ld_param(results0, 3);
+  b.ld_param(out, 4);
+
+  // Phase 1: local shard -> per-block partials.
+  Reg sum = b.reg();
+  emit_grid_stride_sum(b, sum, src, n);
+  emit_block_reduce(b, sum);
+  emit_store_block_partial(b, sum, ws);
+  b.mgrid_sync();
+
+  // Phase 2: block 0 folds the local partials and peer-stores the per-GPU
+  // result into GPU 0's results array (dest[...] of Fig. 13).
+  Reg bid = b.reg();
+  b.sreg(bid, SpecialReg::Bid);
+  Reg isb0 = b.reg();
+  b.setp(isb0, bid, Cmp::Eq, 0);
+  b.if_then(isb0, [&] {
+    Reg gdim = b.reg();
+    b.sreg(gdim, SpecialReg::GridDim);
+    Reg local = b.reg();
+    emit_block_stride_sum(b, local, ws, gdim);
+    emit_block_reduce(b, local);
+    Reg tid = b.reg();
+    b.sreg(tid, SpecialReg::Tid);
+    Reg is0 = b.reg();
+    b.setp(is0, tid, Cmp::Eq, 0);
+    b.if_then(is0, [&] {
+      Reg gpu = b.reg();
+      b.sreg(gpu, SpecialReg::GpuId);
+      Reg addr = b.reg();
+      b.ishl(addr, gpu, 3);
+      b.iadd(addr, addr, results0);
+      b.stg(addr, local);
+    });
+  });
+  b.mgrid_sync();
+
+  // Phase 3: GPU 0 / block 0 / warp 0 folds the per-GPU results.
+  Reg gpu = b.reg();
+  b.sreg(gpu, SpecialReg::GpuId);
+  Reg isg0 = b.reg();
+  b.setp(isg0, gpu, Cmp::Eq, 0);
+  b.if_then(isg0, [&] {
+    b.if_then(isb0, [&] {
+      Reg warp = b.reg();
+      b.sreg(warp, SpecialReg::WarpId);
+      Reg isw0 = b.reg();
+      b.setp(isw0, warp, Cmp::Eq, 0);
+      b.if_then(isw0, [&] {
+        Reg lane = b.reg();
+        b.sreg(lane, SpecialReg::Lane);
+        Reg ngpu = b.reg();
+        b.sreg(ngpu, SpecialReg::NumGpus);
+        Reg v = b.immf(0.0);
+        Reg inr = b.reg();
+        b.setp(inr, lane, Cmp::Lt, ngpu);
+        b.if_then(inr, [&] {
+          Reg addr = b.reg();
+          b.ishl(addr, lane, 3);
+          b.iadd(addr, addr, results0);
+          b.ldg(v, addr);
+        });
+        emit_warp_shfl_reduce(b, v);
+        Reg is0 = b.reg();
+        b.setp(is0, lane, Cmp::Eq, 0);
+        b.if_then(is0, [&] { b.stg(out, v); });
+      });
+    });
+  });
+  b.exit();
+  return b.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Workload helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kPatternPeriod = 128;
+double pattern_value(std::int64_t i) {
+  return static_cast<double>(i % kPatternPeriod + 1) * 0.015625;  // k/64
+}
+}  // namespace
+
+void fill_pattern(System& sys, DevPtr src, std::int64_t n) {
+  constexpr std::int64_t kChunk = 1 << 20;
+  std::vector<double> buf;
+  for (std::int64_t base = 0; base < n; base += kChunk) {
+    const std::int64_t cnt = std::min(kChunk, n - base);
+    buf.resize(static_cast<std::size_t>(cnt));
+    for (std::int64_t i = 0; i < cnt; ++i)
+      buf[static_cast<std::size_t>(i)] = pattern_value(base + i);
+    sys.fill_f64(src + base * 8, buf);
+  }
+}
+
+double expected_pattern_sum(std::int64_t n) {
+  const std::int64_t full = n / kPatternPeriod;
+  double sum = static_cast<double>(full) * (kPatternPeriod + 1) * kPatternPeriod /
+               2.0 * 0.015625;
+  for (std::int64_t i = full * kPatternPeriod; i < n; ++i) sum += pattern_value(i);
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Host orchestration
+// ---------------------------------------------------------------------------
+
+Shape shape_for(const ArchSpec& arch, SingleGpuAlgo algo, std::int64_t n) {
+  switch (algo) {
+    case SingleGpuAlgo::Implicit:
+    case SingleGpuAlgo::GridSync: {
+      // Fully co-resident: 256 threads, occupancy-limited blocks/SM.
+      const int bpsm = occupancy_for(arch, 256, 32 * 8).blocks_per_sm;
+      return {arch.num_sms * bpsm, 256};
+    }
+    case SingleGpuAlgo::CubLike: {
+      // Items-per-thread tiling; grids larger than one wave.
+      const std::int64_t tiles = (n + 256 * 16 - 1) / (256 * 16);
+      const int cap = arch.num_sms * 16;
+      return {static_cast<int>(std::max<std::int64_t>(
+                  1, std::min<std::int64_t>(tiles, cap))),
+              256};
+    }
+    case SingleGpuAlgo::SampleLike: {
+      const std::int64_t want = (n + 512 * 2 - 1) / (512 * 2);
+      const int cap = arch.num_sms * 4;
+      return {static_cast<int>(std::max<std::int64_t>(
+                  1, std::min<std::int64_t>(want, cap))),
+              512};
+    }
+  }
+  return {1, 32};
+}
+
+namespace {
+
+double run_single_pass(System& sys, HostThread& h, SingleGpuAlgo algo, int dev,
+                       DevPtr src, std::int64_t n, DevPtr part, DevPtr out) {
+  const Shape s = shape_for(sys.arch(), algo, n);
+  const double t0 = h.now_us();
+  switch (algo) {
+    case SingleGpuAlgo::Implicit:
+    case SingleGpuAlgo::CubLike:
+    case SingleGpuAlgo::SampleLike:
+      sys.launch(h, dev,
+                 LaunchParams{partial_sum_kernel(), s.blocks, s.threads, 32 * 8,
+                              {src.raw, n, part.raw}});
+      sys.launch(h, dev,
+                 LaunchParams{final_sum_kernel(), 1, 256, 32 * 8,
+                              {part.raw, s.blocks, out.raw}});
+      break;
+    case SingleGpuAlgo::GridSync:
+      sys.launch_cooperative(
+          h, dev,
+          LaunchParams{grid_sync_reduce_kernel(), s.blocks, s.threads, 32 * 8,
+                       {src.raw, n, part.raw, out.raw}});
+      break;
+  }
+  sys.device_synchronize(h, dev);
+  return h.now_us() - t0;
+}
+
+}  // namespace
+
+ReduceRun reduce_single(System& sys, SingleGpuAlgo algo, int dev, DevPtr src,
+                        std::int64_t n) {
+  const Shape s = shape_for(sys.arch(), algo, n);
+  DevPtr part = sys.malloc(dev, static_cast<std::int64_t>(s.blocks) * 8);
+  DevPtr out = sys.malloc(dev, 8);
+  ReduceRun r;
+  sys.run([&](HostThread& h) {
+    run_single_pass(sys, h, algo, dev, src, n, part, out);  // warm-up
+    r.micros = run_single_pass(sys, h, algo, dev, src, n, part, out);
+  });
+  r.value = sys.read_f64(out, 1)[0];
+  r.bandwidth_gbs = static_cast<double>(n) * 8 / (r.micros * 1e3);
+  return r;
+}
+
+ReduceRun reduce_multi(System& sys, MultiGpuAlgo algo,
+                       const std::vector<DevPtr>& shards, std::int64_t n_per) {
+  const int gpus = static_cast<int>(shards.size());
+  const ArchSpec& arch = sys.arch();
+  const int bpsm = occupancy_for(arch, 256, 32 * 8).blocks_per_sm;
+  const int blocks = arch.num_sms * bpsm;
+
+  std::vector<DevPtr> ws;
+  for (int g = 0; g < gpus; ++g)
+    ws.push_back(sys.malloc(g, static_cast<std::int64_t>(blocks) * 8));
+  DevPtr results0 = sys.malloc(0, static_cast<std::int64_t>(std::max(gpus, 32)) * 8);
+  DevPtr gather0 =
+      sys.malloc(0, static_cast<std::int64_t>(blocks) * gpus * 8);
+  DevPtr out = sys.malloc(0, 8);
+
+  auto mgrid_pass = [&](HostThread& h) {
+    std::vector<int> devs;
+    std::vector<LaunchParams> ps;
+    for (int g = 0; g < gpus; ++g) {
+      devs.push_back(g);
+      ps.push_back(LaunchParams{
+          mgrid_reduce_kernel(), blocks, 256, 32 * 8,
+          {shards[static_cast<std::size_t>(g)].raw, n_per,
+           ws[static_cast<std::size_t>(g)].raw, results0.raw, out.raw}});
+    }
+    const double t0 = h.now_us();
+    sys.launch_cooperative_multi(h, devs, ps);
+    for (int g = 0; g < gpus; ++g) sys.device_synchronize(h, g);
+    return h.now_us() - t0;
+  };
+
+  auto cpu_pass = [&](HostThread& h) {
+    const double t0 = h.now_us();
+    sys.parallel(h, gpus, [&](HostThread& th, int tid) {
+      sys.launch(th, tid,
+                 LaunchParams{partial_sum_kernel(), blocks, 256, 32 * 8,
+                              {shards[static_cast<std::size_t>(tid)].raw, n_per,
+                               ws[static_cast<std::size_t>(tid)].raw}});
+      sys.device_synchronize(th, tid);
+      sys.barrier(th);
+      // Gather this GPU's partials to GPU 0 (Fig. 14's transfer_data step).
+      if (tid != 0) {
+        sys.memcpy_peer(th, gather0 + static_cast<std::int64_t>(tid) * blocks * 8,
+                        ws[static_cast<std::size_t>(tid)],
+                        static_cast<std::int64_t>(blocks) * 8);
+      } else {
+        sys.memcpy_peer(th, gather0, ws[0], static_cast<std::int64_t>(blocks) * 8);
+      }
+      sys.barrier(th);
+      if (tid == 0) {
+        sys.launch(th, 0,
+                   LaunchParams{final_sum_kernel(), 1, 256, 32 * 8,
+                                {gather0.raw, static_cast<std::int64_t>(blocks) * gpus,
+                                 out.raw}});
+        sys.device_synchronize(th, 0);
+      }
+    });
+    return h.now_us() - t0;
+  };
+
+  ReduceRun r;
+  sys.run([&](HostThread& h) {
+    if (algo == MultiGpuAlgo::MGridSync) {
+      r.micros = mgrid_pass(h);
+      r.micros = mgrid_pass(h);  // first pass warms the pipeline
+    } else {
+      r.micros = cpu_pass(h);
+      r.micros = cpu_pass(h);
+    }
+  });
+  r.value = sys.read_f64(out, 1)[0];
+  r.bandwidth_gbs =
+      static_cast<double>(n_per) * gpus * 8 / (r.micros * 1e3);
+  return r;
+}
+
+}  // namespace reduction

@@ -1,0 +1,78 @@
+// Device-wide and multi-GPU reduction (Section VII of the paper).
+//
+// Single-GPU algorithms (Figures 13/14, 15, Table VI):
+//   Implicit   — two kernels in one stream (the implicit barrier between
+//                them orders the passes), 256 thr/block, fully co-resident.
+//   GridSync   — one persistent cooperative kernel using grid.sync().
+//   CubLike    — CUB-style baseline: items-per-thread tiling, larger grids
+//                that run in multiple waves.
+//   SampleLike — CUDA-SDK-sample-style baseline: 512 thr/block, modest grid.
+//
+// Multi-GPU algorithms (Figures 13/14, 16):
+//   MGridSync  — one multi-device cooperative kernel; partials flow to GPU 0
+//                through peer stores between two multi-grid barriers.
+//   CpuBarrier — one host thread per GPU (OpenMP pattern of Fig. 6):
+//                local pass, deviceSynchronize + host barrier, peer copy of
+//                partials to GPU 0, final kernel there.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scuda/system.hpp"
+#include "vgpu/program.hpp"
+
+namespace reduction {
+
+using scuda::System;
+using vgpu::DevPtr;
+
+enum class SingleGpuAlgo { Implicit, GridSync, CubLike, SampleLike };
+enum class MultiGpuAlgo { MGridSync, CpuBarrier };
+
+const char* to_string(SingleGpuAlgo a);
+const char* to_string(MultiGpuAlgo a);
+
+// ---- kernels (exposed for tests) -------------------------------------------
+/// params: [src, n, part] — grid-stride partial sums, one double per block.
+vgpu::ProgramPtr partial_sum_kernel();
+/// params: [part, count, out] — single-block final pass.
+vgpu::ProgramPtr final_sum_kernel();
+/// params: [src, n, ws, out] — persistent kernel with one grid.sync().
+vgpu::ProgramPtr grid_sync_reduce_kernel();
+/// params: [src, n, ws_local, results_on_gpu0, out_on_gpu0] — persistent
+/// multi-device kernel with two multi_grid.sync() points.
+vgpu::ProgramPtr mgrid_reduce_kernel();
+
+// ---- workload helpers --------------------------------------------------------
+/// Fill src[0..n) with a deterministic pattern (chunked; no giant host copy).
+void fill_pattern(System& sys, DevPtr src, std::int64_t n);
+/// Closed-form sum of the pattern (exact in double).
+double expected_pattern_sum(std::int64_t n);
+
+// ---- runs ---------------------------------------------------------------------
+struct ReduceRun {
+  double value = 0;
+  double micros = 0;        // host-observed latency of the measured pass
+  double bandwidth_gbs = 0; // n*8 bytes / latency
+};
+
+/// Reduce n doubles at `src` on device `dev`. Runs one warm-up pass, then
+/// one measured pass.
+ReduceRun reduce_single(System& sys, SingleGpuAlgo algo, int dev, DevPtr src,
+                        std::int64_t n);
+
+/// Reduce `shards[g]` (n_per doubles on device g) across all shards.
+/// Bandwidth counts all shards' bytes.
+ReduceRun reduce_multi(System& sys, MultiGpuAlgo algo,
+                       const std::vector<DevPtr>& shards, std::int64_t n_per);
+
+/// Launch geometry used by an algorithm (exposed so tests can cross-check
+/// co-residency of the cooperative variants).
+struct Shape {
+  int blocks = 0;
+  int threads = 0;
+};
+Shape shape_for(const vgpu::ArchSpec& arch, SingleGpuAlgo algo, std::int64_t n);
+
+}  // namespace reduction

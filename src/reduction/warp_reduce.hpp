@@ -1,0 +1,39 @@
+// Warp-level reduction variants (Table V): sum 32 doubles held in shared
+// memory with different synchronization strategies. The `NoSync` variant is
+// numerically *incorrect* by construction (unfenced cross-lane shared reads
+// observe stale values) — reproducing the paper's asterisk.
+#pragma once
+
+#include "vgpu/arch.hpp"
+#include "vgpu/program.hpp"
+
+namespace reduction {
+
+enum class WarpVariant {
+  Serial,     // one lane walks all 32 values
+  NoSync,     // tree without any sync (wrong result)
+  Volatile,   // tree with volatile loads/stores, no sync
+  Tile,       // tree + tile_sync per step
+  Coalesced,  // tree + coalesced sync per step
+  TileShfl,   // shuffle tree (tiled_partition)
+  CoaShfl,    // shuffle tree (coalesced_group: software rank arithmetic)
+};
+
+const char* to_string(WarpVariant v);
+
+/// One warp; params: [in (32 doubles), out (1 double), clk (32 int64)].
+/// Stores the reduced value to out[0] and per-lane cycle counts to clk.
+vgpu::ProgramPtr warp_reduce_kernel(WarpVariant v, const vgpu::ArchSpec& arch);
+
+/// Run the kernel on a fresh single-device machine; returns the measured
+/// cycles and whether the value matched the reference sum.
+struct WarpReduceResult {
+  WarpVariant variant;
+  double cycles = 0;
+  double value = 0;
+  double expected = 0;
+  bool correct = false;
+};
+WarpReduceResult run_warp_reduce(const vgpu::ArchSpec& arch, WarpVariant v);
+
+}  // namespace reduction

@@ -1,0 +1,489 @@
+#include "scuda/system.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace scuda {
+
+using vgpu::DeadlockError;
+using vgpu::kPsInfinity;
+using vgpu::SimError;
+
+System::System(vgpu::MachineConfig cfg)
+    : machine_(std::make_unique<vgpu::Machine>(std::move(cfg))) {
+  streams_.resize(static_cast<std::size_t>(machine_->num_devices()));
+  for (int d = 0; d < machine_->num_devices(); ++d)
+    streams_[static_cast<std::size_t>(d)].device = d;
+}
+
+System::~System() = default;
+
+// ---------------------------------------------------------------------------
+// Host-thread scheduler
+// ---------------------------------------------------------------------------
+
+HostThread* System::pick_runnable(const HostThread* except) {
+  HostThread* best = nullptr;
+  for (HostThread* t : all_threads_) {
+    if (t == except || t->finished || !t->runnable || t->has_token) continue;
+    if (!best || t->wake_time < best->wake_time ||
+        (t->wake_time == best->wake_time && t->tid_ < best->tid_))
+      best = t;
+  }
+  return best;
+}
+
+void System::wake(HostThread& h, Ps t) {
+  h.runnable = true;
+  h.wake_time = std::max(h.wake_time, t);
+}
+
+void System::abort_all(std::unique_lock<std::mutex>& lk, std::string why) {
+  aborting_ = true;
+  abort_reason_ = std::move(why);
+  for (HostThread* t : all_threads_) t->cv.notify_all();
+  (void)lk;
+  throw DeadlockError(abort_reason_);
+}
+
+void System::block_until_runnable(HostThread& h, std::unique_lock<std::mutex>& lk) {
+  while (!h.runnable) {
+    if (aborting_) throw DeadlockError(abort_reason_);
+    if (HostThread* next = pick_runnable(&h)) {
+      next->has_token = true;
+      next->cv.notify_all();
+      h.cv.wait(lk, [&] { return h.has_token || aborting_; });
+      if (aborting_) throw DeadlockError(abort_reason_);
+      h.has_token = false;
+      continue;
+    }
+    // Nobody runnable: this thread drives the event queue.
+    if (!machine_->step()) {
+      std::string report = "simulation deadlock: virtual time cannot advance.\n";
+      report += machine_->blocked_report();
+      int blocked_hosts = 0;
+      for (HostThread* t : all_threads_)
+        if (!t->finished && !t->runnable) ++blocked_hosts;
+      report += "  blocked host threads: " + std::to_string(blocked_hosts) + "\n";
+      abort_all(lk, std::move(report));
+    }
+  }
+  h.clock_ = std::max(h.clock_, h.wake_time);
+  h.wake_time = 0;
+}
+
+void System::run(const std::function<void(HostThread&)>& fn) {
+  HostThread h;
+  h.sys_ = this;
+  h.tid_ = 0;
+  h.clock_ = std::max<Ps>(0, machine_->queue().now());
+  h.has_token = false;
+  h.runnable = true;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    aborting_ = false;
+    abort_reason_.clear();
+    all_threads_.push_back(&h);
+  }
+  std::exception_ptr err;
+  try {
+    fn(h);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    h.finished = true;
+    if (!err && !aborting_) {
+      // Drain in-flight device work so back-to-back run() calls compose.
+      while (machine_->step()) {
+      }
+      if (machine_->blocked_entities() > 0) {
+        err = std::make_exception_ptr(DeadlockError(
+            "device work left hung at end of host program:\n" +
+            machine_->blocked_report()));
+      }
+    }
+    all_threads_.erase(std::find(all_threads_.begin(), all_threads_.end(), &h));
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP stand-in
+// ---------------------------------------------------------------------------
+
+void System::parallel(HostThread& h, int n,
+                      const std::function<void(HostThread&, int)>& fn) {
+  if (n < 1) throw SimError("parallel: non-positive thread count");
+  detail::ParallelRegion region;
+  region.size = n;
+  region.parent = &h;
+  region.children_running = n - 1;
+  detail::ParallelRegion* outer = h.region;
+  h.region = &region;
+
+  std::vector<std::unique_ptr<HostThread>> children;
+  std::vector<std::thread> os_threads;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (int i = 1; i < n; ++i) {
+      auto c = std::make_unique<HostThread>();
+      c->sys_ = this;
+      c->tid_ = next_tid_++;
+      c->clock_ = h.clock_;
+      c->wake_time = h.clock_;
+      c->region = &region;
+      c->runnable = true;
+      all_threads_.push_back(c.get());
+      children.push_back(std::move(c));
+    }
+  }
+  for (int i = 1; i < n; ++i) {
+    HostThread* c = children[static_cast<std::size_t>(i - 1)].get();
+    os_threads.emplace_back([this, c, i, &region, &fn] {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        c->cv.wait(lk, [&] { return c->has_token || aborting_; });
+        c->has_token = false;
+        if (aborting_) {
+          c->finished = true;
+          region.children_running -= 1;
+          if (region.children_running == 0) wake(*region.parent, region.children_max_clock);
+          return;
+        }
+      }
+      try {
+        fn(*c, i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (!region.child_error) region.child_error = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lk(mu_);
+      c->finished = true;
+      region.children_running -= 1;
+      region.children_max_clock = std::max(region.children_max_clock, c->clock_);
+      if (region.children_running == 0)
+        wake(*region.parent, region.children_max_clock);
+      // Hand the token onwards before this OS thread exits.
+      while (!aborting_) {
+        if (HostThread* next = pick_runnable(nullptr)) {
+          next->has_token = true;
+          next->cv.notify_all();
+          return;
+        }
+        if (!machine_->step()) {
+          aborting_ = true;
+          abort_reason_ = "simulation deadlock: virtual time cannot advance.\n" +
+                          machine_->blocked_report();
+          for (HostThread* t : all_threads_) t->cv.notify_all();
+          return;
+        }
+      }
+    });
+  }
+
+  std::exception_ptr parent_err;
+  try {
+    fn(h, 0);
+  } catch (...) {
+    parent_err = std::current_exception();
+  }
+  // Join the region: wait for children in virtual time, then in real time.
+  try {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (region.children_running > 0) {
+      h.runnable = false;
+      block_until_runnable(h, lk);
+    }
+    h.clock_ = std::max(h.clock_, region.children_max_clock);
+  } catch (...) {
+    if (!parent_err) parent_err = std::current_exception();
+  }
+  for (auto& t : os_threads) t.join();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (auto& c : children)
+      all_threads_.erase(
+          std::find(all_threads_.begin(), all_threads_.end(), c.get()));
+  }
+  h.region = outer;
+  if (parent_err) std::rethrow_exception(parent_err);
+  if (region.child_error) std::rethrow_exception(region.child_error);
+}
+
+void System::barrier(HostThread& h) {
+  std::unique_lock<std::mutex> lk(mu_);
+  detail::ParallelRegion* r = h.region;
+  if (!r) throw SimError("barrier() outside a parallel region");
+  r->barrier_count += 1;
+  r->barrier_last = std::max(r->barrier_last, h.clock_);
+  const Ps cost = arch().host_barrier_base +
+                  static_cast<Ps>(r->size) * arch().host_barrier_per_thread;
+  if (r->barrier_count == r->size) {
+    const Ps release = r->barrier_last + cost;
+    for (HostThread* w : r->barrier_waiters) wake(*w, release);
+    r->barrier_waiters.clear();
+    r->barrier_count = 0;
+    r->barrier_last = 0;
+    h.clock_ = std::max(h.clock_, release);
+    return;
+  }
+  r->barrier_waiters.push_back(&h);
+  h.runnable = false;
+  block_until_runnable(h, lk);
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+DevPtr System::malloc(int dev, std::int64_t bytes) {
+  return machine_->device(dev).mem().allocate(bytes);
+}
+
+namespace {
+constexpr double kPcieGbs = 12.0;
+constexpr Ps kPcieLatency = vgpu::us(10.0);
+Ps pcie_cost(std::int64_t bytes) {
+  return kPcieLatency +
+         static_cast<Ps>(static_cast<double>(bytes) / (kPcieGbs * 1e9) * 1e12);
+}
+}  // namespace
+
+void System::memcpy_h2d(HostThread& h, DevPtr dst, const void* src,
+                        std::int64_t bytes) {
+  machine_->device(dst.device()).mem().write(dst, src, bytes);
+  h.advance(pcie_cost(bytes));
+}
+
+void System::memcpy_d2h(HostThread& h, void* dst, DevPtr src, std::int64_t bytes) {
+  machine_->device(src.device()).mem().read(src, dst, bytes);
+  h.advance(pcie_cost(bytes));
+}
+
+void System::memcpy_peer(HostThread& h, DevPtr dst, DevPtr src, std::int64_t bytes) {
+  std::vector<std::byte> tmp(static_cast<std::size_t>(bytes));
+  machine_->device(src.device()).mem().read(src, tmp.data(), bytes);
+  machine_->device(dst.device()).mem().write(dst, tmp.data(), bytes);
+  std::unique_lock<std::mutex> lk(mu_);
+  const Ps done = machine_->fabric().transfer_done(src.device(), dst.device(),
+                                                   bytes, h.clock_);
+  h.clock_ = std::max(h.clock_, done);
+}
+
+void System::fill_f64(DevPtr p, const std::vector<double>& values) {
+  machine_->device(p.device()).mem().write(
+      p, values.data(), static_cast<std::int64_t>(values.size() * 8));
+}
+
+std::vector<double> System::read_f64(DevPtr p, std::int64_t count) {
+  std::vector<double> out(static_cast<std::size_t>(count));
+  machine_->device(p.device()).mem().read(p, out.data(), count * 8);
+  return out;
+}
+
+void System::fill_i64(DevPtr p, const std::vector<std::int64_t>& values) {
+  machine_->device(p.device()).mem().write(
+      p, values.data(), static_cast<std::int64_t>(values.size() * 8));
+}
+
+std::vector<std::int64_t> System::read_i64(DevPtr p, std::int64_t count) {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(count));
+  machine_->device(p.device()).mem().read(p, out.data(), count * 8);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Launches & streams
+// ---------------------------------------------------------------------------
+
+void System::validate_cooperative(const LaunchParams& p) const {
+  const int max_grid =
+      vgpu::max_cooperative_grid(arch(), p.block_threads, p.smem_bytes);
+  if (p.grid_blocks > max_grid)
+    throw LaunchError(
+        "cooperative launch of " + std::to_string(p.grid_blocks) +
+        " blocks exceeds the co-residency limit of " + std::to_string(max_grid) +
+        " (" + std::to_string(p.block_threads) + " threads/block)");
+}
+
+void System::enqueue(HostThread& h, int dev, const LaunchParams& p,
+                     const vgpu::LaunchModel& lm, Ps extra_gap, bool cooperative,
+                     std::shared_ptr<vgpu::MGridState> mgrid, int rank,
+                     std::shared_ptr<LaunchGroup> group) {
+  if (dev < 0 || dev >= num_devices()) throw SimError("launch on invalid device");
+  PendingKernel k;
+  k.desc.prog = p.prog;
+  k.desc.grid_blocks = p.grid_blocks;
+  k.desc.block_threads = p.block_threads;
+  k.desc.smem_bytes = p.smem_bytes;
+  k.desc.params = p.params;
+  k.desc.cooperative = cooperative;
+  k.desc.mgrid = std::move(mgrid);
+  k.desc.mgrid_rank = rank;
+  k.lm = lm;
+  k.extra_gap = extra_gap;
+  k.host_issue = h.clock_;
+  k.group = std::move(group);
+  Stream& s = streams_[static_cast<std::size_t>(dev)];
+  s.queue.push_back(std::move(k));
+  pump_stream(s);
+}
+
+void System::pump_stream(Stream& s) {
+  if (s.busy || s.queue.empty()) return;
+  PendingKernel k = std::move(s.queue.front());
+  s.queue.pop_front();
+  const Ps gap = machine_->noise().jitter(k.lm.gap_total + k.extra_gap);
+  const Ps chain = s.last_end + std::max(k.lm.issue_cost, gap - s.last_exec);
+  const Ps fresh = k.host_issue + k.lm.first_dispatch;
+  const Ps start = std::max(chain, fresh);
+  s.busy = true;
+  if (k.group) {
+    auto g = k.group;
+    g->ready = std::max(g->ready, start);
+    g->armed.emplace_back(&s, std::move(k));
+    g->waiting -= 1;
+    if (g->waiting == 0) {
+      const Ps st = g->ready + g->coordination;
+      for (auto& [sp, kk] : g->armed) begin_kernel(*sp, std::move(kk), st);
+      g->armed.clear();
+    }
+    return;
+  }
+  begin_kernel(s, std::move(k), start);
+}
+
+void System::begin_kernel(Stream& s, PendingKernel k, Ps start) {
+  s.current_start = start;
+  auto mgrid = k.desc.mgrid;
+  Stream* sp = &s;
+  vgpu::GridExec* g = machine_->device(s.device).start_grid(
+      std::move(k.desc), start, [this, sp](Ps end) { kernel_complete(*sp, end); });
+  if (mgrid) mgrid->grids.push_back(g);
+}
+
+void System::kernel_complete(Stream& s, Ps end) {
+  s.last_exec = std::max<Ps>(0, end - s.current_start);
+  s.last_end = end;
+  s.busy = false;
+  // Fire stream-event markers whose prior work has drained.
+  for (auto it = s.pending_events.begin(); it != s.pending_events.end();) {
+    if (--it->kernels_remaining <= 0) {
+      it->ev->time_ = end;
+      it->ev->recorded_ = true;
+      for (HostThread* w : it->waiters) wake(*w, end);
+      it = s.pending_events.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  pump_stream(s);
+  if (!s.busy && s.queue.empty()) {
+    // The stream went idle: launch-pipeline work can no longer hide under a
+    // predecessor, so the next kernel pays the full idle-dispatch path.
+    s.last_exec = kPsInfinity;
+    if (!s.sync_waiters.empty()) {
+      const Ps ret = end + arch().device_sync_return;
+      for (HostThread* w : s.sync_waiters) wake(*w, ret);
+      s.sync_waiters.clear();
+    }
+  }
+}
+
+void System::launch(HostThread& h, int dev, const LaunchParams& p) {
+  std::unique_lock<std::mutex> lk(mu_);
+  h.advance(arch().launch_traditional.issue_cost);
+  enqueue(h, dev, p, arch().launch_traditional, 0, false, nullptr, 0, nullptr);
+}
+
+void System::launch_cooperative(HostThread& h, int dev, const LaunchParams& p) {
+  std::unique_lock<std::mutex> lk(mu_);
+  validate_cooperative(p);
+  h.advance(arch().launch_cooperative.issue_cost);
+  enqueue(h, dev, p, arch().launch_cooperative, 0, true, nullptr, 0, nullptr);
+}
+
+void System::launch_cooperative_multi(HostThread& h, const std::vector<int>& devs,
+                                      const std::vector<LaunchParams>& per_dev) {
+  if (devs.empty() || devs.size() != per_dev.size())
+    throw SimError("launch_cooperative_multi: device/param count mismatch");
+  std::unique_lock<std::mutex> lk(mu_);
+  for (const auto& p : per_dev) validate_cooperative(p);
+  const int n = static_cast<int>(devs.size());
+
+  auto mgrid = std::make_shared<vgpu::MGridState>();
+  mgrid->num_devices = n;
+  mgrid->fabric_cost = machine_->fabric().topology().fabric_barrier_cost(n);
+
+  auto group = std::make_shared<LaunchGroup>();
+  group->waiting = n;
+  group->coordination =
+      static_cast<Ps>(n - 1) * arch().multi_device_coordination;
+
+  const Ps extra_gap = static_cast<Ps>(n - 1) * arch().multi_device_gap_per_gpu;
+  for (int i = 0; i < n; ++i) {
+    // The CPU issues the per-device launches sequentially.
+    h.advance(arch().launch_multi_device.issue_cost);
+    enqueue(h, devs[static_cast<std::size_t>(i)], per_dev[static_cast<std::size_t>(i)],
+            arch().launch_multi_device, extra_gap, true, mgrid, i, group);
+  }
+}
+
+EventPtr System::create_event() { return std::make_shared<Event>(); }
+
+void System::event_record(HostThread& h, const EventPtr& ev, int dev) {
+  if (!ev) throw SimError("event_record: null event");
+  std::unique_lock<std::mutex> lk(mu_);
+  Stream& s = streams_[static_cast<std::size_t>(dev)];
+  const int in_flight = static_cast<int>(s.queue.size()) + (s.busy ? 1 : 0);
+  ev->recorded_ = false;
+  if (in_flight == 0) {
+    ev->time_ = std::max(h.clock_, s.last_end);
+    ev->recorded_ = true;
+    return;
+  }
+  s.pending_events.push_back(PendingEvent{ev, in_flight, {}});
+}
+
+void System::event_synchronize(HostThread& h, const EventPtr& ev) {
+  if (!ev) throw SimError("event_synchronize: null event");
+  std::unique_lock<std::mutex> lk(mu_);
+  if (ev->recorded_) {
+    h.clock_ = std::max(h.clock_, ev->time_ + arch().device_sync_return);
+    return;
+  }
+  for (Stream& s : streams_) {
+    for (auto& pe : s.pending_events) {
+      if (pe.ev == ev) {
+        pe.waiters.push_back(&h);
+        h.runnable = false;
+        block_until_runnable(h, lk);
+        h.clock_ += arch().device_sync_return;
+        return;
+      }
+    }
+  }
+  throw SimError("event_synchronize: event was never recorded");
+}
+
+double event_elapsed_us(const EventPtr& start, const EventPtr& end) {
+  if (!start || !end || !start->recorded() || !end->recorded())
+    throw SimError("event_elapsed_us: both events must be recorded");
+  return vgpu::to_us(end->time() - start->time());
+}
+
+void System::device_synchronize(HostThread& h, int dev) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Stream& s = streams_[static_cast<std::size_t>(dev)];
+  if (!s.busy && s.queue.empty()) {
+    h.advance(arch().device_sync_noop);
+    return;
+  }
+  s.sync_waiters.push_back(&h);
+  h.runnable = false;
+  block_until_runnable(h, lk);
+}
+
+}  // namespace scuda

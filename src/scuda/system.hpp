@@ -1,0 +1,218 @@
+// scuda: a CUDA-runtime-shaped API over the vgpu machine.
+//
+// Host code runs in *virtual time*: System::run() executes a host function
+// as host-thread 0; System::parallel() forks OpenMP-style host threads. All
+// threads share one virtual timeline, scheduled cooperatively and
+// deterministically (exactly one host thread — or the event-queue dispatcher
+// — runs at a time; hand-offs happen only at blocking API calls).
+//
+// The launch API mirrors the paper's three flavours:
+//   launch()                    — traditional <<<>>>
+//   launch_cooperative()        — cudaLaunchCooperativeKernel
+//   launch_cooperative_multi()  — cudaLaunchCooperativeKernelMultiDevice
+// with the stream-pipeline cost model described in DESIGN.md (Table I).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "vgpu/machine.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace scuda {
+
+using vgpu::DevPtr;
+using vgpu::Ps;
+
+/// Cooperative-launch validation failures (grid too large to co-reside, ...).
+class LaunchError : public vgpu::SimError {
+ public:
+  using SimError::SimError;
+};
+
+struct LaunchParams {
+  vgpu::ProgramPtr prog;
+  int grid_blocks = 1;
+  int block_threads = 32;
+  int smem_bytes = 0;
+  std::vector<std::int64_t> params;
+};
+
+/// cudaEvent-style stream marker: records the virtual time at which all
+/// device work enqueued before the record call has completed.
+class Event {
+ public:
+  bool recorded() const { return recorded_; }
+  /// Completion time; only valid once recorded.
+  Ps time() const { return time_; }
+
+ private:
+  friend class System;
+  Ps time_ = 0;
+  bool recorded_ = false;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+
+/// Elapsed microseconds between two recorded events (cudaEventElapsedTime).
+double event_elapsed_us(const EventPtr& start, const EventPtr& end);
+
+class System;
+class HostThread;
+
+namespace detail {
+struct ParallelRegion {
+  int size = 1;
+  int barrier_count = 0;
+  Ps barrier_last = 0;
+  std::vector<HostThread*> barrier_waiters;
+  int children_running = 0;
+  Ps children_max_clock = 0;
+  std::exception_ptr child_error;
+  HostThread* parent = nullptr;
+};
+}  // namespace detail
+
+/// Handle to one virtual host thread. Only valid inside System::run().
+class HostThread {
+ public:
+  Ps now() const { return clock_; }
+  double now_us() const { return vgpu::to_us(clock_); }
+  void advance(Ps dt) { clock_ += dt; }
+  int tid() const { return tid_; }
+  System& sys() { return *sys_; }
+
+ private:
+  friend class System;
+  System* sys_ = nullptr;
+  int tid_ = 0;
+  Ps clock_ = 0;
+  detail::ParallelRegion* region = nullptr;
+
+  // Scheduler state (guarded by System::mu_).
+  std::condition_variable cv;
+  bool has_token = false;
+  bool runnable = true;
+  Ps wake_time = 0;
+  bool finished = false;
+};
+
+class System {
+ public:
+  explicit System(vgpu::MachineConfig cfg);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  vgpu::Machine& machine() { return *machine_; }
+  const vgpu::ArchSpec& arch() const { return machine_->arch(); }
+  int num_devices() const { return machine_->num_devices(); }
+
+  /// Run `fn` as host thread 0 in virtual time. Rethrows guest errors
+  /// (SimError) and hangs (DeadlockError).
+  void run(const std::function<void(HostThread&)>& fn);
+
+  // ---- memory ------------------------------------------------------------
+  DevPtr malloc(int dev, std::int64_t bytes);
+  /// Timed, synchronous host<->device copies (PCIe model).
+  void memcpy_h2d(HostThread& h, DevPtr dst, const void* src, std::int64_t bytes);
+  void memcpy_d2h(HostThread& h, void* dst, DevPtr src, std::int64_t bytes);
+  /// Timed, synchronous peer copy over the fabric.
+  void memcpy_peer(HostThread& h, DevPtr dst, DevPtr src, std::int64_t bytes);
+  /// Untimed functional accessors for workload setup / verification
+  /// (the paper's measurements exclude input preparation).
+  void fill_f64(DevPtr p, const std::vector<double>& values);
+  std::vector<double> read_f64(DevPtr p, std::int64_t count);
+  void fill_i64(DevPtr p, const std::vector<std::int64_t>& values);
+  std::vector<std::int64_t> read_i64(DevPtr p, std::int64_t count);
+
+  // ---- launches ------------------------------------------------------------
+  void launch(HostThread& h, int dev, const LaunchParams& p);
+  void launch_cooperative(HostThread& h, int dev, const LaunchParams& p);
+  /// One grid per device; params may differ per device (same geometry).
+  void launch_cooperative_multi(HostThread& h, const std::vector<int>& devs,
+                                const std::vector<LaunchParams>& per_dev);
+  void device_synchronize(HostThread& h, int dev);
+
+  // ---- events (cudaEvent-style stream timing) --------------------------------
+  EventPtr create_event();
+  /// Record `ev` on device `dev`'s stream: it completes when all work
+  /// enqueued so far has drained.
+  void event_record(HostThread& h, const EventPtr& ev, int dev);
+  /// Block the host until `ev` completes (cudaEventSynchronize).
+  void event_synchronize(HostThread& h, const EventPtr& ev);
+
+  // ---- host threading (OpenMP stand-in) -------------------------------------
+  void parallel(HostThread& h, int n,
+                const std::function<void(HostThread&, int)>& fn);
+  /// omp-barrier inside a parallel region.
+  void barrier(HostThread& h);
+
+ private:
+  struct LaunchGroup;
+
+  struct PendingKernel {
+    vgpu::KernelLaunch desc;
+    vgpu::LaunchModel lm;
+    Ps extra_gap = 0;
+    Ps host_issue = 0;
+    std::shared_ptr<LaunchGroup> group;
+  };
+
+  struct PendingEvent {
+    EventPtr ev;
+    int kernels_remaining = 0;  // completions left before the marker fires
+    std::vector<HostThread*> waiters;
+  };
+
+  struct Stream {
+    int device = 0;
+    std::deque<PendingKernel> queue;
+    bool busy = false;
+    Ps last_end = 0;
+    Ps last_exec = 0;
+    Ps current_start = 0;
+    std::vector<HostThread*> sync_waiters;
+    std::vector<PendingEvent> pending_events;
+  };
+
+  struct LaunchGroup {
+    int waiting = 0;
+    Ps ready = 0;
+    Ps coordination = 0;
+    std::vector<std::pair<Stream*, PendingKernel>> armed;
+  };
+
+  // Scheduler internals (all under mu_).
+  void block_until_runnable(HostThread& h, std::unique_lock<std::mutex>& lk);
+  HostThread* pick_runnable(const HostThread* except);
+  void wake(HostThread& h, Ps t);
+  [[noreturn]] void abort_all(std::unique_lock<std::mutex>& lk, std::string why);
+
+  // Stream internals (under mu_, inside dispatcher context).
+  void enqueue(HostThread& h, int dev, const LaunchParams& p,
+               const vgpu::LaunchModel& lm, Ps extra_gap, bool cooperative,
+               std::shared_ptr<vgpu::MGridState> mgrid, int rank,
+               std::shared_ptr<LaunchGroup> group);
+  void pump_stream(Stream& s);
+  void begin_kernel(Stream& s, PendingKernel k, Ps start);
+  void kernel_complete(Stream& s, Ps end);
+  void validate_cooperative(const LaunchParams& p) const;
+
+  std::unique_ptr<vgpu::Machine> machine_;
+  std::vector<Stream> streams_;
+
+  std::mutex mu_;
+  std::vector<HostThread*> all_threads_;  // registration for scheduling
+  bool aborting_ = false;
+  std::string abort_reason_;
+  int next_tid_ = 1;
+};
+
+}  // namespace scuda

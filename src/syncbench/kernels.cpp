@@ -1,0 +1,420 @@
+#include "syncbench/kernels.hpp"
+
+#include <functional>
+
+#include "vgpu/common.hpp"
+
+namespace syncbench {
+
+using namespace vgpu;
+
+const char* to_string(WarpSyncKind k) {
+  switch (k) {
+    case WarpSyncKind::Tile: return "tile";
+    case WarpSyncKind::Coalesced: return "coalesced";
+    case WarpSyncKind::ShuffleTile: return "shfl(tile)";
+    case WarpSyncKind::ShuffleCoalesced: return "shfl(coalesced)";
+  }
+  return "?";
+}
+
+ProgramPtr null_kernel() {
+  KernelBuilder b("null");
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr sleep_kernel(std::int64_t nanos) {
+  KernelBuilder b("sleep_" + std::to_string(nanos) + "ns");
+  // The paper repeats 1 us nanosleeps; chunking mirrors that.
+  std::int64_t left = nanos;
+  while (left > 0) {
+    const std::int64_t chunk = left > 1000 ? 1000 : left;
+    b.nanosleep(chunk);
+    left -= chunk;
+  }
+  b.exit();
+  return b.finish();
+}
+
+namespace {
+
+/// Emit the body of a warp-level sync op once.
+void emit_warp_sync_op(KernelBuilder& b, WarpSyncKind k, int group_size, Reg v) {
+  switch (k) {
+    case WarpSyncKind::Tile: b.tile_sync(group_size); break;
+    case WarpSyncKind::Coalesced: b.coalesced_sync(); break;
+    case WarpSyncKind::ShuffleTile: b.shfl_down(v, v, 1, group_size); break;
+    case WarpSyncKind::ShuffleCoalesced: b.shfl_down_coalesced(v, v, 1); break;
+  }
+}
+
+/// Store a per-lane value to out[lane] (param 0 holds `out`).
+void store_per_lane(KernelBuilder& b, Reg value, std::int64_t base_index = 0) {
+  Reg out = b.reg();
+  b.ld_param(out, 0);
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg addr = b.reg();
+  b.iadd(addr, lane, base_index);
+  b.ishl(addr, addr, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, value);
+}
+
+}  // namespace
+
+ProgramPtr alu_chain_kernel(int repeats) {
+  KernelBuilder b("fadd_chain_clocked_r" + std::to_string(repeats));
+  Reg p = b.immf(1.0), q = b.immf(2.0);
+  Reg t0 = b.reg(), t1 = b.reg();
+  b.rclock(t0);
+  b.repeat(repeats / 2, [&] {
+    b.fadd(p, p, q);
+    b.fadd(q, p, q);
+  });
+  b.rclock(t1);
+  Reg d = b.reg();
+  b.isub(d, t1, t0);
+  store_per_lane(b, d);
+  store_per_lane(b, q, kWarpSize);  // sink so the chain is semantically live
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr alu_chain_kernel_unclocked(int repeats) {
+  KernelBuilder b("fadd_chain_r" + std::to_string(repeats));
+  Reg p = b.immf(1.0), q = b.immf(2.0);
+  b.repeat(repeats / 2, [&] {
+    b.fadd(p, p, q);
+    b.fadd(q, p, q);
+  });
+  b.exit();  // measured purely from the host; no output buffer
+  return b.finish();
+}
+
+ProgramPtr warp_sync_latency_kernel(WarpSyncKind k, int group_size, int repeats) {
+  KernelBuilder b(std::string("warp_sync_lat_") + to_string(k) + "_g" +
+                  std::to_string(group_size));
+  const bool coalesced =
+      k == WarpSyncKind::Coalesced || k == WarpSyncKind::ShuffleCoalesced;
+  Reg v = b.immf(1.5);
+  if (coalesced && group_size < kWarpSize) {
+    // A coalesced group of `group_size` lanes: the rest leave.
+    Reg lane = b.reg();
+    b.sreg(lane, SpecialReg::Lane);
+    Reg p = b.reg();
+    b.setp(p, lane, Cmp::Ge, group_size);
+    b.if_then(p, [&] { b.exit(); });
+  }
+  Reg t0 = b.reg(), t1 = b.reg();
+  b.rclock(t0);
+  b.repeat(repeats, [&] { emit_warp_sync_op(b, k, group_size, v); });
+  b.rclock(t1);
+  Reg d = b.reg();
+  b.isub(d, t1, t0);
+  store_per_lane(b, d);
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr warp_sync_throughput_kernel(WarpSyncKind k, int group_size, int repeats) {
+  KernelBuilder b(std::string("warp_sync_thr_") + to_string(k) + "_g" +
+                  std::to_string(group_size) + "_r" + std::to_string(repeats));
+  const bool coalesced =
+      k == WarpSyncKind::Coalesced || k == WarpSyncKind::ShuffleCoalesced;
+  Reg v = b.immf(1.5);
+  if (coalesced && group_size < kWarpSize) {
+    Reg lane = b.reg();
+    b.sreg(lane, SpecialReg::Lane);
+    Reg p = b.reg();
+    b.setp(p, lane, Cmp::Ge, group_size);
+    b.if_then(p, [&] { b.exit(); });
+  }
+  // For shuffles, throughput means *independent* ops (no dst->src chain);
+  // latency kernels above measure the dependent chain instead.
+  Reg sink = b.reg();
+  switch (k) {
+    case WarpSyncKind::ShuffleTile:
+      b.repeat(repeats, [&] { b.shfl_down(sink, v, 1, group_size); });
+      break;
+    case WarpSyncKind::ShuffleCoalesced:
+      b.repeat(repeats, [&] { b.shfl_down_coalesced(sink, v, 1); });
+      break;
+    default:
+      b.repeat(repeats, [&] { emit_warp_sync_op(b, k, group_size, v); });
+      break;
+  }
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr block_sync_clocked_kernel(int repeats) {
+  KernelBuilder b("block_sync_r" + std::to_string(repeats));
+  Reg t0 = b.reg(), t1 = b.reg();
+  b.rclock(t0);
+  b.repeat(repeats, [&] { b.bar_sync(); });
+  b.rclock(t1);
+  // tid 0 publishes [start, end] at out[2*bid ..].
+  Reg tid = b.reg();
+  b.sreg(tid, SpecialReg::Tid);
+  Reg is0 = b.reg();
+  b.setp(is0, tid, Cmp::Eq, 0);
+  b.if_then(is0, [&] {
+    Reg out = b.reg();
+    b.ld_param(out, 0);
+    Reg bid = b.reg();
+    b.sreg(bid, SpecialReg::Bid);
+    Reg addr = b.reg();
+    b.ishl(addr, bid, 4);  // 2 values * 8 bytes
+    b.iadd(addr, addr, out);
+    b.stg(addr, t0);
+    b.iadd(addr, addr, 8);
+    b.stg(addr, t1);
+  });
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr grid_sync_kernel(int repeats) {
+  KernelBuilder b("grid_sync_r" + std::to_string(repeats));
+  b.repeat(repeats, [&] { b.grid_sync(); });
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr mgrid_sync_kernel(int repeats) {
+  KernelBuilder b("mgrid_sync_r" + std::to_string(repeats));
+  b.repeat(repeats, [&] { b.mgrid_sync(); });
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr warp_sync_timer_ladder(WarpSyncKind k) {
+  KernelBuilder b(std::string("timer_ladder_") + to_string(k));
+  Reg out = b.reg();
+  b.ld_param(out, 0);
+  Reg tid = b.reg();
+  b.sreg(tid, SpecialReg::Tid);
+  Reg v = b.immf(3.0);
+  Reg t0 = b.reg(), t1 = b.reg();
+  // Registers are hoisted out of the arms (they execute disjointly).
+  Reg addr = b.reg();
+  Reg p = b.reg();
+
+  auto arm = [&] {
+    b.rclock(t0);
+    emit_warp_sync_op(b, k, kWarpSize, v);
+    b.rclock(t1);
+    b.ishl(addr, tid, 4);
+    b.iadd(addr, addr, out);
+    b.stg(addr, t0);
+    b.iadd(addr, addr, 8);
+    b.stg(addr, t1);
+  };
+
+  // if (tid==0) {arm} else if (tid==1) {arm} ... else {arm}   (Figure 17)
+  std::function<void(int)> ladder = [&](int i) {
+    if (i == kWarpSize - 1) {
+      arm();
+      return;
+    }
+    b.setp(p, tid, Cmp::Eq, i);
+    b.if_then_else(p, [&] { arm(); }, [&] { ladder(i + 1); });
+  };
+  ladder(0);
+  b.exit();
+  return b.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Partial-group synchronization (Section VIII-B)
+// ---------------------------------------------------------------------------
+
+ProgramPtr partial_warp_sync_kernel(int keep) {
+  KernelBuilder b("partial_warp_sync_keep" + std::to_string(keep));
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg p = b.reg();
+  b.setp(p, lane, Cmp::Ge, keep);
+  b.if_then(p, [&] { b.exit(); });
+  b.tile_sync(kWarpSize);
+  store_per_lane(b, lane);
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr partial_block_sync_kernel(int keep_warps) {
+  KernelBuilder b("partial_block_sync_keep" + std::to_string(keep_warps));
+  Reg warp = b.reg();
+  b.sreg(warp, SpecialReg::WarpId);
+  Reg p = b.reg();
+  b.setp(p, warp, Cmp::Ge, keep_warps);
+  b.if_then(p, [&] { b.exit(); });
+  b.bar_sync();
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr partial_grid_sync_kernel() {
+  KernelBuilder b("partial_grid_sync");
+  Reg bid = b.reg();
+  b.sreg(bid, SpecialReg::Bid);
+  Reg keep = b.reg();
+  b.ld_param(keep, 1);
+  Reg p = b.reg();
+  b.setp(p, bid, Cmp::Ge, keep);
+  b.if_then(p, [&] { b.exit(); });
+  b.grid_sync();
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr partial_mgrid_sync_kernel() {
+  KernelBuilder b("partial_mgrid_sync");
+  Reg gpu = b.reg();
+  b.sreg(gpu, SpecialReg::GpuId);
+  Reg keep = b.reg();
+  b.ld_param(keep, 1);
+  Reg p = b.reg();
+  b.setp(p, gpu, Cmp::Ge, keep);
+  b.if_then(p, [&] { b.exit(); });
+  b.mgrid_sync();
+  b.exit();
+  return b.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Memory streaming
+// ---------------------------------------------------------------------------
+
+ProgramPtr smem_stream_kernel(int active_threads, int loads_per_thread,
+                              int smem_bytes) {
+  if ((smem_bytes & (smem_bytes - 1)) != 0)
+    throw SimError("smem_stream_kernel: smem_bytes must be a power of two");
+  if (loads_per_thread % 4 != 0)
+    throw SimError("smem_stream_kernel: loads_per_thread must be 4-way unrollable");
+  KernelBuilder b("smem_stream_a" + std::to_string(active_threads));
+  Reg out = b.reg();
+  b.ld_param(out, 0);
+  Reg tid = b.reg();
+  b.sreg(tid, SpecialReg::Tid);
+  Reg bdim = b.reg();
+  b.sreg(bdim, SpecialReg::BlockDim);
+
+  // Fill the window cooperatively: sm[i] = 1.0 for i = tid, tid+bdim, ...
+  Reg one = b.immf(1.0);
+  Reg off = b.reg();
+  b.ishl(off, tid, 3);
+  Reg stride_fill = b.reg();
+  b.ishl(stride_fill, bdim, 3);
+  Reg pfill = b.reg();
+  b.loop_while(
+      [&] {
+        b.setp(pfill, off, Cmp::Lt, smem_bytes);
+        return pfill;
+      },
+      [&] {
+        b.sts(off, one);
+        b.iadd(off, off, stride_fill);
+      });
+  b.bar_sync();
+
+  Reg pact = b.reg();
+  b.setp(pact, tid, Cmp::Ge, active_threads);
+  b.if_then(pact, [&] { b.exit(); });
+
+  // Four fixed probe addresses per thread (strided, window-wrapped once at
+  // setup). Re-reading them keeps the loop lean — this is a bandwidth and
+  // dependent-latency probe, not a data traversal; the LSU cost per access
+  // is identical.
+  const std::int64_t mask = smem_bytes - 1;
+  const std::int64_t step = static_cast<std::int64_t>(active_threads) * 8;
+  Reg a0 = b.reg(), a1 = b.reg(), a2 = b.reg(), a3 = b.reg();
+  b.ishl(a0, tid, 3);
+  b.iadd(a1, a0, step);
+  b.iand(a1, a1, mask);
+  b.iadd(a2, a1, step);
+  b.iand(a2, a2, mask);
+  b.iadd(a3, a2, step);
+  b.iand(a3, a3, mask);
+
+  Reg sum = b.immf(0.0);
+  Reg v = b.reg();
+  Reg cnt = b.imm(0);
+  Reg pl = b.reg();
+  Reg t0 = b.reg(), t1 = b.reg();
+  b.rclock(t0);
+  b.loop_while(
+      [&] {
+        b.setp(pl, cnt, Cmp::Lt, loads_per_thread);
+        return pl;
+      },
+      [&] {
+        for (Reg a : {a0, a1, a2, a3}) {
+          b.lds(v, a);
+          b.fadd(sum, sum, v);
+        }
+        b.iadd(cnt, cnt, 4);
+      });
+  b.rclock(t1);
+
+  // out[2*tid] = start, out[2*tid+1] = end, out[2*bdim + tid] = sum.
+  Reg addr = b.reg();
+  b.ishl(addr, tid, 4);
+  b.iadd(addr, addr, out);
+  b.stg(addr, t0);
+  b.iadd(addr, addr, 8);
+  b.stg(addr, t1);
+  Reg addr2 = b.reg();
+  b.ishl(addr2, bdim, 4);
+  Reg tid8 = b.reg();
+  b.ishl(tid8, tid, 3);
+  b.iadd(addr2, addr2, tid8);
+  b.iadd(addr2, addr2, out);
+  b.stg(addr2, sum);
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr gmem_stream_kernel() {
+  KernelBuilder b("gmem_stream");
+  Reg src = b.reg(), n = b.reg(), out = b.reg();
+  b.ld_param(src, 0);
+  b.ld_param(n, 1);
+  b.ld_param(out, 2);
+  Reg gtid = b.reg();
+  b.sreg(gtid, SpecialReg::GTid);
+  Reg gsize = b.reg();
+  b.sreg(gsize, SpecialReg::GSize);
+
+  // sum += src[i]; i += gsize   (Figure 10, with the two extra integer adds
+  // the paper inserts to imitate the reduction arithmetic)
+  Reg i = b.reg();
+  b.mov(i, gtid);
+  Reg sum = b.immf(0.0);
+  Reg v = b.reg(), addr = b.reg(), p = b.reg();
+  Reg extra = b.imm(0);
+  b.loop_while(
+      [&] {
+        b.setp(p, i, Cmp::Lt, n);
+        return p;
+      },
+      [&] {
+        b.ishl(addr, i, 3);
+        b.iadd(addr, addr, src);
+        b.ldg(v, addr);
+        b.fadd(sum, sum, v);
+        b.iadd(extra, extra, 1);  // the "two add instructions" of Fig. 10
+        b.iadd(i, i, gsize);
+      });
+
+  Reg oaddr = b.reg();
+  b.ishl(oaddr, gtid, 3);
+  b.iadd(oaddr, oaddr, out);
+  b.stg(oaddr, sum);
+  b.exit();
+  return b.finish();
+}
+
+}  // namespace syncbench

@@ -1,0 +1,78 @@
+// Microbenchmark kernels (Section IX of the paper), expressed in the vgpu IR.
+//
+// Latency kernels follow Wong's method: a single warp brackets a chain of
+// repeated operations with clock reads and stores per-lane deltas.
+// Throughput kernels are plain repeated-op bodies measured from the host via
+// the repeat-scaling method (Eq. 7). Pitfall kernels (Section VIII) exercise
+// divergent sync sites and partial-group synchronization.
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/program.hpp"
+
+namespace syncbench {
+
+using vgpu::ProgramPtr;
+
+enum class WarpSyncKind { Tile, Coalesced, ShuffleTile, ShuffleCoalesced };
+
+const char* to_string(WarpSyncKind k);
+
+/// Empty kernel (Table I).
+ProgramPtr null_kernel();
+
+/// Kernel that spins for `nanos` of virtual time (paper Fig. 3 uses
+/// repeated __nanosleep to pin kernel execution latency).
+ProgramPtr sleep_kernel(std::int64_t nanos);
+
+/// Dependent float-add chain bracketed by clocks; out[lane] = cycles for
+/// `repeats` adds. Used to validate both measurement methods (the paper
+/// cross-checks 4 cy on V100 / 6 cy on P100).
+ProgramPtr alu_chain_kernel(int repeats);
+
+/// Plain repeated float-add body (no clocks) for the CPU-clock method.
+ProgramPtr alu_chain_kernel_unclocked(int repeats);
+
+/// One warp; `repeats` warp-level sync (or shuffle) ops between clock reads;
+/// out[lane] = delta cycles. group_size restricts the tile width, or — for
+/// coalesced kinds — how many lanes stay alive.
+ProgramPtr warp_sync_latency_kernel(WarpSyncKind k, int group_size, int repeats);
+
+/// Repeated warp-level sync body without clocks (throughput sweeps).
+ProgramPtr warp_sync_throughput_kernel(WarpSyncKind k, int group_size, int repeats);
+
+/// `repeats` block barriers bracketed by clocks; out[2*bid] = start,
+/// out[2*bid+1] = end (clock of warp 0 / lane 0 of each block).
+ProgramPtr block_sync_clocked_kernel(int repeats);
+
+/// `repeats` grid-wide / multi-grid-wide barriers (cooperative launches).
+ProgramPtr grid_sync_kernel(int repeats);
+ProgramPtr mgrid_sync_kernel(int repeats);
+
+/// Figure 17 ladder: every lane takes its own branch arm, records a clock,
+/// syncs, records another clock; out[2*tid] = start, out[2*tid+1] = end.
+ProgramPtr warp_sync_timer_ladder(WarpSyncKind k);
+
+// ---- Section VIII-B: partial-group synchronization ------------------------
+/// Lanes >= keep exit immediately; the rest tile-sync. (No deadlock expected.)
+ProgramPtr partial_warp_sync_kernel(int keep);
+/// Warps >= keep exit immediately; the rest __syncthreads. (No deadlock.)
+ProgramPtr partial_block_sync_kernel(int keep_warps);
+/// Blocks with bid >= param[1] exit; the rest grid.sync. (Deadlocks.)
+ProgramPtr partial_grid_sync_kernel();
+/// GPUs with gpu_id >= param[1] exit; the rest multi-grid sync. (Deadlocks.)
+ProgramPtr partial_mgrid_sync_kernel();
+
+/// Shared-memory streaming loop (Table III): threads < `active_threads`
+/// stream `loads_per_thread` 8-byte loads from a `smem_bytes` window
+/// (power of two), 4-way unrolled; out[2*tid]=start, out[2*tid+1]=end clock,
+/// out[2*blockDim + tid] = per-thread sum (functional check).
+ProgramPtr smem_stream_kernel(int active_threads, int loads_per_thread,
+                              int smem_bytes);
+
+/// Global-memory streaming sum (Figure 10 proxy): grid-stride loop with two
+/// extra adds; params: [src, n_elems, out]; out[gtid] = per-thread sum.
+ProgramPtr gmem_stream_kernel();
+
+}  // namespace syncbench

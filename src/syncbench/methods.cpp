@@ -1,0 +1,112 @@
+#include "syncbench/methods.hpp"
+
+#include "syncbench/kernels.hpp"
+
+namespace syncbench {
+
+using scuda::HostThread;
+using scuda::LaunchParams;
+
+const char* to_string(LaunchKind k) {
+  switch (k) {
+    case LaunchKind::Traditional: return "traditional";
+    case LaunchKind::Cooperative: return "cooperative";
+    case LaunchKind::CooperativeMulti: return "cooperative multi-device";
+  }
+  return "?";
+}
+
+namespace {
+
+void do_launch(System& sys, HostThread& h, LaunchKind kind, int gpus,
+               const LaunchParams& p) {
+  switch (kind) {
+    case LaunchKind::Traditional:
+      sys.launch(h, 0, p);
+      break;
+    case LaunchKind::Cooperative:
+      sys.launch_cooperative(h, 0, p);
+      break;
+    case LaunchKind::CooperativeMulti: {
+      std::vector<int> devs;
+      std::vector<LaunchParams> ps;
+      for (int d = 0; d < gpus; ++d) {
+        devs.push_back(d);
+        ps.push_back(p);
+      }
+      sys.launch_cooperative_multi(h, devs, ps);
+      break;
+    }
+  }
+}
+
+void sync_all(System& sys, HostThread& h, LaunchKind kind, int gpus) {
+  const int n = kind == LaunchKind::CooperativeMulti ? gpus : 1;
+  for (int d = 0; d < n; ++d) sys.device_synchronize(h, d);
+}
+
+}  // namespace
+
+double timed_round_us(System& sys, LaunchKind kind, int gpus, ProgramPtr prog,
+                      LaunchShape shape, int launches_per_round,
+                      std::vector<std::int64_t> params) {
+  LaunchParams p{std::move(prog), shape.grid_blocks, shape.block_threads,
+                 shape.smem_bytes, std::move(params)};
+  double out = 0;
+  sys.run([&](HostThread& h) {
+    // Warm-up round (the paper never reports the first launch).
+    do_launch(sys, h, kind, gpus, p);
+    sync_all(sys, h, kind, gpus);
+    const double t0 = h.now_us();
+    for (int i = 0; i < launches_per_round; ++i) do_launch(sys, h, kind, gpus, p);
+    sync_all(sys, h, kind, gpus);
+    out = h.now_us() - t0;
+  });
+  return out;
+}
+
+double wong_cycles_per_op(System& sys, ProgramPtr prog, int ops, int block_threads) {
+  vgpu::DevPtr out = sys.malloc(0, 64 * 8);
+  sys.run([&](HostThread& h) {
+    sys.launch(h, 0, LaunchParams{prog, 1, block_threads, 0, {out.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  const auto cycles = sys.read_i64(out, 1);
+  return static_cast<double>(cycles[0]) / ops;
+}
+
+Estimate repeat_scaling_us(System& sys, LaunchKind kind, int gpus,
+                           const std::function<ProgramPtr(int)>& factory,
+                           LaunchShape shape, int r1, int r2, int trials) {
+  std::vector<double> l1, l2;
+  ProgramPtr p1 = factory(r1), p2 = factory(r2);
+  for (int t = 0; t < trials; ++t) {
+    l1.push_back(timed_round_us(sys, kind, gpus, p1, shape, 1));
+    l2.push_back(timed_round_us(sys, kind, gpus, p2, shape, 1));
+  }
+  return repeat_scaling(l1, l2, r1, r2);
+}
+
+LaunchCost measure_launch_cost(System& sys, LaunchKind kind, int gpus) {
+  LaunchCost c;
+  // Eq. 6 with i=5 launches of 1 unit vs j=1 launch of 5 units; one unit is
+  // a 10 us sleep kernel on a single SM (long enough to saturate the
+  // single-GPU pipeline). Multi-device pipelines hide more, so the unit
+  // grows with GPU count (the paper: ~250 us for 8 GPUs).
+  const std::int64_t unit_ns =
+      kind == LaunchKind::CooperativeMulti ? 10'000 + 45'000 * (gpus - 1) : 10'000;
+  LaunchShape one_sm{1, 32, 0};
+  const double l_51 =
+      timed_round_us(sys, kind, gpus, sleep_kernel(unit_ns), one_sm, 5);
+  const double l_15 =
+      timed_round_us(sys, kind, gpus, sleep_kernel(5 * unit_ns), one_sm, 1);
+  c.overhead_us = fusion_overhead(l_51, l_15, 5, 1);
+
+  // Figure 3: ((t3-t2) - (t2-t1)) / (5-1) with null kernels.
+  const double t_1 = timed_round_us(sys, kind, gpus, null_kernel(), one_sm, 1);
+  const double t_5 = timed_round_us(sys, kind, gpus, null_kernel(), one_sm, 5);
+  c.null_total_us = (t_5 - t_1) / 4.0;
+  return c;
+}
+
+}  // namespace syncbench

@@ -1,0 +1,63 @@
+// The paper's three measurement methods (Section IX), implemented against a
+// scuda::System:
+//
+//  * Wong's GPU-clock method (IX-C): a single block brackets a dependent
+//    chain with clock reads — for intra-SM instructions.
+//  * The CPU-clock repeat-scaling method (IX-D): kernel total latency is
+//    measured from the host for two repeat counts; Eq. 7 recovers the
+//    per-op latency, Eq. 8 its uncertainty — for inter-SM instructions
+//    (grid/multi-grid sync) where no common GPU clock exists.
+//  * The kernel-fusion method (IX-B, Eq. 6): compares i launches of j work
+//    units against j launches of i work units to expose launch overhead.
+#pragma once
+
+#include <functional>
+
+#include "scuda/system.hpp"
+#include "syncbench/stats.hpp"
+#include "vgpu/program.hpp"
+
+namespace syncbench {
+
+using scuda::System;
+using vgpu::ProgramPtr;
+using vgpu::Ps;
+
+enum class LaunchKind { Traditional, Cooperative, CooperativeMulti };
+
+const char* to_string(LaunchKind k);
+
+struct LaunchShape {
+  int grid_blocks = 1;
+  int block_threads = 32;
+  int smem_bytes = 0;
+};
+
+/// Launch `prog` once on device 0 (or on devices 0..gpus-1 for the
+/// multi-device kind), preceded by one warm-up round, and return the host
+/// time of the measured round in microseconds (launches + full drain).
+double timed_round_us(System& sys, LaunchKind kind, int gpus, ProgramPtr prog,
+                      LaunchShape shape, int launches_per_round,
+                      std::vector<std::int64_t> params = {});
+
+/// Wong's method: run a clocked one-block kernel and return lane-0's cycle
+/// delta divided by `ops` (out buffer is allocated internally; the kernel
+/// must store the delta to out[lane]).
+double wong_cycles_per_op(System& sys, ProgramPtr prog, int ops,
+                          int block_threads = 32);
+
+/// Repeat-scaling (Eq. 7/8): measure `factory(r)` for r1 and r2, `trials`
+/// times each, and return the per-op latency estimate in microseconds.
+Estimate repeat_scaling_us(System& sys, LaunchKind kind, int gpus,
+                           const std::function<ProgramPtr(int)>& factory,
+                           LaunchShape shape, int r1, int r2, int trials = 1);
+
+/// Table I: kernel-fusion overhead (10 us sleep kernels, Eq. 6) and the
+/// steady-state total latency of a null kernel in a busy stream (Fig. 3).
+struct LaunchCost {
+  double overhead_us = 0;
+  double null_total_us = 0;
+};
+LaunchCost measure_launch_cost(System& sys, LaunchKind kind, int gpus);
+
+}  // namespace syncbench

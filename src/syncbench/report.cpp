@@ -1,0 +1,63 @@
+#include "syncbench/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace syncbench {
+
+std::string fmt(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> w(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) w[c] = headers[c].size();
+  for (const auto& r : rows)
+    for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+      w[c] = std::max(w[c], r[c].size());
+
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : "";
+      os << (c == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(w[c])) << s;
+    }
+    os << "\n";
+  };
+  line(headers);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows) line(r);
+  os << "\n";
+}
+
+void print_heatmap(std::ostream& os, const HeatMap& hm) {
+  std::vector<std::string> headers = {"blk/SM \\ thr"};
+  for (int t : hm.threads_per_block) headers.push_back(std::to_string(t));
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t r = 0; r < hm.blocks_per_sm.size(); ++r) {
+    std::vector<std::string> row = {std::to_string(hm.blocks_per_sm[r])};
+    for (double v : hm.latency_us[r]) row.push_back(v < 0 ? "" : fmt(v, 2));
+    rows.push_back(std::move(row));
+  }
+  print_table(os, hm.title, headers, rows);
+}
+
+void print_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows) {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << (c ? "," : "") << cells[c];
+    os << "\n";
+  };
+  emit(headers);
+  for (const auto& r : rows) emit(r);
+}
+
+}  // namespace syncbench

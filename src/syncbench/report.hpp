@@ -1,0 +1,29 @@
+// Plain-text reporters: aligned tables, heat maps (the paper's Figures 5/7/8
+// are tables of microseconds), and CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "syncbench/suite.hpp"
+
+namespace syncbench {
+
+/// Format a double with `prec` digits after the point.
+std::string fmt(double v, int prec = 2);
+
+/// Generic aligned table. `rows` are pre-formatted cells.
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Heat map in the layout of Figures 5/7/8 (rows: blocks/SM, cols:
+/// threads/block); empty cells for invalid configurations.
+void print_heatmap(std::ostream& os, const HeatMap& hm);
+
+/// CSV sibling of print_table for plotting.
+void print_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace syncbench

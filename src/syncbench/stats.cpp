@@ -1,0 +1,38 @@
+#include "syncbench/stats.hpp"
+
+#include "vgpu/common.hpp"
+
+namespace syncbench {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double s2 = 0;
+  for (double x : xs) s2 += (x - m) * (x - m);
+  return std::sqrt(s2 / static_cast<double>(xs.size() - 1));
+}
+
+Estimate repeat_scaling(std::span<const double> lat_k1,
+                        std::span<const double> lat_k2, int r1, int r2) {
+  if (r1 == r2) throw vgpu::SimError("repeat_scaling: r1 == r2");
+  Estimate e;
+  const double dr = static_cast<double>(r1 - r2);
+  e.value = (mean(lat_k1) - mean(lat_k2)) / dr;
+  const double s1 = stdev(lat_k1), s2 = stdev(lat_k2);
+  e.sigma = std::sqrt(s1 * s1 + s2 * s2) / std::abs(dr);
+  return e;
+}
+
+double fusion_overhead(double lat_ij, double lat_ji, int i, int j) {
+  if (i == j) throw vgpu::SimError("fusion_overhead: i == j");
+  return (lat_ij - lat_ji) / static_cast<double>(i - j);
+}
+
+}  // namespace syncbench

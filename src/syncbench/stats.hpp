@@ -1,0 +1,33 @@
+// Statistics for the measurement methods of Section IX.
+//
+// Eq. 7:  T_instruction = (L_k1 - L_k2) / (r1 - r2)
+// Eq. 8:  sigma = sqrt(sigma_k1^2 + sigma_k2^2) / (r1 - r2)
+// (standard error propagation for independent measurements; the paper uses
+// it to argue the repeat-scaling method approaches GPU-clock accuracy).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace syncbench {
+
+double mean(std::span<const double> xs);
+/// Sample standard deviation (n-1 denominator), 0 for n < 2.
+double stdev(std::span<const double> xs);
+
+struct Estimate {
+  double value = 0;
+  double sigma = 0;
+};
+
+/// Eq. 7 + Eq. 8 over repeated measurements of two kernels whose only
+/// difference is the repeat count of the instruction under test.
+Estimate repeat_scaling(std::span<const double> lat_k1,
+                        std::span<const double> lat_k2, int r1, int r2);
+
+/// Eq. 6: launch overhead via kernel fusion. `lat_ij` is the total latency
+/// of i launches of j work units; `lat_ji` of j launches of i work units.
+double fusion_overhead(double lat_ij, double lat_ji, int i, int j);
+
+}  // namespace syncbench

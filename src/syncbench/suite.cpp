@@ -1,0 +1,424 @@
+#include "syncbench/suite.hpp"
+
+#include <algorithm>
+
+#include "vgpu/occupancy.hpp"
+
+namespace syncbench {
+
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+using vgpu::DevPtr;
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+std::vector<LaunchRow> characterize_launch(const ArchSpec& arch) {
+  std::vector<LaunchRow> rows;
+  {
+    System sys(MachineConfig::single(arch));
+    LaunchCost c = measure_launch_cost(sys, LaunchKind::Traditional, 1);
+    rows.push_back({"Traditional", c.overhead_us * 1e3, c.null_total_us * 1e3});
+  }
+  {
+    System sys(MachineConfig::single(arch));
+    LaunchCost c = measure_launch_cost(sys, LaunchKind::Cooperative, 1);
+    rows.push_back({"Cooperative", c.overhead_us * 1e3, c.null_total_us * 1e3});
+  }
+  {
+    System sys(MachineConfig::single(arch));
+    LaunchCost c = measure_launch_cost(sys, LaunchKind::CooperativeMulti, 1);
+    rows.push_back(
+        {"Cooperative Multi-Device", c.overhead_us * 1e3, c.null_total_us * 1e3});
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Best per-SM op throughput over the paper's config sweep ("we tested every
+/// pair of up to 1024 threads and up to 64 blocks per SM and record the
+/// highest result").
+double best_throughput(const ArchSpec& arch, WarpSyncKind kind, int group) {
+  // Repeat counts must be large enough that the kernel outlives the launch
+  // pipeline gap (Section IX-B: short kernels hide entirely inside it).
+  const int r1 = 512, r2 = 1536;
+  double best = 0;
+  for (int threads : {256, 1024}) {
+    for (int bpsm : {1, 2}) {
+      const int blocks = bpsm * arch.num_sms;
+      if (threads * bpsm > arch.max_threads_per_sm) continue;
+      System sys(MachineConfig::single(arch));
+      auto factory = [&](int r) {
+        return warp_sync_throughput_kernel(kind, group, r);
+      };
+      const Estimate e = repeat_scaling_us(
+          sys, LaunchKind::Traditional, 1, factory, {blocks, threads, 0}, r1, r2);
+      const double us_per_rep = e.value;  // all warps run one op per repeat
+      const double cycles = us_per_rep * arch.core_mhz;  // us * MHz = cycles
+      const double warps_per_sm =
+          static_cast<double>(bpsm) * ((threads + 31) / 32);
+      const double thr = warps_per_sm / cycles;
+      best = std::max(best, thr);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<WarpSyncRow> characterize_warp_sync(const ArchSpec& arch) {
+  std::vector<WarpSyncRow> rows;
+  const int reps = 64;
+
+  auto latency = [&](WarpSyncKind k, int group) {
+    System sys(MachineConfig::single(arch));
+    return wong_cycles_per_op(sys, warp_sync_latency_kernel(k, group, reps), reps);
+  };
+
+  // Tile: group size does not matter (verified by test_table2); report g=32.
+  rows.push_back({WarpSyncKind::Tile, "Tile(*)", latency(WarpSyncKind::Tile, 32),
+                  best_throughput(arch, WarpSyncKind::Tile, 32)});
+  rows.push_back({WarpSyncKind::ShuffleTile, "Shuffle(Tile)(*)",
+                  latency(WarpSyncKind::ShuffleTile, 32),
+                  best_throughput(arch, WarpSyncKind::ShuffleTile, 32)});
+  rows.push_back({WarpSyncKind::Coalesced, "Coalesced(1-31)",
+                  latency(WarpSyncKind::Coalesced, 16),
+                  best_throughput(arch, WarpSyncKind::Coalesced, 16)});
+  rows.push_back({WarpSyncKind::Coalesced, "Coalesced(32)",
+                  latency(WarpSyncKind::Coalesced, 32),
+                  best_throughput(arch, WarpSyncKind::Coalesced, 32)});
+  rows.push_back({WarpSyncKind::ShuffleCoalesced, "Shuffle(COA)(*)",
+                  latency(WarpSyncKind::ShuffleCoalesced, 32),
+                  best_throughput(arch, WarpSyncKind::ShuffleCoalesced, 32)});
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Block sync (Table II row + Figure 4)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+BlockSyncPoint block_sync_point(const ArchSpec& arch, int blocks_per_sm,
+                                int threads_per_block, int reps) {
+  System sys(MachineConfig::single(arch));
+  const int blocks = blocks_per_sm * arch.num_sms;
+  DevPtr out = sys.malloc(0, static_cast<std::int64_t>(blocks) * 2 * 8);
+  sys.run([&](HostThread& h) {
+    sys.launch(h, 0,
+               LaunchParams{block_sync_clocked_kernel(reps), blocks,
+                            threads_per_block, 0, {out.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  const auto clocks = sys.read_i64(out, static_cast<std::int64_t>(blocks) * 2);
+  std::int64_t lo = clocks[0], hi = clocks[1];
+  for (int bid = 0; bid < blocks; ++bid) {
+    lo = std::min(lo, clocks[static_cast<std::size_t>(2 * bid)]);
+    hi = std::max(hi, clocks[static_cast<std::size_t>(2 * bid + 1)]);
+  }
+  BlockSyncPoint p;
+  p.blocks_per_sm = blocks_per_sm;
+  p.threads_per_block = threads_per_block;
+  const int warps_per_block = (threads_per_block + 31) / 32;
+  p.warps_per_sm = blocks_per_sm * warps_per_block;
+  const double span = static_cast<double>(hi - lo);
+  p.latency_cycles = span / reps;
+  p.warp_sync_per_cycle =
+      static_cast<double>(blocks_per_sm) * warps_per_block * reps / span;
+  return p;
+}
+
+}  // namespace
+
+std::vector<BlockSyncPoint> characterize_block_sync(const ArchSpec& arch) {
+  std::vector<BlockSyncPoint> pts;
+  const int reps = 64;
+  for (int t : {32, 64, 128, 256, 512, 1024})
+    pts.push_back(block_sync_point(arch, 1, t, reps));
+  for (int t : {768, 1024})  // 48 and 64 warps/SM
+    pts.push_back(block_sync_point(arch, 2, t, reps));
+  return pts;
+}
+
+WarpSyncRow characterize_block_sync_row(const ArchSpec& arch) {
+  WarpSyncRow r;
+  r.label = "Block(warp)";
+  r.latency_cycles = block_sync_point(arch, 1, 32, 64).latency_cycles;
+  double best = 0;
+  for (const auto& p : characterize_block_sync(arch))
+    best = std::max(best, p.warp_sync_per_cycle);
+  r.throughput_per_cycle = best;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Grid / multi-grid heat maps (Figures 5, 7, 8)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const std::vector<int> kHeatThreads = {32, 64, 128, 256, 512, 1024};
+const std::vector<int> kHeatBlocks = {1, 2, 4, 8, 16, 32};
+
+HeatMap sync_heatmap(const std::function<MachineConfig()>& mk_config, int gpus,
+                     bool mgrid, const std::string& title) {
+  HeatMap hm;
+  hm.title = title;
+  hm.threads_per_block = kHeatThreads;
+  hm.blocks_per_sm = kHeatBlocks;
+  const int r1 = 2, r2 = 10;
+  for (int b : kHeatBlocks) {
+    std::vector<double> row;
+    for (int t : kHeatThreads) {
+      MachineConfig cfg = mk_config();
+      const ArchSpec arch = cfg.arch;
+      if (b * t > arch.max_threads_per_sm || b > arch.max_blocks_per_sm) {
+        row.push_back(-1);
+        continue;
+      }
+      System sys(std::move(cfg));
+      auto factory = [&](int r) {
+        return mgrid ? mgrid_sync_kernel(r) : grid_sync_kernel(r);
+      };
+      const LaunchKind kind =
+          mgrid ? LaunchKind::CooperativeMulti : LaunchKind::Cooperative;
+      const Estimate e = repeat_scaling_us(sys, kind, gpus, factory,
+                                           {b * arch.num_sms, t, 0}, r1, r2);
+      row.push_back(e.value);
+    }
+    hm.latency_us.push_back(std::move(row));
+  }
+  return hm;
+}
+
+}  // namespace
+
+HeatMap grid_sync_heatmap(const ArchSpec& arch) {
+  return sync_heatmap([&] { return MachineConfig::single(arch); }, 1, false,
+                      arch.name + " grid sync latency (us)");
+}
+
+HeatMap mgrid_sync_heatmap(const MachineConfig& cfg, int gpus) {
+  return sync_heatmap([&] { return cfg; }, gpus, true,
+                      cfg.arch.name + " multi-grid sync latency (us), " +
+                          std::to_string(gpus) + " GPU(s)");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double mgrid_point_us(const std::function<MachineConfig(int)>& config_for_gpus,
+                      int gpus, int blocks_per_sm, int threads) {
+  MachineConfig cfg = config_for_gpus(gpus);
+  const int num_sms = cfg.arch.num_sms;
+  System sys(std::move(cfg));
+  const Estimate e = repeat_scaling_us(
+      sys, LaunchKind::CooperativeMulti, gpus,
+      [&](int r) { return mgrid_sync_kernel(r); },
+      {blocks_per_sm * num_sms, threads, 0}, 2, 10);
+  return e.value;
+}
+
+double multi_launch_overhead_us(const std::function<MachineConfig(int)>& cfg,
+                                int gpus) {
+  System sys(cfg(gpus));
+  return measure_launch_cost(sys, LaunchKind::CooperativeMulti, gpus).overhead_us;
+}
+
+double cpu_barrier_us(const std::function<MachineConfig(int)>& cfg, int gpus) {
+  System sys(cfg(gpus));
+  const std::int64_t exec_ns = 20'000;
+  const int rounds = 8;
+  vgpu::ProgramPtr prog = sleep_kernel(exec_ns);
+  double per_round = 0;
+  sys.run([&](HostThread& h) {
+    sys.parallel(h, gpus, [&](HostThread& th, int tid) {
+      // Warm-up round.
+      sys.launch(th, tid, LaunchParams{prog, 1, 32, 0, {}});
+      sys.device_synchronize(th, tid);
+      sys.barrier(th);
+      const double t0 = th.now_us();
+      for (int r = 0; r < rounds; ++r) {
+        sys.launch(th, tid, LaunchParams{prog, 1, 32, 0, {}});
+        sys.device_synchronize(th, tid);
+        sys.barrier(th);
+      }
+      if (tid == 0)
+        per_round = (th.now_us() - t0) / rounds - exec_ns / 1e3;
+    });
+  });
+  return per_round;
+}
+
+}  // namespace
+
+std::vector<MultiGpuBarrierPoint> characterize_multi_gpu_barriers(
+    const std::function<MachineConfig(int)>& config_for_gpus, int max_gpus) {
+  std::vector<MultiGpuBarrierPoint> pts;
+  for (int g = 1; g <= max_gpus; ++g) {
+    MultiGpuBarrierPoint p;
+    p.gpus = g;
+    p.multi_launch_overhead_us = multi_launch_overhead_us(config_for_gpus, g);
+    p.cpu_barrier_us = g >= 2 ? cpu_barrier_us(config_for_gpus, g) : 0;
+    p.mgrid_fast_us = mgrid_point_us(config_for_gpus, g, 1, 32);
+    p.mgrid_general_us = mgrid_point_us(config_for_gpus, g, 1, 1024);
+    p.mgrid_slow_us = mgrid_point_us(config_for_gpus, g, 32, 64);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// Table III scenarios
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SmemRun {
+  double bytes_per_cycle = 0;
+  double iter_cycles = 0;
+  double sum = 0;
+};
+
+SmemRun smem_run(const ArchSpec& arch, int block_threads, int active) {
+  const int loads = 512;
+  const int smem_bytes = 8192;
+  System sys(MachineConfig::single(arch));
+  DevPtr out = sys.malloc(0, static_cast<std::int64_t>(block_threads) * 3 * 8 + 64);
+  sys.run([&](HostThread& h) {
+    sys.launch(h, 0,
+               LaunchParams{smem_stream_kernel(active, loads, smem_bytes), 1,
+                            block_threads, smem_bytes, {out.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  const auto clocks = sys.read_i64(out, 2 * block_threads);
+  std::int64_t lo = clocks[0], hi = clocks[1];
+  for (int t = 0; t < active; ++t) {
+    lo = std::min(lo, clocks[static_cast<std::size_t>(2 * t)]);
+    hi = std::max(hi, clocks[static_cast<std::size_t>(2 * t + 1)]);
+  }
+  SmemRun r;
+  const double span = static_cast<double>(hi - lo);
+  r.bytes_per_cycle = static_cast<double>(active) * loads * 8 / span;
+  r.iter_cycles = span / loads;
+  const auto sums =
+      sys.read_f64(out + static_cast<std::int64_t>(2 * block_threads) * 8, active);
+  for (double s : sums) r.sum += s;
+  return r;
+}
+
+}  // namespace
+
+std::vector<SmemPoint> characterize_smem(const ArchSpec& arch) {
+  std::vector<SmemPoint> pts;
+  const SmemRun one = smem_run(arch, 32, 1);
+  const SmemRun warp = smem_run(arch, 32, 32);
+  const SmemRun full = smem_run(arch, 1024, 1024);
+  const double lat = one.iter_cycles;  // the paper quotes the dependent
+                                       // per-iteration latency for all rows
+  pts.push_back({"1 thread", 1, one.bytes_per_cycle, lat});
+  pts.push_back({"1 warp", 32, warp.bytes_per_cycle, lat});
+  pts.push_back({"32 threads", 32, warp.bytes_per_cycle, lat});
+  pts.push_back({"1024 threads", 1024, full.bytes_per_cycle, lat});
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
+// Figures 17/18
+// ---------------------------------------------------------------------------
+
+bool WarpTimerResult::barrier_blocked_all() const {
+  std::int64_t max_start = 0;
+  for (std::int64_t s : start_cycles) max_start = std::max(max_start, s);
+  for (std::int64_t e : end_cycles)
+    if (e < max_start) return false;
+  return true;
+}
+
+WarpTimerResult warp_sync_timers(const ArchSpec& arch, WarpSyncKind kind) {
+  System sys(MachineConfig::single(arch));
+  DevPtr out = sys.malloc(0, 64 * 8);
+  sys.run([&](HostThread& h) {
+    sys.launch(h, 0,
+               LaunchParams{warp_sync_timer_ladder(kind), 1, 32, 0, {out.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  const auto raw = sys.read_i64(out, 64);
+  WarpTimerResult r;
+  std::int64_t base = raw[0];
+  for (int i = 0; i < 64; ++i) base = std::min(base, raw[static_cast<std::size_t>(i)]);
+  for (int lane = 0; lane < 32; ++lane) {
+    r.start_cycles.push_back(raw[static_cast<std::size_t>(2 * lane)] - base);
+    r.end_cycles.push_back(raw[static_cast<std::size_t>(2 * lane + 1)] - base);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock matrix
+// ---------------------------------------------------------------------------
+
+namespace {
+
+DeadlockOutcome try_kernel(const MachineConfig& cfg, const std::string& level,
+                           bool mgrid, vgpu::ProgramPtr prog, int grid,
+                           int threads, std::vector<std::int64_t> params,
+                           int gpus = 1) {
+  DeadlockOutcome o;
+  o.level = level;
+  System sys(cfg);
+  DevPtr out = sys.malloc(0, 64 * 8);
+  params.insert(params.begin(), out.raw);
+  try {
+    sys.run([&](HostThread& h) {
+      if (mgrid) {
+        std::vector<int> devs;
+        std::vector<LaunchParams> ps;
+        for (int d = 0; d < gpus; ++d) {
+          devs.push_back(d);
+          ps.push_back(LaunchParams{prog, grid, threads, 0, params});
+        }
+        sys.launch_cooperative_multi(h, devs, ps);
+        for (int d = 0; d < gpus; ++d) sys.device_synchronize(h, d);
+      } else {
+        sys.launch_cooperative(h, 0, LaunchParams{prog, grid, threads, 0, params});
+        sys.device_synchronize(h, 0);
+      }
+    });
+  } catch (const vgpu::DeadlockError& e) {
+    o.deadlocked = true;
+    const std::string what = e.what();
+    o.detail = what.substr(0, what.find('\n'));
+  }
+  return o;
+}
+
+}  // namespace
+
+std::vector<DeadlockOutcome> partial_sync_matrix(const MachineConfig& cfg) {
+  std::vector<DeadlockOutcome> rows;
+  const int sms = cfg.arch.num_sms;
+  rows.push_back(try_kernel(cfg, "warp (16 of 32 lanes sync)", false,
+                            partial_warp_sync_kernel(16), 1, 32, {}));
+  rows.push_back(try_kernel(cfg, "block (4 of 8 warps sync)", false,
+                            partial_block_sync_kernel(4), 1, 256, {}));
+  rows.push_back(try_kernel(cfg, "grid (half the blocks sync)", false,
+                            partial_grid_sync_kernel(), sms, 64, {sms / 2}));
+  if (cfg.num_devices >= 2) {
+    rows.push_back(try_kernel(cfg, "multi-grid (1 of 2 GPUs syncs)", true,
+                              partial_mgrid_sync_kernel(), sms, 64, {1}, 2));
+  }
+  return rows;
+}
+
+}  // namespace syncbench

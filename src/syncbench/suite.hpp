@@ -1,0 +1,100 @@
+// The characterization suite: one entry point per experiment in the paper.
+// Each function builds a fresh machine (measurements stay independent and
+// deterministic), runs the microbenchmarks, and returns structured results
+// that the bench binaries print and the tests assert on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "syncbench/kernels.hpp"
+#include "syncbench/methods.hpp"
+#include "vgpu/machine.hpp"
+
+namespace syncbench {
+
+using vgpu::ArchSpec;
+using vgpu::MachineConfig;
+
+// ---- Table I ---------------------------------------------------------------
+struct LaunchRow {
+  std::string name;
+  double overhead_ns = 0;
+  double null_total_ns = 0;
+};
+std::vector<LaunchRow> characterize_launch(const ArchSpec& arch);
+
+// ---- Table II ---------------------------------------------------------------
+struct WarpSyncRow {
+  WarpSyncKind kind;
+  std::string label;       // e.g. "Coalesced(1-31)"
+  double latency_cycles = 0;
+  double throughput_per_cycle = 0;  // best over the config sweep, per SM
+};
+std::vector<WarpSyncRow> characterize_warp_sync(const ArchSpec& arch);
+
+/// Table II "Block(warp)" row: single-warp latency and saturated per-SM
+/// warp-sync throughput.
+WarpSyncRow characterize_block_sync_row(const ArchSpec& arch);
+
+// ---- Figure 4 ---------------------------------------------------------------
+struct BlockSyncPoint {
+  int warps_per_sm = 0;       // active (resident) warps per SM
+  int blocks_per_sm = 0;
+  int threads_per_block = 0;
+  double latency_cycles = 0;  // per barrier, from GPU clocks
+  double warp_sync_per_cycle = 0;  // per-SM aggregate throughput
+};
+std::vector<BlockSyncPoint> characterize_block_sync(const ArchSpec& arch);
+
+// ---- Figures 5 / 7 / 8 -------------------------------------------------------
+struct HeatMap {
+  std::string title;
+  std::vector<int> threads_per_block;  // columns
+  std::vector<int> blocks_per_sm;      // rows
+  std::vector<std::vector<double>> latency_us;  // <0 marks an invalid cell
+};
+HeatMap grid_sync_heatmap(const ArchSpec& arch);
+/// cfg must contain >= gpus devices; the kernel spans devices 0..gpus-1.
+HeatMap mgrid_sync_heatmap(const MachineConfig& cfg, int gpus);
+
+// ---- Figure 9 ---------------------------------------------------------------
+struct MultiGpuBarrierPoint {
+  int gpus = 0;
+  double multi_launch_overhead_us = 0;  // multi-device launch as barrier
+  double cpu_barrier_us = 0;            // omp threads + deviceSync + barrier
+  double mgrid_fast_us = 0;             // 1 block/SM, 32 thr/block
+  double mgrid_general_us = 0;          // 1 block/SM, 1024 thr/block
+  double mgrid_slow_us = 0;             // 32 blocks/SM, 64 thr/block
+};
+std::vector<MultiGpuBarrierPoint> characterize_multi_gpu_barriers(
+    const std::function<MachineConfig(int)>& config_for_gpus, int max_gpus);
+
+// ---- Table III (shared-memory scenarios feeding the model) -------------------
+struct SmemPoint {
+  std::string scenario;
+  int active_threads = 0;
+  double bytes_per_cycle = 0;
+  double latency_cycles = 0;  // dependent per-iteration latency (1-thread run)
+};
+std::vector<SmemPoint> characterize_smem(const ArchSpec& arch);
+
+// ---- Figures 17/18 ------------------------------------------------------------
+struct WarpTimerResult {
+  std::vector<std::int64_t> start_cycles;  // per lane, rebased to min(start)
+  std::vector<std::int64_t> end_cycles;
+  /// True when no lane's end precedes another lane's start — i.e. the sync
+  /// actually blocked the whole warp (Volta yes, Pascal no).
+  bool barrier_blocked_all() const;
+};
+WarpTimerResult warp_sync_timers(const ArchSpec& arch, WarpSyncKind kind);
+
+// ---- Section VIII-B deadlock matrix ------------------------------------------
+struct DeadlockOutcome {
+  std::string level;    // "warp", "block", "grid", "multi-grid"
+  bool deadlocked = false;
+  std::string detail;   // first line of the diagnostic, if any
+};
+std::vector<DeadlockOutcome> partial_sync_matrix(const MachineConfig& cfg);
+
+}  // namespace syncbench

@@ -1,0 +1,214 @@
+#include "vgpu/arch.hpp"
+
+namespace vgpu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// V100 (Volta, DGX-1). Calibration targets, from the paper:
+//   Table I   : launch overhead 1081/1063/1258 ns, null-kernel total
+//               8888/10248/10874 ns (traditional/cooperative/multi-device).
+//   Table II  : tile 14 cy @ 0.812/cy; shuffle(tile) 22 cy @ 0.928/cy;
+//               coalesced(1-31) 108 cy @ 0.167/cy; coalesced(32) 14 cy @
+//               1.306/cy; shuffle(coa) 77 cy @ 0.121/cy; block(warp) 22 cy @
+//               0.475 warp-sync/cy.
+//   Figure 5  : grid sync 1.43 us (1 block/SM, 32 thr) .. 19.29 us
+//               (32 blocks/SM, 32 thr); +0.78 us from 32->1024 threads at 1
+//               block/SM.
+//   Figure 8  : multi-grid on 1 GPU tracks Figure 5 at 32 thr/block but is
+//               ~3.3x costlier per extra warp (7.34 us at 1 block x 1024 thr).
+//   Table III : shared memory 19.6 B/cy per warp, 215 B/cy per SM, 13 cy
+//               per dependent 8-byte iteration; float add 4 cy.
+//   Table VI  : reduction bandwidth 865 GB/s measured vs 898 GB/s theory.
+//   Figure 9  : multi-device launch overhead 1.26 us @1 GPU, 67.2 us @8;
+//               CPU-side barrier 9.3..10.6 us.
+// ---------------------------------------------------------------------------
+ArchSpec make_v100() {
+  ArchSpec a;
+  a.name = "V100";
+  a.kind = ArchKind::Volta;
+  a.independent_thread_scheduling = true;
+
+  a.num_sms = 80;
+  a.core_mhz = 1312.0;  // Table VII application clock
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.max_warps_per_sm = 64;
+  a.max_threads_per_block = 1024;
+  a.shared_mem_per_sm = 96 * 1024;
+  a.shared_mem_per_block = 48 * 1024;
+  a.num_schedulers = 4;
+
+  a.alu_latency = 4;  // paper Section IX-D: float add = 4 cycles on V100
+  a.alu_ii = 1;
+
+  // 898 GB/s theoretical (Table VI) / 1.312 GHz = 684 B/cycle.
+  a.dram_bytes_per_cycle = 684.0;
+  a.dram_efficiency = 0.963;  // 865 / 898 measured-to-theory ratio
+  a.gmem_latency = 500;
+  a.gmem_warp_ii = 4;
+  // Table III: a single warp streams 19.6 B/cy = 256 B per 13 cy iteration;
+  // an SM full of warps reaches 215 B/cy = 256 B per 1.19 cy.
+  a.smem_latency = 8;
+  a.smem_warp_ii = 13;    // Table III: 13 cy dependent iteration
+  a.smem_sm_bytes_per_cycle = 256;  // yields 215 B/cy measured
+  a.atom_latency = 300;
+  a.atom_ii = 4;
+
+  // Table II, V100 column.
+  a.tile_sync_latency = 14;
+  a.tile_sync_ii = 1.0 / 0.812;
+  a.coalesced_sync_latency_full = 14;
+  a.coalesced_sync_ii_full = 1.0 / 1.306;
+  a.coalesced_sync_latency_partial = 108;
+  a.coalesced_sync_ii_partial = 1.0 / 0.167;
+  a.shfl_tile_latency = 22;
+  a.shfl_tile_ii = 1.0 / 0.928;
+  a.shfl_coalesced_latency = 77;
+  a.shfl_coalesced_ii = 1.0 / 0.121;
+
+  // Block barrier: single-warp period 22 cy; saturated throughput
+  // 0.475 warp-sync/cy with 64 resident warps:  64/(64*ii + L) = 0.475.
+  a.bar_arrive_ii = 2.1;
+  a.bar_release_latency = 22;
+
+  // Grid barrier (Figure 5): total ~ base + blocks_total * arrive_ii
+  // (device-serial unit) + warps_per_block * release_ii.
+  //   1 block/SM, 32 thr : 80*9.0 + 1100 + 30      = 1850 cy = 1.41 us (1.43)
+  //   32 blocks/SM, 32thr: 2560*9.0 + 1100 + 30    = 24170 cy = 18.4 us (19.29)
+  //   1 block/SM, 1024thr: 80*9.0 + 1100 + 32*30   = 2780 cy = 2.12 us (2.21)
+  a.grid_arrive_ii = 9.45;
+  a.grid_release_base = 1180;
+  a.grid_warp_release_ii = 30;
+
+  // Multi-grid on one GPU (Figure 8 top-left): 32-thr column matches grid
+  // sync, but 1 block x 1024 thr costs 7.34 us => ~200 cy per warp release;
+  // 32 blocks/SM x 64 thr = 34.04 us => ~+5 cy per block arrival.
+  a.mgrid_arrive_ii = 14.0;
+  a.mgrid_arrive_remote_extra = 10.0;  // slow corner: 58.6 us at 2 GPUs (Fig 9)
+  a.mgrid_release_base = 1180;
+  a.mgrid_warp_release_ii = 200;
+
+  a.block_dispatch_cycles = 300;
+  a.kernel_entry_cycles = 200;
+
+  // Table I.
+  a.launch_traditional = {ns(928), ns(8888), us(5.0)};
+  a.launch_cooperative = {ns(910), ns(10248), us(5.0)};
+  a.launch_multi_device = {ns(1105), ns(10874), us(5.0)};
+  // Figure 9: overhead(n) = n*issue + (n-1)*coordination; 67.2 us at n=8.
+  a.multi_device_coordination = ns(9420);
+  // Paper Section IX-B: ~250 us of execution needed to hide the 8-GPU
+  // multi-device pipeline: gap(n) = gap_total + (n-1)*per_gpu.
+  a.multi_device_gap_per_gpu = us(34.0);
+
+  // CPU-side barrier loop (Figure 9): 1.08 (issue) + 5.0 (idle-stream
+  // dispatch) + 2.5 (sync return) + barrier(n) = 9.3..10.6 us for 2..8 GPUs.
+  a.device_sync_return = us(2.5);
+  a.device_sync_noop = ns(200);
+  a.host_barrier_base = ns(300);
+  a.host_barrier_per_thread = ns(150);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// P100 (Pascal, 2 GPUs over PCIe). Calibration targets:
+//   Table II  : tile 1 cy @ 1.774/cy; shuffle(tile) 31 cy @ 0.642/cy;
+//               coalesced(any) 1 cy @ ~1.79-1.82/cy; shuffle(coa) 50 cy @
+//               0.166/cy; block(warp) 218 cy @ 0.091 warp-sync/cy.
+//   Figure 5  : grid sync 1.77 us (1x32) .. 31.69 us (32 blocks/SM).
+//   Table III : shared memory 13.8 B/cy per warp, 141 B/cy per SM, 18.5 cy
+//               per iteration; float add 6 cy.
+//   Table VI  : reduction bandwidth 592 GB/s measured vs 732 GB/s theory.
+// Pascal has no nanosleep and no published Table-I data; launch costs reuse
+// the V100 magnitudes (the paper reports ~3 us unsaturated traditional launch
+// on both platforms).
+// ---------------------------------------------------------------------------
+ArchSpec make_p100() {
+  ArchSpec a;
+  a.name = "P100";
+  a.kind = ArchKind::Pascal;
+  a.independent_thread_scheduling = false;
+
+  a.num_sms = 56;
+  a.core_mhz = 1189.0;  // Table VII application clock
+  a.max_threads_per_sm = 2048;
+  a.max_blocks_per_sm = 32;
+  a.max_warps_per_sm = 64;
+  a.max_threads_per_block = 1024;
+  a.shared_mem_per_sm = 64 * 1024;
+  a.shared_mem_per_block = 48 * 1024;
+  a.num_schedulers = 2;
+
+  a.alu_latency = 6;  // paper: float add = 6 cycles on P100
+  a.alu_ii = 1;
+
+  // 732 GB/s theoretical / 1.189 GHz = 616 B/cycle.
+  a.dram_bytes_per_cycle = 616.0;
+  a.dram_efficiency = 0.809;  // 592 / 732
+  a.gmem_latency = 600;
+  a.gmem_warp_ii = 5;
+  a.smem_latency = 12;
+  a.smem_warp_ii = 18.5;  // Table III latency column
+  a.smem_sm_bytes_per_cycle = 215;  // yields 141 B/cy measured
+  a.atom_latency = 360;
+  a.atom_ii = 6;
+
+  // Table II, P100 column. Warp-level sync is a no-op on Pascal (lock-step
+  // warps); the 1-cycle "latency" is just the issue slot.
+  a.tile_sync_latency = 1;
+  a.tile_sync_ii = 1.0 / 1.774;
+  a.coalesced_sync_latency_full = 1;
+  a.coalesced_sync_ii_full = 1.0 / 1.821;
+  a.coalesced_sync_latency_partial = 1;
+  a.coalesced_sync_ii_partial = 1.0 / 1.791;
+  a.shfl_tile_latency = 31;
+  a.shfl_tile_ii = 1.0 / 0.642;
+  a.shfl_coalesced_latency = 50;
+  a.shfl_coalesced_ii = 1.0 / 0.166;
+
+  // Block barrier: 218 cy single warp; 64/(64*ii + L) = 0.091 -> ii = 7.6.
+  a.bar_arrive_ii = 11.0;
+  a.bar_release_latency = 218;
+
+  // Grid barrier (Figure 5 right): 1.77 us at 1x32, 31.69 us at 32/SM.
+  //   56*20.5 + 700 + 24 = 1872 cy = 1.57 us;  1792*20.5 + 700 = 37.4k = 31.5 us.
+  a.grid_arrive_ii = 20.5;
+  a.grid_release_base = 975;
+  a.grid_warp_release_ii = 24;
+
+  // Figure 7 left (1 GPU): 32-thr column tracks grid sync; 1024 thr at
+  // 1 block/SM is 4.56 us vs 2.26 -> ~85 cy per warp.
+  a.mgrid_arrive_ii = 20.5;
+  a.mgrid_arrive_remote_extra = 24.0;  // Fig 7: 68.05 us slow corner at 2 GPUs
+  a.mgrid_release_base = 975;
+  a.mgrid_warp_release_ii = 85;
+
+  a.block_dispatch_cycles = 300;
+  a.kernel_entry_cycles = 200;
+
+  a.launch_traditional = {ns(950), ns(9300), us(5.0)};
+  a.launch_cooperative = {ns(950), ns(10600), us(5.0)};
+  a.launch_multi_device = {ns(1150), ns(11300), us(5.0)};
+  a.multi_device_coordination = ns(9000);
+  a.multi_device_gap_per_gpu = us(36.0);
+
+  a.device_sync_return = us(2.5);
+  a.device_sync_noop = ns(200);
+  a.host_barrier_base = ns(300);
+  a.host_barrier_per_thread = ns(150);
+  return a;
+}
+
+}  // namespace
+
+const ArchSpec& v100() {
+  static const ArchSpec spec = make_v100();
+  return spec;
+}
+
+const ArchSpec& p100() {
+  static const ArchSpec spec = make_p100();
+  return spec;
+}
+
+}  // namespace vgpu

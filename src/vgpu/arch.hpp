@@ -1,0 +1,135 @@
+// Architecture descriptions for the simulated devices.
+//
+// Every timing constant in an ArchSpec is either taken from the public spec
+// sheet (SM count, clock, residency limits, DRAM bandwidth) or calibrated
+// against a number published in Zhang et al., "A Study of Single and
+// Multi-device Synchronization Methods in Nvidia GPUs" (arXiv:2004.05371).
+// The calibration provenance is documented field-by-field in arch.cpp.
+#pragma once
+
+#include <string>
+
+#include "vgpu/time.hpp"
+
+namespace vgpu {
+
+enum class ArchKind { Volta, Pascal };
+
+/// Per-kernel-launch cost model (Section IV of the paper). One instance per
+/// launch flavour: traditional <<<>>>, cudaLaunchCooperativeKernel, and
+/// cudaLaunchCooperativeKernelMultiDevice.
+struct LaunchModel {
+  /// CPU time consumed by the launch call itself; also the floor of the
+  /// back-to-back overhead once the stream pipeline is saturated
+  /// ("Launch Overhead" column of Table I).
+  Ps issue_cost = 0;
+  /// Steady-state per-kernel cost of an *empty* kernel in a busy stream
+  /// ("Kernel Total Latency" column of Table I). Everything above issue_cost
+  /// can be hidden underneath the preceding kernel's execution:
+  ///   visible_gap(prev_exec) = max(issue_cost, gap_total - prev_exec).
+  Ps gap_total = 0;
+  /// Device-side delay from issue to SM start when the stream was idle.
+  Ps first_dispatch = 0;
+};
+
+/// Architecture + timing model for one GPU. All *_cycles fields are in the
+/// device clock domain; *_ii fields are initiation intervals (inverse
+/// throughput) of the unit that serializes the operation.
+struct ArchSpec {
+  std::string name;
+  ArchKind kind = ArchKind::Volta;
+  /// Volta's independent thread scheduling: warp-level sync instructions are
+  /// real join points. Pascal executes warps in lock-step and its warp-level
+  /// sync lowers to (at most) a compiler fence.
+  bool independent_thread_scheduling = true;
+
+  // ---- Geometry / residency -------------------------------------------
+  int num_sms = 80;
+  double core_mhz = 1312.0;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  int max_warps_per_sm = 64;
+  int max_threads_per_block = 1024;
+  int shared_mem_per_sm = 96 * 1024;
+  int shared_mem_per_block = 48 * 1024;
+  int num_schedulers = 4;
+
+  // ---- ALU pipeline ----------------------------------------------------
+  double alu_latency = 4;  // dependent int/fp32-class add chain, cycles
+  double alu_ii = 1;       // per-scheduler issue interval
+
+  // ---- Memory ----------------------------------------------------------
+  double dram_bytes_per_cycle = 0;   // peak; derived from spec sheet GB/s
+  double dram_efficiency = 1.0;      // achieved / peak for streaming reads
+  double gmem_latency = 500;         // dependent global load, cycles
+  double gmem_warp_ii = 4;           // per-warp spacing of global requests
+  double smem_latency = 8;           // raw shared-memory load latency
+  double smem_warp_ii = 13;          // per-warp back-to-back shared requests
+  double smem_sm_bytes_per_cycle = 215;  // per-SM shared-memory bandwidth
+  double atom_latency = 300;         // global atomic round trip
+  double atom_ii = 4;                // device-wide atomic unit II
+
+  // ---- Warp-level synchronization (Table II) ---------------------------
+  double tile_sync_latency = 14;
+  double tile_sync_ii = 1.23;
+  double coalesced_sync_latency_full = 14;    // group of exactly 32
+  double coalesced_sync_ii_full = 0.766;
+  double coalesced_sync_latency_partial = 108;  // group size 1..31
+  double coalesced_sync_ii_partial = 5.99;
+  double shfl_tile_latency = 22;
+  double shfl_tile_ii = 1.078;
+  double shfl_coalesced_latency = 77;
+  double shfl_coalesced_ii = 8.26;
+
+  // ---- Block-level synchronization (Table II "Block", Figure 4) --------
+  double bar_arrive_ii = 1.8;     // barrier-unit arrival drain, per warp
+  double bar_release_latency = 20;
+
+  // ---- Grid-level synchronization (Figure 5) ----------------------------
+  double grid_arrive_ii = 9.0;         // device-serial arrival unit, per block
+  double grid_release_base = 1100;     // release broadcast round trip
+  double grid_warp_release_ii = 30;    // per-warp resume stagger within block
+
+  // ---- Multi-grid synchronization (Figures 7/8) --------------------------
+  double mgrid_arrive_ii = 14.0;        // system-scope arrival, per block
+  /// Extra per-block arrival cost once peers are involved (n >= 2): the
+  /// arrival token crosses the fabric's coherence point.
+  double mgrid_arrive_remote_extra = 10.0;
+  double mgrid_release_base = 1100;
+  double mgrid_warp_release_ii = 200;   // system-scope fences cost more/warp
+
+  // ---- Kernel & block lifecycle -----------------------------------------
+  double block_dispatch_cycles = 300;   // replacing a finished block
+  double kernel_entry_cycles = 200;     // grid start to first instruction
+
+  // ---- Launch models (Table I, Figure 9) --------------------------------
+  LaunchModel launch_traditional;
+  LaunchModel launch_cooperative;
+  LaunchModel launch_multi_device;
+  /// Per-extra-GPU sequential issue + coordination cost of the multi-device
+  /// launch function (Figure 9: 1.26 us at 1 GPU -> 67.2 us at 8 GPUs).
+  Ps multi_device_coordination = 0;
+  /// Extra hidden pipeline per extra GPU for multi-device launches (the
+  /// paper: ~250 us of kernel execution needed to saturate 8 GPUs).
+  Ps multi_device_gap_per_gpu = 0;
+
+  // ---- Host-side costs ---------------------------------------------------
+  Ps device_sync_return = 0;   // kernel end -> cudaDeviceSynchronize returns
+  Ps device_sync_noop = 0;     // cudaDeviceSynchronize on an idle device
+  Ps host_barrier_base = 0;    // omp-style barrier, constant part
+  Ps host_barrier_per_thread = 0;
+
+  ClockDomain clock() const { return ClockDomain(core_mhz); }
+  Ps cyc(double c) const { return clock().cycles_to_ps(c); }
+
+  /// Spec-sheet peak DRAM bandwidth in GB/s (for Table VI "theory" row).
+  double dram_peak_gbs() const {
+    return dram_bytes_per_cycle * core_mhz * 1e6 / 1e9;
+  }
+};
+
+/// The two platforms evaluated in the paper.
+const ArchSpec& v100();  // Volta, DGX-1 member, 80 SMs @ 1312 MHz
+const ArchSpec& p100();  // Pascal, PCIe pair, 56 SMs @ 1189 MHz
+
+}  // namespace vgpu

@@ -1,0 +1,47 @@
+// Shared small utilities: error types, lane-mask helpers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace vgpu {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+/// Any violation of the machine model (bad address, sync in divergent code,
+/// malformed kernel, ...). These indicate a bug in the *guest* program or in
+/// a harness, and are meant to fail loudly in tests.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when virtual time can no longer advance while entities are still
+/// blocked — the simulated equivalent of a hung GPU. Carries a diagnostic
+/// assembled by the deadlock reporter (which barrier, who arrived, who
+/// exited).
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline int popcount(std::uint32_t m) { return std::popcount(m); }
+
+/// Mask with bits [0, n) set. n may be 32.
+inline std::uint32_t lane_mask(int n) {
+  return n >= 32 ? kFullMask : ((1u << n) - 1u);
+}
+
+inline bool lane_in(std::uint32_t mask, int lane) {
+  return (mask >> lane) & 1u;
+}
+
+/// Lowest set lane index, or -1 when empty.
+inline int first_lane(std::uint32_t mask) {
+  return mask == 0 ? -1 : std::countr_zero(mask);
+}
+
+}  // namespace vgpu

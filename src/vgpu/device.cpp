@@ -1,0 +1,451 @@
+// Device lifecycle: grid dispatch, block residency, block/grid/multi-grid
+// barrier state machines, completion, deadlock diagnostics. The instruction
+// interpreter lives in warp_exec.cpp.
+#include "vgpu/device.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "vgpu/machine.hpp"
+#include "vgpu/occupancy.hpp"
+
+namespace vgpu {
+
+Device::Device(Machine& m, const ArchSpec& arch, int id)
+    : machine_(m), arch_(arch), id_(id), clock_(arch.core_mhz), mem_(id) {
+  sms_.resize(static_cast<std::size_t>(arch_.num_sms));
+  horizon_slack_ = cyc(16);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+bool Device::sm_can_host(const SMState& s, const KernelLaunch& d) const {
+  const int warps = (d.block_threads + kWarpSize - 1) / kWarpSize;
+  return s.resident_blocks + 1 <= arch_.max_blocks_per_sm &&
+         s.resident_threads + d.block_threads <= arch_.max_threads_per_sm &&
+         s.resident_warps + warps <= arch_.max_warps_per_sm &&
+         s.smem_used + d.smem_bytes <= arch_.shared_mem_per_sm;
+}
+
+GridExec* Device::start_grid(KernelLaunch desc, Ps t,
+                             std::function<void(Ps)> on_complete) {
+  if (!desc.prog) throw SimError("launch without a program");
+  if (desc.block_threads < 1 || desc.block_threads > arch_.max_threads_per_block)
+    throw SimError("invalid block size");
+  if (desc.grid_blocks < 1) throw SimError("invalid grid size");
+  if (desc.smem_bytes > arch_.shared_mem_per_block)
+    throw SimError("dynamic shared memory exceeds the per-block limit");
+
+  auto g = std::make_unique<GridExec>();
+  g->desc = std::move(desc);
+  g->dev = this;
+  g->start_time = t;
+  g->on_complete = std::move(on_complete);
+  g->blocks.resize(static_cast<std::size_t>(g->desc.grid_blocks));
+  GridExec* raw = g.get();
+  grids_.push_back(std::move(g));
+  fill_sms(raw, t);
+  return raw;
+}
+
+void Device::fill_sms(GridExec* g, Ps t) {
+  // Round-robin over SMs, one block per visit, until nothing fits.
+  bool progress = true;
+  while (g->next_block < g->desc.grid_blocks && progress) {
+    progress = false;
+    for (int s = 0; s < arch_.num_sms && g->next_block < g->desc.grid_blocks; ++s) {
+      if (sm_can_host(sms_[static_cast<std::size_t>(s)], g->desc)) {
+        dispatch_block(g, s, t);
+        progress = true;
+      }
+    }
+  }
+}
+
+void Device::dispatch_block(GridExec* g, int sm_index, Ps t) {
+  const KernelLaunch& d = g->desc;
+  const int bid = g->next_block++;
+  const int warps = (d.block_threads + kWarpSize - 1) / kWarpSize;
+
+  auto block = std::make_unique<Block>();
+  Block* b = block.get();
+  b->grid = g;
+  b->dev = this;
+  b->sm_index = sm_index;
+  b->bid = bid;
+  b->live_warps = warps;
+  b->smem.assign(static_cast<std::size_t>(d.smem_bytes), std::byte{0});
+  b->smem_meta.assign(static_cast<std::size_t>(d.smem_bytes / 8 + 1), SmemWordMeta{});
+  b->warps.resize(static_cast<std::size_t>(warps));
+
+  SMState& s = sms_[static_cast<std::size_t>(sm_index)];
+  s.resident_blocks += 1;
+  s.resident_threads += d.block_threads;
+  s.resident_warps += warps;
+  s.smem_used += d.smem_bytes;
+
+  const Ps start = t + cyc(arch_.kernel_entry_cycles);
+  for (int wi = 0; wi < warps; ++wi) {
+    Warp& w = b->warps[static_cast<std::size_t>(wi)];
+    w.block = b;
+    w.warp_in_block = wi;
+    w.sched_slot = (bid + wi) % arch_.num_schedulers;
+    const int first_thread = wi * kWarpSize;
+    const int lanes = std::min(kWarpSize, d.block_threads - first_thread);
+    w.alive = lane_mask(lanes);
+    w.regs.assign(static_cast<std::size_t>(d.prog->num_regs()) * kWarpSize, Value{});
+    w.reg_ready.fill(start);
+    ExecContext base;
+    base.reconv_pc = -1;
+    base.pc = 0;
+    base.mask = w.alive;
+    base.t = start;
+    base.id = w.next_ctx_id++;
+    base.parent_id = 0;
+    w.stack.push_back(base);
+    schedule_warp(w, start);
+  }
+  g->blocks[static_cast<std::size_t>(bid)] = std::move(block);
+}
+
+void Device::schedule_warp(Warp& w, Ps t) {
+  if (w.queued || !w.runnable()) return;
+  w.queued = true;
+  machine_.queue().push_warp(std::max(t, w.top().t), &w);
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+void Device::run_warp(Warp* wp) {
+  Warp& w = *wp;
+  w.queued = false;
+  EventQueue& q = machine_.queue();
+  // Bound the work done per event so control returns to the machine loop
+  // regularly even when this warp is alone in the queue (lets the
+  // virtual-time limit catch spinning kernels).
+  int quantum = 8192;
+  while (true) {
+    if (w.done || w.blocked) return;
+    if (--quantum < 0) {
+      if (!w.stack.empty() && w.runnable()) {
+        w.queued = true;
+        q.push_warp(w.top().t, &w);
+        return;
+      }
+      quantum = 8192;
+    }
+    if (w.stack.empty()) break;
+    if (w.top().live_children > 0) {
+      // The top context waits for children parked at a warp-level sync.
+      // Sibling contexts lower in the stack may still run (independent
+      // thread scheduling); parent/child links are by id, so order is free.
+      std::size_t idx = w.stack.size();
+      for (std::size_t i = w.stack.size() - 1; i-- > 0;) {
+        if (w.stack[i].live_children == 0) { idx = i; break; }
+      }
+      if (idx == w.stack.size()) break;  // genuinely blocked on the join
+      std::rotate(w.stack.begin() + static_cast<std::ptrdiff_t>(idx),
+                  w.stack.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+                  w.stack.end());
+      continue;
+    }
+    ExecContext& c = w.top();
+    if ((c.mask & w.alive) == 0) {
+      // Every lane of this context has exited; dissolve it.
+      exit_context(w, c.t);
+      continue;
+    }
+    if (c.pc == c.reconv_pc) {
+      pop_context(w);
+      continue;
+    }
+    if (c.t > q.next_time() + horizon_slack()) {
+      w.queued = true;
+      q.push_warp(c.t, &w);
+      return;
+    }
+    step_warp(w);
+  }
+  // No runnable context. Either all contexts are gone (warp finished in
+  // step_warp, handled there) or the remaining lanes are parked at a warp
+  // sync that cannot release yet.
+  if (!w.done && !w.blocked && !w.queued) {
+    if (!w.stack.empty() || !w.sync_waiters.empty()) {
+      w.blocked = true;  // waiting for an intra-warp join that may never come
+      machine_.note_blocked(1);
+    }
+  }
+}
+
+void Device::pop_context(Warp& w) {
+  ExecContext child = w.top();
+  w.stack.pop_back();
+  if (child.parent_id == 0) {
+    // Base context fell off without Exit; treat as exit of its lanes.
+    w.alive &= ~child.mask;
+    finish_warp_if_done(w, child.t);
+    return;
+  }
+  for (auto& ctx : w.stack) {
+    if (ctx.id == child.parent_id) {
+      ctx.live_children -= 1;
+      ctx.t = std::max(ctx.t, child.t);
+      return;
+    }
+  }
+  throw SimError("reconvergence: parent context not found");
+}
+
+void Device::exit_context(Warp& w, Ps t) {
+  ExecContext child = w.top();
+  w.stack.pop_back();
+  if (child.parent_id != 0) {
+    bool found = false;
+    for (auto& ctx : w.stack) {
+      if (ctx.id == child.parent_id) {
+        ctx.live_children -= 1;
+        ctx.t = std::max(ctx.t, t);
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw SimError("exit: parent context not found");
+  }
+  maybe_release_warp_sync(w, t);
+  finish_warp_if_done(w, t);
+}
+
+void Device::finish_warp_if_done(Warp& w, Ps t) {
+  if (w.done || !w.stack.empty() || !w.sync_waiters.empty()) return;
+  w.done = true;
+  warp_exited(w, t);
+}
+
+// ---------------------------------------------------------------------------
+// Warp-level (Volta) sync joins
+// ---------------------------------------------------------------------------
+
+void Device::maybe_release_warp_sync(Warp& w, Ps now) {
+  if (w.sync_waiters.empty()) return;
+  if ((w.sync_arrived & w.alive) != w.alive) return;  // stragglers remain
+
+  Ps last = now;
+  double lat = 0;
+  for (const auto& sw : w.sync_waiters) {
+    last = std::max(last, sw.arrive);
+    lat = std::max(lat, sync_latency_of(w, sw));
+  }
+  const Ps release = last + cyc(lat);
+  for (auto& sw : w.sync_waiters) {
+    if (sw.pending) complete_parked_shuffle(w, sw, release);
+    sw.ctx.t = release;
+    w.stack.push_back(sw.ctx);  // siblings; pop order is irrelevant
+  }
+  w.sync_waiters.clear();
+  w.sync_arrived = 0;
+  w.sync_epoch += 1;
+}
+
+// ---------------------------------------------------------------------------
+// Warp exit & block completion
+// ---------------------------------------------------------------------------
+
+void Device::warp_exited(Warp& w, Ps t) {
+  Block& b = *w.block;
+  b.live_warps -= 1;
+  b.done_warps += 1;
+  // A pending block barrier may become satisfied by this exit (hardware
+  // semantics: exited warps no longer count towards bar.sync).
+  if (b.bar_kind == BlockBarKind::Block && b.bar_count >= b.live_warps &&
+      b.bar_count > 0) {
+    block_bar_maybe_release(b);
+  } else if ((b.bar_kind == BlockBarKind::Grid || b.bar_kind == BlockBarKind::MGrid) &&
+             b.bar_count >= b.live_warps && b.bar_count > 0 && !b.gbar_parked) {
+    grid_bar_arrive(b, t);
+  }
+  if (b.live_warps == 0 && !b.finished) {
+    if (b.bar_kind == BlockBarKind::Grid || b.bar_kind == BlockBarKind::MGrid) {
+      // The whole block exited while others still expect it at the grid
+      // barrier: leave residency allocated (the real GPU hangs) and record
+      // the fact for the deadlock report.
+      b.grid->blocks_exited_total += 1;
+      return;
+    }
+    block_finished(&b, t);
+  }
+}
+
+void Device::block_finished(Block* b, Ps t) {
+  b->finished = true;
+  for (auto& w : b->warps) std::vector<Value>().swap(w.regs);  // free early
+  GridExec* g = b->grid;
+  SMState& s = sms_[static_cast<std::size_t>(b->sm_index)];
+  s.resident_blocks -= 1;
+  s.resident_threads -= g->desc.block_threads;
+  s.resident_warps -= (g->desc.block_threads + kWarpSize - 1) / kWarpSize;
+  s.smem_used -= g->desc.smem_bytes;
+  g->blocks_done += 1;
+  if (g->next_block < g->desc.grid_blocks) {
+    fill_sms(g, t + cyc(arch_.block_dispatch_cycles));
+  }
+  grid_maybe_complete(g, t);
+}
+
+void Device::grid_maybe_complete(GridExec* g, Ps t) {
+  if (g->completed || g->blocks_done < g->desc.grid_blocks) return;
+  g->completed = true;
+  // Defer teardown: we may be inside the last warp's run loop.
+  machine_.queue().push_callback(t, [g](Ps when) {
+    auto cb = std::move(g->on_complete);
+    g->blocks.clear();
+    if (cb) cb(when);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Block barrier
+// ---------------------------------------------------------------------------
+
+void Device::block_bar_arrive(Warp& w, BlockBarKind kind, Ps slot) {
+  Block& b = *w.block;
+  if (b.bar_kind != BlockBarKind::None && b.bar_kind != kind)
+    throw SimError("mixed barrier kinds in flight within one block");
+  b.bar_kind = kind;
+  b.bar_count += 1;
+  b.bar_last_slot = std::max(b.bar_last_slot, slot);
+  w.blocked = true;
+  machine_.note_blocked(1);
+  if (b.bar_count >= b.live_warps) {
+    if (kind == BlockBarKind::Block) {
+      block_bar_maybe_release(b);
+    } else {
+      grid_bar_arrive(b, slot);
+    }
+  }
+}
+
+void Device::block_bar_maybe_release(Block& b) {
+  const Ps release = b.bar_last_slot + cyc(arch_.bar_release_latency);
+  b.block_epoch += 1;
+  b.bar_kind = BlockBarKind::None;
+  b.bar_count = 0;
+  b.bar_last_slot = 0;
+  for (auto& w : b.warps) {
+    if (!w.blocked) continue;
+    w.blocked = false;
+    machine_.note_blocked(-1);
+    if (!w.stack.empty()) w.top().t = std::max(w.top().t, release);
+    schedule_warp(w, release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Grid / multi-grid barrier
+// ---------------------------------------------------------------------------
+
+void Device::grid_bar_arrive(Block& b, Ps t) {
+  GridExec* g = b.grid;
+  const bool mgrid = b.bar_kind == BlockBarKind::MGrid;
+  double ii = mgrid ? arch_.mgrid_arrive_ii : arch_.grid_arrive_ii;
+  if (mgrid && g->desc.mgrid && g->desc.mgrid->num_devices > 1)
+    ii += arch_.mgrid_arrive_remote_extra;
+  const Ps slot = grid_arrive_unit.acquire(std::max(b.bar_last_slot, t), cyc(ii));
+  b.gbar_parked = true;
+  g->gbar_arrived += 1;
+  g->gbar_last_slot = std::max(g->gbar_last_slot, slot);
+  if (g->gbar_arrived < g->desc.grid_blocks) return;
+
+  if (mgrid && g->desc.mgrid) {
+    mgrid_arrive(g, g->gbar_last_slot);
+  } else {
+    const Ps base = machine_.noise().jitter(cyc(arch_.grid_release_base));
+    grid_bar_release(g, g->gbar_last_slot + base);
+  }
+}
+
+void Device::grid_bar_release(GridExec* g, Ps release) {
+  const bool mgrid = static_cast<bool>(g->desc.mgrid);
+  const double warp_ii =
+      mgrid ? arch_.mgrid_warp_release_ii : arch_.grid_warp_release_ii;
+  g->gbar_generation += 1;
+  g->gbar_arrived = 0;
+  g->gbar_last_slot = 0;
+  for (auto& bp : g->blocks) {
+    Block* b = bp.get();
+    if (!b || !b->gbar_parked) continue;
+    b->gbar_parked = false;
+    b->bar_kind = BlockBarKind::None;
+    b->bar_count = 0;
+    b->bar_last_slot = 0;
+    b->block_epoch += 1;
+    int wi = 0;
+    for (auto& w : b->warps) {
+      if (!w.blocked) continue;
+      const Ps wt = release + cyc(warp_ii * wi);
+      ++wi;
+      w.blocked = false;
+      machine_.note_blocked(-1);
+      if (!w.stack.empty()) w.top().t = std::max(w.top().t, wt);
+      schedule_warp(w, wt);
+    }
+  }
+}
+
+void Device::mgrid_arrive(GridExec* g, Ps t) {
+  MGridState& st = *g->desc.mgrid;
+  st.arrived += 1;
+  st.last_arrive = std::max(st.last_arrive, t);
+  if (st.arrived < st.num_devices) return;
+  const Ps release =
+      st.last_arrive + machine_.noise().jitter(st.fabric_cost +
+                                               cyc(arch_.mgrid_release_base));
+  st.arrived = 0;
+  st.last_arrive = 0;
+  for (GridExec* grid : st.grids) grid->dev->grid_bar_release(grid, release);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+int Device::active_grids() const {
+  int n = 0;
+  for (const auto& g : grids_)
+    if (!g->completed) ++n;
+  return n;
+}
+
+std::string Device::blocked_summary() const {
+  std::ostringstream os;
+  for (const auto& g : grids_) {
+    if (g->completed) continue;
+    os << "  device " << id_ << " kernel '" << g->desc.prog->name() << "': "
+       << g->blocks_done << "/" << g->desc.grid_blocks << " blocks done";
+    if (g->gbar_arrived > 0 || g->blocks_exited_total > 0) {
+      os << "; grid barrier gen " << g->gbar_generation << ": "
+         << g->gbar_arrived << "/" << g->desc.grid_blocks << " arrived, "
+         << g->blocks_done + g->blocks_exited_total
+         << " blocks exited without arriving";
+    }
+    int warp_sync_parked = 0, bar_parked = 0;
+    for (const auto& bp : g->blocks) {
+      if (!bp) continue;
+      for (const auto& w : bp->warps) {
+        if (w.blocked && !bp->gbar_parked && bp->bar_kind != BlockBarKind::None)
+          ++bar_parked;
+        if (!w.sync_waiters.empty()) ++warp_sync_parked;
+      }
+    }
+    if (bar_parked) os << "; " << bar_parked << " warps at a block barrier";
+    if (warp_sync_parked)
+      os << "; " << warp_sync_parked << " warps waiting on a warp-level join";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vgpu

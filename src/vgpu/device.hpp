@@ -1,0 +1,251 @@
+// Device-side execution structures: warps (with SIMT reconvergence stacks
+// and Volta join semantics), blocks (with shared memory and barrier state),
+// SMs (with unit regulators), in-flight grids and the Device itself.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "vgpu/arch.hpp"
+#include "vgpu/common.hpp"
+#include "vgpu/event_queue.hpp"
+#include "vgpu/isa.hpp"
+#include "vgpu/memory.hpp"
+#include "vgpu/program.hpp"
+
+namespace vgpu {
+
+class Device;
+class Machine;
+struct Block;
+struct GridExec;
+
+/// Per-lane 64-bit value; doubles travel as bit patterns.
+struct Value {
+  std::int64_t i = 0;
+  double f() const { return std::bit_cast<double>(i); }
+  static Value from_f(double d) { return Value{std::bit_cast<std::int64_t>(d)}; }
+};
+
+/// One SIMT execution context: a set of lanes at a pc, with the pc at which
+/// it rejoins its parent. The warp keeps a stack of these (GPGPU-Sim style);
+/// divergent branches push the two arms, and a context dissolves into its
+/// parent when it reaches its reconvergence pc.
+struct ExecContext {
+  std::int32_t reconv_pc = -1;
+  std::int32_t pc = 0;
+  std::uint32_t mask = 0;
+  Ps t = 0;               // this context's local time
+  int live_children = 0;  // arms pushed above + arms parked at a warp sync
+  std::uint32_t id = 0;        // stable identity (stack slots move)
+  std::uint32_t parent_id = 0; // 0 = no parent (base context)
+};
+
+/// A context parked at a Volta warp-level sync site, waiting for the rest of
+/// the warp. `pending` is non-null for shuffles, whose data movement happens
+/// at release time (when every participant's registers are in place).
+struct SyncWaiter {
+  ExecContext ctx;        // resume state (pc already advanced past the sync)
+  Ps arrive = 0;
+  const Instr* pending = nullptr;  // shuffles complete at release time
+  Op op = Op::TileSync;
+};
+
+struct Warp {
+  Block* block = nullptr;
+  int warp_in_block = 0;
+  int sched_slot = 0;          // scheduler partition within the SM
+  std::uint32_t alive = 0;     // lanes that have not exited
+
+  std::vector<ExecContext> stack;
+  std::uint32_t sync_arrived = 0;
+  std::vector<SyncWaiter> sync_waiters;
+
+  std::vector<Value> regs;                  // lane-major: [reg*32 + lane]
+  std::array<Ps, kMaxRegs> reg_ready{};     // completion scoreboard
+  Regulator smem_port;  // per-warp shared-memory spacing (Table III)
+  Regulator gmem_port;  // per-warp global-memory spacing
+  std::uint32_t sync_epoch = 1;  // for the shared-memory staleness model
+
+  bool queued = false;   // has a pending WarpRun event
+  bool blocked = false;  // parked at a block/grid barrier
+  bool done = false;
+  std::uint32_t next_ctx_id = 1;
+
+  Value& r(int reg, int lane) { return regs[static_cast<std::size_t>(reg) * kWarpSize + lane]; }
+  const Value& r(int reg, int lane) const {
+    return regs[static_cast<std::size_t>(reg) * kWarpSize + lane];
+  }
+  ExecContext& top() { return stack.back(); }
+  bool runnable() const {
+    return !done && !blocked && !stack.empty() && stack.back().live_children == 0;
+  }
+};
+
+/// Metadata for one 8-byte shared-memory word, driving the staleness model
+/// that reproduces Table V's "nosync result is incorrect" row: a non-volatile
+/// read by a different lane/warp that has not passed a sync since the write
+/// observes the previous value.
+struct SmemWordMeta {
+  std::int16_t writer_warp = -1;
+  std::int8_t writer_lane = -1;
+  std::uint32_t writer_warp_epoch = 0;
+  std::uint32_t writer_block_epoch = 0;
+  std::int64_t prev = 0;
+};
+
+enum class BlockBarKind : std::uint8_t { None, Block, Grid, MGrid };
+
+struct Block {
+  GridExec* grid = nullptr;
+  Device* dev = nullptr;
+  int sm_index = -1;
+  int bid = 0;
+  std::vector<Warp> warps;
+  int live_warps = 0;
+  int done_warps = 0;
+  bool finished = false;
+
+  std::vector<std::byte> smem;
+  std::vector<SmemWordMeta> smem_meta;
+  std::uint32_t block_epoch = 1;
+
+  // One barrier in flight at a time (program order guarantees it).
+  BlockBarKind bar_kind = BlockBarKind::None;
+  int bar_count = 0;
+  Ps bar_last_slot = 0;
+  bool gbar_parked = false;  // waiting for grid/multi-grid release
+};
+
+struct SMState {
+  std::array<Regulator, 8> sched;  // issue ports (num_schedulers used)
+  Regulator bar_unit;    // block-barrier arrival drain
+  Regulator sync_pipe;   // warp-level sync ops
+  Regulator shfl_pipe;   // shuffles
+  Regulator lsu;         // shared-memory bandwidth
+  int resident_blocks = 0;
+  int resident_threads = 0;
+  int resident_warps = 0;
+  int smem_used = 0;
+};
+
+/// Shared state of a cudaLaunchCooperativeKernelMultiDevice launch.
+struct MGridState {
+  std::vector<GridExec*> grids;  // one per participating device
+  int num_devices = 0;
+  int arrived = 0;
+  Ps last_arrive = 0;
+  Ps fabric_cost = 0;  // from Topology::fabric_barrier_cost
+};
+
+/// Launch descriptor handed from the runtime to the device.
+struct KernelLaunch {
+  ProgramPtr prog;
+  int grid_blocks = 1;
+  int block_threads = 32;
+  int smem_bytes = 0;
+  std::vector<std::int64_t> params;
+  bool cooperative = false;
+  std::shared_ptr<MGridState> mgrid;  // multi-device launches only
+  int mgrid_rank = 0;
+};
+
+struct GridExec {
+  KernelLaunch desc;
+  Device* dev = nullptr;
+  Ps start_time = 0;
+  int next_block = 0;   // next bid to dispatch
+  int blocks_done = 0;
+  std::vector<std::unique_ptr<Block>> blocks;  // kept until grid completes
+
+  // Grid-barrier state.
+  int gbar_arrived = 0;
+  Ps gbar_last_slot = 0;
+  std::uint64_t gbar_generation = 0;
+  int blocks_exited_total = 0;  // diagnostics for the deadlock report
+
+  std::function<void(Ps)> on_complete;
+  bool completed = false;
+};
+
+class Device {
+ public:
+  Device(Machine& m, const ArchSpec& arch, int id);
+
+  const ArchSpec& arch() const { return arch_; }
+  int id() const { return id_; }
+  GlobalMemory& mem() { return mem_; }
+  Machine& machine() { return machine_; }
+
+  /// Begin executing a grid at virtual time `t` (SM-side start).
+  GridExec* start_grid(KernelLaunch desc, Ps t, std::function<void(Ps)> on_complete);
+
+  /// Entry point from the event queue.
+  void run_warp(Warp* w);
+
+  /// Cycle helpers.
+  Ps cyc(double c) const { return clock_.cycles_to_ps(c); }
+  double cycles_of(Ps t) const { return clock_.ps_to_cycles(t); }
+
+  /// Warps may run this far past the event horizon before yielding. Batches
+  /// instruction execution per event; bounds cross-warp regulator-ordering
+  /// error to a few cycles (far below any modeled latency).
+  Ps horizon_slack() const { return horizon_slack_; }
+
+  /// Diagnostics for the deadlock reporter.
+  std::string blocked_summary() const;
+  int active_grids() const;
+
+  SMState& sm(int i) { return sms_[static_cast<std::size_t>(i)]; }
+
+  // Device-wide units.
+  std::int64_t dram_requests = 0;
+  std::int64_t dram_bytes = 0;
+  Regulator dram;
+  Regulator atom_unit;
+  Regulator grid_arrive_unit;
+
+ private:
+  friend struct WarpExecutor;
+
+  // Dispatch machinery.
+  bool sm_can_host(const SMState& s, const KernelLaunch& d) const;
+  void dispatch_block(GridExec* g, int sm_index, Ps t);
+  void fill_sms(GridExec* g, Ps t);
+  void block_finished(Block* b, Ps t);
+  void grid_maybe_complete(GridExec* g, Ps t);
+
+  // Barrier machinery (called from the executor).
+  void warp_exited(Warp& w, Ps t);
+  void block_bar_arrive(Warp& w, BlockBarKind kind, Ps t);
+  void block_bar_maybe_release(Block& b);
+  void grid_bar_arrive(Block& b, Ps t);
+  void grid_bar_release(GridExec* g, Ps release);
+  void mgrid_arrive(GridExec* g, Ps t);
+
+  // Context-stack plumbing (run loop + executor).
+  void pop_context(Warp& w);
+  void exit_context(Warp& w, Ps t);
+  void finish_warp_if_done(Warp& w, Ps t);
+  void maybe_release_warp_sync(Warp& w, Ps now);
+  double sync_latency_of(const Warp& w, const SyncWaiter& sw) const;
+  void complete_parked_shuffle(Warp& w, SyncWaiter& sw, Ps release);
+
+  void schedule_warp(Warp& w, Ps t);
+  void step_warp(Warp& w);
+
+  Machine& machine_;
+  const ArchSpec& arch_;
+  int id_;
+  ClockDomain clock_;
+  GlobalMemory mem_;
+  std::vector<SMState> sms_;
+  std::vector<std::unique_ptr<GridExec>> grids_;
+  Ps horizon_slack_ = 0;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,130 @@
+// Discrete-event core. A single global priority queue in picoseconds drives
+// every device, warp, fabric transaction and host wake-up, which keeps
+// cross-domain interactions (unit contention, barriers, streams) causal.
+//
+// The hot path — "this warp is runnable at time t" — is a POD event; generic
+// callbacks go through a slab of std::function so the queue itself stays a
+// flat binary heap of 32-byte records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "vgpu/common.hpp"
+#include "vgpu/time.hpp"
+
+namespace vgpu {
+
+struct Warp;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(Ps)>;
+
+  /// Schedule a warp-run event (hot path, no allocation beyond the heap).
+  void push_warp(Ps t, Warp* w) { push(Event{t, next_seq_++, Kind::WarpRun, w, 0}); }
+
+  /// Schedule a generic callback.
+  void push_callback(Ps t, Callback cb) {
+    std::size_t slot;
+    if (free_slots_.empty()) {
+      slot = callbacks_.size();
+      callbacks_.push_back(std::move(cb));
+    } else {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      callbacks_[slot] = std::move(cb);
+    }
+    push(Event{t, next_seq_++, Kind::Func, nullptr, slot});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event, or kPsInfinity when empty.
+  Ps next_time() const { return heap_.empty() ? kPsInfinity : heap_.front().t; }
+
+  /// Current virtual time (time of the most recently popped event).
+  Ps now() const { return now_; }
+
+  /// Pop and dispatch one event. run_warp is the warp execution entry point
+  /// (supplied by the machine to avoid a dependency cycle). Returns false if
+  /// the queue was empty.
+  bool step(const std::function<void(Warp*)>& run_warp) {
+    if (heap_.empty()) return false;
+    Event e = pop();
+    now_ = e.t;
+    if (e.kind == Kind::WarpRun) {
+      run_warp(static_cast<Warp*>(e.obj));
+    } else {
+      Callback cb = std::move(callbacks_[e.slot]);
+      callbacks_[e.slot] = nullptr;
+      free_slots_.push_back(e.slot);
+      cb(e.t);
+    }
+    return true;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { WarpRun, Func };
+
+  struct Event {
+    Ps t;
+    std::uint64_t seq;  // FIFO tie-break keeps the simulation deterministic
+    Kind kind;
+    void* obj;
+    std::size_t slot;
+    bool operator>(const Event& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  void push(Event e) {
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      std::size_t p = (i - 1) / 2;
+      if (!(heap_[p] > heap_[i])) break;
+      std::swap(heap_[p], heap_[i]);
+      i = p;
+    }
+  }
+
+  Event pop() {
+    Event top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    std::size_t i = 0, n = heap_.size();
+    while (true) {
+      std::size_t l = 2 * i + 1, r = 2 * i + 2, m = i;
+      if (l < n && heap_[m] > heap_[l]) m = l;
+      if (r < n && heap_[m] > heap_[r]) m = r;
+      if (m == i) break;
+      std::swap(heap_[i], heap_[m]);
+      i = m;
+    }
+    return top;
+  }
+
+  std::vector<Event> heap_;
+  std::vector<Callback> callbacks_;
+  std::vector<std::size_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+  Ps now_ = 0;
+};
+
+/// A throughput regulator: a unit that can accept one operation every
+/// `ii` picoseconds. acquire() returns the service slot for a request that
+/// becomes ready at `ready`.
+struct Regulator {
+  Ps next_free = 0;
+  Ps acquire(Ps ready, Ps ii) {
+    Ps slot = ready > next_free ? ready : next_free;
+    next_free = slot + ii;
+    return slot;
+  }
+};
+
+}  // namespace vgpu

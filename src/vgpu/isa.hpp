@@ -1,0 +1,87 @@
+// The kernel instruction set of the vgpu simulator.
+//
+// Kernels are small programs over per-lane 64-bit registers, the shape of
+// (simplified) SASS: explicit registers, predicates, branches that carry a
+// reconvergence label, shared/global loads and stores, shuffles, the CUDA
+// synchronization hierarchy, clock reads and nanosleep. Microbenchmarks in
+// the paper are all expressible — and expressed — in this IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vgpu {
+
+enum class Op : std::uint8_t {
+  Nop,
+  MovI,    // dst = imm (raw 64-bit; also used for doubles via bit pattern)
+  Mov,     // dst = a
+  SReg,    // dst = special register (aux = SpecialReg)
+  LdParam, // dst = kernel parameter [imm]
+
+  IAdd,    // dst = a + b      (b or imm via b_is_imm)
+  ISub, IMul, IMin, IMax, IAnd, IOr, IXor, IShl, IShr,
+  FAdd,    // dst = a + b interpreted as double
+  FMul,
+
+  SetP,    // dst = (a cmp b) ? 1 : 0   (cmp field; b or imm)
+
+  Bra,     // unconditional jump to target (must be warp-uniform by constr.)
+  BraIf,   // lanes where (pred != 0) ^ negate jump to target; reconv label
+
+  LdG, StG,        // global memory, per-lane byte address in reg a
+  LdS, StS,        // shared memory, per-lane byte offset in reg a
+  AtomAddG,        // atomic add (f64 when aux != 0, else i64) to [a] of b
+
+  ShflDown,  // dst = reg b of (lane + imm) within width aux; tile flavour
+  ShflIdx,   // dst = reg b of lane (a % width)
+  ShflDownCoa,  // coalesced-group flavour (rank-translated, software path)
+
+  TileSync,  // cg::tiled_partition<aux>(warp).sync()
+  CoaSync,   // cg::coalesced_threads().sync()
+  BarSync,   // __syncthreads() / block.sync()
+  GridSync,  // grid_group::sync()
+  MGridSync, // multi_grid_group::sync()
+
+  Nanosleep, // __nanosleep(imm) nanoseconds
+  RClock,    // dst = SM clock (cycles)
+  Exit,
+};
+
+enum class SpecialReg : std::uint8_t {
+  Tid,        // threadIdx.x
+  Bid,        // blockIdx.x
+  BlockDim,   // blockDim.x
+  GridDim,    // gridDim.x (blocks)
+  Lane,       // lane id within warp
+  WarpId,     // warp index within block
+  GTid,       // tid + bid * blockDim
+  GSize,      // blockDim * gridDim
+  SmId,
+  GpuId,      // device rank within a multi-grid launch (0 otherwise)
+  NumGpus,    // devices in the multi-grid launch (1 otherwise)
+};
+
+enum class Cmp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Instr {
+  Op op = Op::Nop;
+  std::uint8_t dst = 0;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint8_t pred = 0;       // BraIf predicate register
+  bool negate = false;         // BraIf: branch where pred == 0
+  bool b_is_imm = false;       // ALU/SetP second operand from imm
+  bool is_volatile = false;    // LdS/StS: bypass the staleness model
+  Cmp cmp = Cmp::Eq;
+  std::uint8_t aux = 0;        // SpecialReg / tile width / atomic kind
+  std::int32_t target = -1;    // branch target pc
+  std::int32_t reconv = -1;    // BraIf reconvergence pc
+  std::int64_t imm = 0;
+};
+
+/// Human-readable rendering for traces and test failure messages.
+std::string to_string(const Instr& i);
+const char* op_name(Op op);
+
+}  // namespace vgpu

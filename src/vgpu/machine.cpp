@@ -1,0 +1,62 @@
+#include "vgpu/machine.hpp"
+
+#include <sstream>
+
+namespace vgpu {
+
+MachineConfig MachineConfig::dgx1_v100(int num_devices) {
+  MachineConfig c;
+  c.arch = v100();
+  c.num_devices = num_devices;
+  c.topology = Topology::dgx1_nvlink(num_devices);
+  return c;
+}
+
+MachineConfig MachineConfig::p100_pcie(int num_devices) {
+  MachineConfig c;
+  c.arch = p100();
+  c.num_devices = num_devices;
+  c.topology = num_devices > 1 ? Topology::pcie(num_devices) : Topology::single();
+  return c;
+}
+
+MachineConfig MachineConfig::single(const ArchSpec& arch) {
+  MachineConfig c;
+  c.arch = arch;
+  c.num_devices = 1;
+  c.topology = Topology::single();
+  return c;
+}
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(std::move(cfg)),
+      fabric_(cfg_.topology),
+      noise_(cfg_.noise_seed, cfg_.noise_amplitude) {
+  if (cfg_.num_devices < 1) throw SimError("machine needs at least one device");
+  if (cfg_.topology.num_devices < cfg_.num_devices)
+    throw SimError("topology smaller than device count");
+  devices_.reserve(static_cast<std::size_t>(cfg_.num_devices));
+  for (int i = 0; i < cfg_.num_devices; ++i)
+    devices_.push_back(std::make_unique<Device>(*this, cfg_.arch, i));
+}
+
+Machine::~Machine() = default;
+
+bool Machine::step() {
+  if (cfg_.virtual_time_limit > 0 && queue_.now() > cfg_.virtual_time_limit) {
+    throw DeadlockError(
+        "virtual time limit exceeded (livelock? a kernel may be spinning):\n" +
+        blocked_report());
+  }
+  return queue_.step([](Warp* w) { w->block->dev->run_warp(w); });
+}
+
+std::string Machine::blocked_report() const {
+  std::ostringstream os;
+  os << "virtual time " << to_us(queue_.now()) << " us; " << blocked_entities_
+     << " blocked device entities\n";
+  for (const auto& d : devices_) os << d->blocked_summary();
+  return os.str();
+}
+
+}  // namespace vgpu

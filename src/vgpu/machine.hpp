@@ -1,0 +1,68 @@
+// The Machine: devices + fabric + the global event queue + deadlock
+// accounting. This is the whole simulated node (e.g. a DGX-1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "vgpu/arch.hpp"
+#include "vgpu/device.hpp"
+#include "vgpu/event_queue.hpp"
+#include "vgpu/noise.hpp"
+
+namespace vgpu {
+
+struct MachineConfig {
+  ArchSpec arch;
+  int num_devices = 1;
+  Topology topology = Topology::single();
+  std::uint64_t noise_seed = 0;
+  double noise_amplitude = 0.0;  // 0 = exact simulation
+  /// Abort with DeadlockError once virtual time passes this bound (0 = off).
+  /// Catches livelocks (spinning kernels) that quiescence detection cannot.
+  Ps virtual_time_limit = 0;
+
+  /// The paper's platforms.
+  static MachineConfig dgx1_v100(int num_devices = 8);
+  static MachineConfig p100_pcie(int num_devices = 2);
+  static MachineConfig single(const ArchSpec& arch);
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  EventQueue& queue() { return queue_; }
+  Fabric& fabric() { return fabric_; }
+  NoiseModel& noise() { return noise_; }
+  const ArchSpec& arch() const { return cfg_.arch; }
+
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
+
+  /// Pop and dispatch one event; false when the queue is empty.
+  bool step();
+
+  /// Deadlock accounting: warps parked at barriers / joins.
+  void note_blocked(int delta) { blocked_entities_ += delta; }
+  int blocked_entities() const { return blocked_entities_; }
+
+  /// Human-readable dump of everything currently blocked, for DeadlockError.
+  std::string blocked_report() const;
+
+ private:
+  MachineConfig cfg_;
+  EventQueue queue_;
+  Fabric fabric_;
+  NoiseModel noise_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  int blocked_entities_ = 0;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,97 @@
+// Functional device memory.
+//
+// Kernels compute on real bytes (a reduction produces the actual sum), so
+// tests can assert numerical correctness, while the *timing* of accesses is
+// charged separately by the execution engine through DRAM/fabric regulators.
+//
+// A device pointer is an opaque 64-bit value encoding
+//   [device+1 : 8 bits][buffer id : 16 bits][byte offset : 40 bits]
+// so that ordinary pointer arithmetic inside a kernel (ptr + i*8) stays
+// within a buffer and out-of-bounds or cross-buffer arithmetic is caught.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "vgpu/common.hpp"
+
+namespace vgpu {
+
+struct DevPtr {
+  std::int64_t raw = 0;
+
+  static DevPtr make(int device, int buffer, std::int64_t offset) {
+    return DevPtr{(static_cast<std::int64_t>(device + 1) << 56) |
+                  (static_cast<std::int64_t>(buffer) << 40) | offset};
+  }
+  bool null() const { return raw == 0; }
+  int device() const { return static_cast<int>((raw >> 56) & 0xff) - 1; }
+  int buffer() const { return static_cast<int>((raw >> 40) & 0xffff); }
+  std::int64_t offset() const { return raw & ((std::int64_t(1) << 40) - 1); }
+  DevPtr operator+(std::int64_t bytes) const { return DevPtr{raw + bytes}; }
+};
+
+/// One device's global memory: a set of buffers created by scudaMalloc.
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(int device) : device_(device) {}
+
+  DevPtr allocate(std::int64_t bytes) {
+    buffers_.emplace_back(static_cast<std::size_t>(bytes));
+    return DevPtr::make(device_, static_cast<int>(buffers_.size()) - 1, 0);
+  }
+
+  void free_all() { buffers_.clear(); }
+
+  std::int64_t load_i64(DevPtr p) const {
+    std::int64_t v;
+    std::memcpy(&v, at(p, 8), 8);
+    return v;
+  }
+  void store_i64(DevPtr p, std::int64_t v) { std::memcpy(at(p, 8), &v, 8); }
+
+  double load_f64(DevPtr p) const {
+    double v;
+    std::memcpy(&v, at(p, 8), 8);
+    return v;
+  }
+  void store_f64(DevPtr p, double v) { std::memcpy(at(p, 8), &v, 8); }
+
+  /// Host-side bulk access (scudaMemcpy).
+  void read(DevPtr p, void* dst, std::int64_t bytes) const {
+    std::memcpy(dst, at(p, bytes), static_cast<std::size_t>(bytes));
+  }
+  void write(DevPtr p, const void* src, std::int64_t bytes) {
+    std::memcpy(at(p, bytes), src, static_cast<std::size_t>(bytes));
+  }
+
+  int device() const { return device_; }
+
+ private:
+  const std::byte* at(DevPtr p, std::int64_t bytes) const {
+    check(p, bytes);
+    return buffers_[static_cast<std::size_t>(p.buffer())].data() + p.offset();
+  }
+  std::byte* at(DevPtr p, std::int64_t bytes) {
+    check(p, bytes);
+    return buffers_[static_cast<std::size_t>(p.buffer())].data() + p.offset();
+  }
+  void check(DevPtr p, std::int64_t bytes) const {
+    if (p.null()) throw SimError("null device pointer dereference");
+    if (p.device() != device_)
+      throw SimError("device pointer dereferenced on wrong device's memory");
+    if (p.buffer() < 0 ||
+        static_cast<std::size_t>(p.buffer()) >= buffers_.size())
+      throw SimError("invalid device buffer id");
+    const auto& buf = buffers_[static_cast<std::size_t>(p.buffer())];
+    if (p.offset() < 0 || bytes < 0 ||
+        static_cast<std::size_t>(p.offset() + bytes) > buf.size())
+      throw SimError("device memory access out of bounds");
+  }
+
+  int device_;
+  std::vector<std::vector<std::byte>> buffers_;
+};
+
+}  // namespace vgpu

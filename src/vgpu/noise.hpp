@@ -1,0 +1,49 @@
+// Deterministic, seedable measurement noise.
+//
+// The simulator itself is exact; real GPUs are not. The paper's inter-SM
+// measurement method (Section IX-D) comes with an error-propagation model
+// (Eq. 8) that is only meaningful when individual measurements vary, so the
+// machine can optionally perturb launch gaps and barrier bases with a small
+// reproducible jitter. Two machines built with the same seed produce
+// identical timelines (pinned by tests).
+#pragma once
+
+#include <cstdint>
+
+#include "vgpu/time.hpp"
+
+namespace vgpu {
+
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+  NoiseModel(std::uint64_t seed, double amplitude)
+      : state_(seed ? seed : 0x9e3779b97f4a7c15ull), amplitude_(amplitude),
+        enabled_(amplitude > 0.0) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Multiply `t` by a factor uniform in [1-amplitude, 1+amplitude].
+  Ps jitter(Ps t) {
+    if (!enabled_) return t;
+    return static_cast<Ps>(static_cast<double>(t) * factor());
+  }
+
+  double factor() {
+    if (!enabled_) return 1.0;
+    // xorshift64*; uniform in [0,1).
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const double u =
+        static_cast<double>((state_ * 0x2545F4914F6CDD1Dull) >> 11) / 9007199254740992.0;
+    return 1.0 + amplitude_ * (2.0 * u - 1.0);
+  }
+
+ private:
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+  double amplitude_ = 0.0;
+  bool enabled_ = false;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,38 @@
+#include "vgpu/occupancy.hpp"
+
+#include <algorithm>
+
+#include "vgpu/common.hpp"
+
+namespace vgpu {
+
+Occupancy occupancy_for(const ArchSpec& arch, int block_threads, int smem_bytes) {
+  if (block_threads < 1 || block_threads > arch.max_threads_per_block)
+    throw SimError("invalid block size");
+  if (smem_bytes < 0 || smem_bytes > arch.shared_mem_per_block)
+    throw SimError("requested shared memory exceeds the per-block limit");
+
+  const int warps_per_block = (block_threads + kWarpSize - 1) / kWarpSize;
+
+  Occupancy o;
+  int by_blocks = arch.max_blocks_per_sm;
+  int by_threads = arch.max_threads_per_sm / block_threads;
+  int by_warps = arch.max_warps_per_sm / warps_per_block;
+  int by_smem = smem_bytes > 0 ? arch.shared_mem_per_sm / smem_bytes
+                               : arch.max_blocks_per_sm;
+
+  o.blocks_per_sm = std::min({by_blocks, by_threads, by_warps, by_smem});
+  if (o.blocks_per_sm == by_smem && smem_bytes > 0) o.limiter = "smem";
+  if (o.blocks_per_sm == by_warps) o.limiter = "warps";
+  if (o.blocks_per_sm == by_threads) o.limiter = "threads";
+  if (o.blocks_per_sm == by_blocks) o.limiter = "blocks";
+  o.warps_per_sm = o.blocks_per_sm * warps_per_block;
+  o.threads_per_sm = o.blocks_per_sm * block_threads;
+  return o;
+}
+
+int max_cooperative_grid(const ArchSpec& arch, int block_threads, int smem_bytes) {
+  return occupancy_for(arch, block_threads, smem_bytes).blocks_per_sm * arch.num_sms;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,23 @@
+// Occupancy calculator: how many blocks of a given shape fit on one SM.
+// Mirrors cudaOccupancyMaxActiveBlocksPerMultiprocessor for the limits the
+// paper exercises (threads, warps, blocks, shared memory).
+#pragma once
+
+#include "vgpu/arch.hpp"
+
+namespace vgpu {
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  int threads_per_sm = 0;
+  /// Which resource bound first: "blocks", "threads", "warps", "smem".
+  const char* limiter = "";
+};
+
+Occupancy occupancy_for(const ArchSpec& arch, int block_threads, int smem_bytes);
+
+/// Largest grid accepted by a cooperative launch (co-residency requirement).
+int max_cooperative_grid(const ArchSpec& arch, int block_threads, int smem_bytes);
+
+}  // namespace vgpu

@@ -1,0 +1,327 @@
+#include "vgpu/program.hpp"
+
+#include <bit>
+#include <sstream>
+
+namespace vgpu {
+
+namespace {
+constexpr std::int32_t kLabelSentinel = -1000000;  // label id encoded in target
+}
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+std::string Program::disassemble() const {
+  std::ostringstream os;
+  os << "kernel " << name_ << " (regs=" << num_regs_ << ")\n";
+  for (std::int32_t pc = 0; pc < size(); ++pc) {
+    os << "  " << pc << ": " << to_string(code_[static_cast<std::size_t>(pc)])
+       << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// KernelBuilder
+// ---------------------------------------------------------------------------
+
+Reg KernelBuilder::reg() {
+  if (next_reg_ >= kMaxRegs) throw SimError("kernel uses too many registers");
+  return Reg{static_cast<std::uint8_t>(next_reg_++)};
+}
+
+Reg KernelBuilder::imm(std::int64_t v) {
+  Reg r = reg();
+  mov(r, v);
+  return r;
+}
+
+Reg KernelBuilder::immf(double v) {
+  Reg r = reg();
+  movf(r, v);
+  return r;
+}
+
+Label KernelBuilder::label() {
+  label_pcs_.push_back(-1);
+  return Label{static_cast<std::int32_t>(label_pcs_.size()) - 1};
+}
+
+void KernelBuilder::bind(Label l) {
+  if (l.id < 0 || static_cast<std::size_t>(l.id) >= label_pcs_.size())
+    throw SimError("bind: bad label");
+  if (label_pcs_[static_cast<std::size_t>(l.id)] != -1)
+    throw SimError("bind: label bound twice");
+  label_pcs_[static_cast<std::size_t>(l.id)] = pc();
+}
+
+Instr& KernelBuilder::emit(Instr i) {
+  if (finished_) throw SimError("emit after finish()");
+  code_.push_back(i);
+  return code_.back();
+}
+
+void KernelBuilder::nop() { emit({.op = Op::Nop}); }
+
+void KernelBuilder::mov(Reg d, std::int64_t v) {
+  emit({.op = Op::MovI, .dst = d.id, .imm = v});
+}
+
+void KernelBuilder::movf(Reg d, double v) {
+  emit({.op = Op::MovI, .dst = d.id, .imm = std::bit_cast<std::int64_t>(v)});
+}
+
+void KernelBuilder::mov(Reg d, Reg s) {
+  emit({.op = Op::Mov, .dst = d.id, .a = s.id});
+}
+
+void KernelBuilder::sreg(Reg d, SpecialReg s) {
+  emit({.op = Op::SReg, .dst = d.id, .aux = static_cast<std::uint8_t>(s)});
+}
+
+void KernelBuilder::ld_param(Reg d, int index) {
+  emit({.op = Op::LdParam, .dst = d.id, .imm = index});
+}
+
+void KernelBuilder::alu(Op op, Reg d, Reg a, Reg b) {
+  emit({.op = op, .dst = d.id, .a = a.id, .b = b.id});
+}
+
+void KernelBuilder::alu_imm(Op op, Reg d, Reg a, std::int64_t b) {
+  emit({.op = op, .dst = d.id, .a = a.id, .b_is_imm = true, .imm = b});
+}
+
+void KernelBuilder::iadd(Reg d, Reg a, Reg b) { alu(Op::IAdd, d, a, b); }
+void KernelBuilder::iadd(Reg d, Reg a, std::int64_t b) { alu_imm(Op::IAdd, d, a, b); }
+void KernelBuilder::isub(Reg d, Reg a, Reg b) { alu(Op::ISub, d, a, b); }
+void KernelBuilder::imul(Reg d, Reg a, Reg b) { alu(Op::IMul, d, a, b); }
+void KernelBuilder::imul(Reg d, Reg a, std::int64_t b) { alu_imm(Op::IMul, d, a, b); }
+void KernelBuilder::imin(Reg d, Reg a, Reg b) { alu(Op::IMin, d, a, b); }
+void KernelBuilder::imax(Reg d, Reg a, Reg b) { alu(Op::IMax, d, a, b); }
+void KernelBuilder::iand(Reg d, Reg a, std::int64_t b) { alu_imm(Op::IAnd, d, a, b); }
+void KernelBuilder::ishl(Reg d, Reg a, std::int64_t b) { alu_imm(Op::IShl, d, a, b); }
+void KernelBuilder::ishr(Reg d, Reg a, std::int64_t b) { alu_imm(Op::IShr, d, a, b); }
+void KernelBuilder::fadd(Reg d, Reg a, Reg b) { alu(Op::FAdd, d, a, b); }
+void KernelBuilder::fmul(Reg d, Reg a, Reg b) { alu(Op::FMul, d, a, b); }
+
+void KernelBuilder::setp(Reg d, Reg a, Cmp c, Reg b) {
+  emit({.op = Op::SetP, .dst = d.id, .a = a.id, .b = b.id, .cmp = c});
+}
+
+void KernelBuilder::setp(Reg d, Reg a, Cmp c, std::int64_t b) {
+  emit({.op = Op::SetP, .dst = d.id, .a = a.id, .b_is_imm = true, .cmp = c, .imm = b});
+}
+
+void KernelBuilder::ldg(Reg d, Reg byte_addr) {
+  emit({.op = Op::LdG, .dst = d.id, .a = byte_addr.id});
+}
+
+void KernelBuilder::stg(Reg byte_addr, Reg v) {
+  emit({.op = Op::StG, .a = byte_addr.id, .b = v.id});
+}
+
+void KernelBuilder::lds(Reg d, Reg byte_off, bool vol) {
+  emit({.op = Op::LdS, .dst = d.id, .a = byte_off.id, .is_volatile = vol});
+}
+
+void KernelBuilder::sts(Reg byte_off, Reg v, bool vol) {
+  emit({.op = Op::StS, .a = byte_off.id, .b = v.id, .is_volatile = vol});
+}
+
+void KernelBuilder::atom_add_f64(Reg byte_addr, Reg v) {
+  emit({.op = Op::AtomAddG, .a = byte_addr.id, .b = v.id, .aux = 1});
+}
+
+void KernelBuilder::atom_add_i64(Reg byte_addr, Reg v) {
+  emit({.op = Op::AtomAddG, .a = byte_addr.id, .b = v.id, .aux = 0});
+}
+
+void KernelBuilder::shfl_down(Reg d, Reg v, int delta, int width) {
+  emit({.op = Op::ShflDown, .dst = d.id, .b = v.id,
+        .aux = static_cast<std::uint8_t>(width), .imm = delta});
+}
+
+void KernelBuilder::shfl_idx(Reg d, Reg v, Reg src_lane, int width) {
+  emit({.op = Op::ShflIdx, .dst = d.id, .a = src_lane.id, .b = v.id,
+        .aux = static_cast<std::uint8_t>(width)});
+}
+
+void KernelBuilder::shfl_down_coalesced(Reg d, Reg v, int delta) {
+  emit({.op = Op::ShflDownCoa, .dst = d.id, .b = v.id,
+        .aux = kWarpSize, .imm = delta});
+}
+
+void KernelBuilder::tile_sync(int group_size) {
+  if (group_size < 1 || group_size > kWarpSize ||
+      (group_size & (group_size - 1)) != 0)
+    throw SimError("tile_sync: group size must be a power of two in [1,32]");
+  emit({.op = Op::TileSync, .aux = static_cast<std::uint8_t>(group_size)});
+}
+
+void KernelBuilder::coalesced_sync() { emit({.op = Op::CoaSync}); }
+void KernelBuilder::bar_sync() { emit({.op = Op::BarSync}); }
+void KernelBuilder::grid_sync() { emit({.op = Op::GridSync}); }
+void KernelBuilder::mgrid_sync() { emit({.op = Op::MGridSync}); }
+
+void KernelBuilder::nanosleep(std::int64_t nanos) {
+  emit({.op = Op::Nanosleep, .imm = nanos});
+}
+
+void KernelBuilder::rclock(Reg d) { emit({.op = Op::RClock, .dst = d.id}); }
+void KernelBuilder::exit() { emit({.op = Op::Exit}); }
+
+void KernelBuilder::bra(Label target) {
+  emit({.op = Op::Bra, .target = kLabelSentinel - target.id});
+}
+
+void KernelBuilder::bra_if(Reg pred, Label target, Label reconv, bool negate) {
+  emit({.op = Op::BraIf, .pred = pred.id, .negate = negate,
+        .target = kLabelSentinel - target.id,
+        .reconv = kLabelSentinel - reconv.id});
+}
+
+void KernelBuilder::if_then(Reg pred, const std::function<void()>& then_body) {
+  Label end = label();
+  // Lanes where pred == 0 skip the body; `end` post-dominates both paths.
+  bra_if(pred, end, end, /*negate=*/true);
+  then_body();
+  bind(end);
+}
+
+void KernelBuilder::if_then_else(Reg pred,
+                                 const std::function<void()>& then_body,
+                                 const std::function<void()>& else_body) {
+  Label else_l = label();
+  Label end = label();
+  bra_if(pred, else_l, end, /*negate=*/true);
+  then_body();
+  bra(end);
+  bind(else_l);
+  else_body();
+  bind(end);
+}
+
+void KernelBuilder::loop_while(const std::function<Reg()>& cond,
+                               const std::function<void()>& body) {
+  Label head = label();
+  Label end = label();
+  bind(head);
+  Reg p = cond();
+  // Lanes failing the condition leave the loop; `end` is the reconvergence
+  // point where early leavers wait for the stragglers.
+  bra_if(p, end, end, /*negate=*/true);
+  body();
+  bra(head);
+  bind(end);
+}
+
+void KernelBuilder::repeat(int times, const std::function<void()>& body) {
+  for (int i = 0; i < times; ++i) body();
+}
+
+ProgramPtr KernelBuilder::finish() {
+  if (finished_) throw SimError("finish() called twice");
+  finished_ = true;
+  if (code_.empty() || code_.back().op != Op::Exit) {
+    code_.push_back({.op = Op::Exit});
+  }
+  // Resolve labels.
+  auto resolve = [&](std::int32_t enc, const char* what) -> std::int32_t {
+    if (enc == -1) return -1;
+    std::int32_t id = kLabelSentinel - enc;
+    if (id < 0 || static_cast<std::size_t>(id) >= label_pcs_.size())
+      throw SimError(std::string("unresolvable ") + what);
+    std::int32_t target = label_pcs_[static_cast<std::size_t>(id)];
+    if (target < 0) throw SimError(std::string("unbound label in ") + what);
+    return target;
+  };
+  for (Instr& i : code_) {
+    if (i.op == Op::Bra || i.op == Op::BraIf) {
+      i.target = resolve(i.target, "branch target");
+      if (i.op == Op::BraIf) i.reconv = resolve(i.reconv, "reconvergence label");
+      if (i.target > static_cast<std::int32_t>(code_.size()))
+        throw SimError("branch target out of range");
+    }
+  }
+  return std::make_shared<Program>(std::move(name_), std::move(code_),
+                                   next_reg_ == 0 ? 1 : next_reg_);
+}
+
+// ---------------------------------------------------------------------------
+// Disassembly
+// ---------------------------------------------------------------------------
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Nop: return "nop";
+    case Op::MovI: return "movi";
+    case Op::Mov: return "mov";
+    case Op::SReg: return "sreg";
+    case Op::LdParam: return "ldparam";
+    case Op::IAdd: return "iadd";
+    case Op::ISub: return "isub";
+    case Op::IMul: return "imul";
+    case Op::IMin: return "imin";
+    case Op::IMax: return "imax";
+    case Op::IAnd: return "iand";
+    case Op::IOr: return "ior";
+    case Op::IXor: return "ixor";
+    case Op::IShl: return "ishl";
+    case Op::IShr: return "ishr";
+    case Op::FAdd: return "fadd";
+    case Op::FMul: return "fmul";
+    case Op::SetP: return "setp";
+    case Op::Bra: return "bra";
+    case Op::BraIf: return "bra_if";
+    case Op::LdG: return "ldg";
+    case Op::StG: return "stg";
+    case Op::LdS: return "lds";
+    case Op::StS: return "sts";
+    case Op::AtomAddG: return "atom.add";
+    case Op::ShflDown: return "shfl.down";
+    case Op::ShflIdx: return "shfl.idx";
+    case Op::ShflDownCoa: return "shfl.down.coa";
+    case Op::TileSync: return "tile.sync";
+    case Op::CoaSync: return "coa.sync";
+    case Op::BarSync: return "bar.sync";
+    case Op::GridSync: return "grid.sync";
+    case Op::MGridSync: return "mgrid.sync";
+    case Op::Nanosleep: return "nanosleep";
+    case Op::RClock: return "rclock";
+    case Op::Exit: return "exit";
+  }
+  return "?";
+}
+
+std::string to_string(const Instr& i) {
+  std::ostringstream os;
+  os << op_name(i.op);
+  switch (i.op) {
+    case Op::MovI:
+      os << " r" << int(i.dst) << ", " << i.imm;
+      break;
+    case Op::Bra:
+      os << " ->" << i.target;
+      break;
+    case Op::BraIf:
+      os << (i.negate ? " !r" : " r") << int(i.pred) << " ->" << i.target
+         << " (reconv " << i.reconv << ")";
+      break;
+    case Op::SetP:
+      os << " r" << int(i.dst) << ", r" << int(i.a) << " ? ";
+      if (i.b_is_imm) os << i.imm; else os << "r" << int(i.b);
+      break;
+    default:
+      if (i.dst || i.a || i.b)
+        os << " r" << int(i.dst) << ", r" << int(i.a) << ", r" << int(i.b);
+      if (i.b_is_imm || i.op == Op::Nanosleep || i.op == Op::ShflDown ||
+          i.op == Op::LdParam)
+        os << " #" << i.imm;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace vgpu

@@ -1,0 +1,143 @@
+// Kernel programs and the KernelBuilder assembler.
+//
+// KernelBuilder provides structured-control-flow helpers (if_then,
+// if_then_else, loop_while) that emit BraIf instructions with correct
+// reconvergence labels — the moral equivalent of the compiler planting SSY
+// targets at immediate post-dominators. Programs are validated on finish():
+// resolved labels, register bounds, reconvergence sanity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vgpu/common.hpp"
+#include "vgpu/isa.hpp"
+
+namespace vgpu {
+
+inline constexpr int kMaxRegs = 128;
+
+/// An immutable, validated kernel.
+class Program {
+ public:
+  Program(std::string name, std::vector<Instr> code, int num_regs)
+      : name_(std::move(name)), code_(std::move(code)), num_regs_(num_regs) {}
+
+  const std::string& name() const { return name_; }
+  const Instr& at(std::int32_t pc) const { return code_[static_cast<std::size_t>(pc)]; }
+  std::int32_t size() const { return static_cast<std::int32_t>(code_.size()); }
+  int num_regs() const { return num_regs_; }
+  std::string disassemble() const;
+
+ private:
+  std::string name_;
+  std::vector<Instr> code_;
+  int num_regs_;
+};
+
+using ProgramPtr = std::shared_ptr<const Program>;
+
+/// Virtual register handle.
+struct Reg {
+  std::uint8_t id = 0;
+};
+
+/// Branch label handle.
+struct Label {
+  std::int32_t id = -1;
+};
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+  // ---- registers --------------------------------------------------------
+  Reg reg();                      // allocate a fresh register
+  Reg imm(std::int64_t v);        // fresh register preloaded with v
+  Reg immf(double v);             // fresh register preloaded with double v
+
+  // ---- labels -----------------------------------------------------------
+  Label label();                  // forward-declare
+  void bind(Label l);             // bind at current pc
+
+  // ---- straight-line ops --------------------------------------------------
+  void nop();
+  void mov(Reg d, std::int64_t v);
+  void movf(Reg d, double v);
+  void mov(Reg d, Reg s);
+  void sreg(Reg d, SpecialReg s);
+  void ld_param(Reg d, int index);
+
+  void iadd(Reg d, Reg a, Reg b);
+  void iadd(Reg d, Reg a, std::int64_t b);
+  void isub(Reg d, Reg a, Reg b);
+  void imul(Reg d, Reg a, Reg b);
+  void imul(Reg d, Reg a, std::int64_t b);
+  void imin(Reg d, Reg a, Reg b);
+  void imax(Reg d, Reg a, Reg b);
+  void iand(Reg d, Reg a, std::int64_t b);
+  void ishl(Reg d, Reg a, std::int64_t b);
+  void ishr(Reg d, Reg a, std::int64_t b);
+  void fadd(Reg d, Reg a, Reg b);
+  void fmul(Reg d, Reg a, Reg b);
+
+  void setp(Reg d, Reg a, Cmp c, Reg b);
+  void setp(Reg d, Reg a, Cmp c, std::int64_t b);
+
+  void ldg(Reg d, Reg byte_addr);
+  void stg(Reg byte_addr, Reg v);
+  void lds(Reg d, Reg byte_off, bool vol = false);
+  void sts(Reg byte_off, Reg v, bool vol = false);
+  void atom_add_f64(Reg byte_addr, Reg v);
+  void atom_add_i64(Reg byte_addr, Reg v);
+
+  void shfl_down(Reg d, Reg v, int delta, int width = kWarpSize);
+  void shfl_idx(Reg d, Reg v, Reg src_lane, int width = kWarpSize);
+  void shfl_down_coalesced(Reg d, Reg v, int delta);
+
+  void tile_sync(int group_size = kWarpSize);
+  void coalesced_sync();
+  void bar_sync();
+  void grid_sync();
+  void mgrid_sync();
+
+  void nanosleep(std::int64_t nanos);
+  void rclock(Reg d);
+  void exit();
+
+  // ---- raw branches (structured helpers below are preferred) -------------
+  void bra(Label target);
+  void bra_if(Reg pred, Label target, Label reconv, bool negate = false);
+
+  // ---- structured control flow -------------------------------------------
+  /// if (pred != 0) { then_body(); }
+  void if_then(Reg pred, const std::function<void()>& then_body);
+  /// if (pred != 0) { then_body(); } else { else_body(); }
+  void if_then_else(Reg pred, const std::function<void()>& then_body,
+                    const std::function<void()>& else_body);
+  /// while (cond() != 0) { body(); } — cond emits code and returns the
+  /// predicate register evaluated each iteration.
+  void loop_while(const std::function<Reg()>& cond,
+                  const std::function<void()>& body);
+  /// Plain counted repetition, unrolled at build time.
+  void repeat(int times, const std::function<void()>& body);
+
+  std::int32_t pc() const { return static_cast<std::int32_t>(code_.size()); }
+  ProgramPtr finish();
+
+ private:
+  Instr& emit(Instr i);
+  void alu(Op op, Reg d, Reg a, Reg b);
+  void alu_imm(Op op, Reg d, Reg a, std::int64_t b);
+
+  std::string name_;
+  std::vector<Instr> code_;
+  std::vector<std::int32_t> label_pcs_;   // -1 while unbound
+  int next_reg_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace vgpu

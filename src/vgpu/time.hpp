@@ -1,0 +1,46 @@
+// Virtual-time definitions for the vgpu simulator.
+//
+// All simulation time is kept in integer picoseconds so that several clock
+// domains (a 1312 MHz V100, a 1189 MHz P100, and the host) can share one
+// event queue without accumulating rounding drift inside a domain.
+#pragma once
+
+#include <cstdint>
+
+namespace vgpu {
+
+/// Absolute virtual time in picoseconds.
+using Ps = std::int64_t;
+
+inline constexpr Ps kPsPerNs = 1'000;
+inline constexpr Ps kPsPerUs = 1'000'000;
+inline constexpr Ps kPsInfinity = INT64_MAX / 4;
+
+constexpr Ps ns(double v) { return static_cast<Ps>(v * kPsPerNs); }
+constexpr Ps us(double v) { return static_cast<Ps>(v * kPsPerUs); }
+
+constexpr double to_us(Ps t) { return static_cast<double>(t) / kPsPerUs; }
+constexpr double to_ns(Ps t) { return static_cast<double>(t) / kPsPerNs; }
+
+/// One device clock domain. Converts between device cycles and picoseconds.
+class ClockDomain {
+ public:
+  ClockDomain() = default;
+  explicit ClockDomain(double mhz) : mhz_(mhz), ps_per_cycle_(1e6 / mhz) {}
+
+  double mhz() const { return mhz_; }
+  double ps_per_cycle() const { return ps_per_cycle_; }
+
+  Ps cycles_to_ps(double cycles) const {
+    return static_cast<Ps>(cycles * ps_per_cycle_ + 0.5);
+  }
+  double ps_to_cycles(Ps t) const {
+    return static_cast<double>(t) / ps_per_cycle_;
+  }
+
+ private:
+  double mhz_ = 1000.0;
+  double ps_per_cycle_ = 1000.0;
+};
+
+}  // namespace vgpu

@@ -1,0 +1,487 @@
+// The instruction interpreter: functional semantics plus the timing model
+// (operand scoreboard, in-order issue, unit regulators, SIMT divergence,
+// Pascal lock-step vs Volta join semantics at warp-level sync points).
+#include <algorithm>
+#include <array>
+
+#include "vgpu/device.hpp"
+#include "vgpu/machine.hpp"
+
+namespace vgpu {
+
+namespace {
+
+/// Distinct 128-byte lines touched by the active lanes of a global access.
+int count_lines(const std::array<std::int64_t, kWarpSize>& addr, std::uint32_t active) {
+  std::array<std::int64_t, kWarpSize> lines{};
+  int n = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_in(active, l)) continue;
+    const std::int64_t line = addr[static_cast<std::size_t>(l)] >> 7;
+    bool seen = false;
+    for (int k = 0; k < n; ++k)
+      if (lines[static_cast<std::size_t>(k)] == line) { seen = true; break; }
+    if (!seen) lines[static_cast<std::size_t>(n++)] = line;
+  }
+  return n;
+}
+
+std::int64_t alu_eval(Op op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case Op::IAdd: return a + b;
+    case Op::ISub: return a - b;
+    case Op::IMul: return a * b;
+    case Op::IMin: return std::min(a, b);
+    case Op::IMax: return std::max(a, b);
+    case Op::IAnd: return a & b;
+    case Op::IOr: return a | b;
+    case Op::IXor: return a ^ b;
+    case Op::IShl: return a << b;
+    case Op::IShr: return a >> b;
+    default: throw SimError("alu_eval: not an integer op");
+  }
+}
+
+bool cmp_eval(Cmp c, std::int64_t a, std::int64_t b) {
+  switch (c) {
+    case Cmp::Eq: return a == b;
+    case Cmp::Ne: return a != b;
+    case Cmp::Lt: return a < b;
+    case Cmp::Le: return a <= b;
+    case Cmp::Gt: return a > b;
+    case Cmp::Ge: return a >= b;
+  }
+  return false;
+}
+
+/// Register exchange for all shuffle flavours. `participants` defines rank
+/// order for the coalesced flavour. Values are snapshotted first so
+/// in-place shuffles (dst == src) read pre-exchange values.
+void do_shuffle(Warp& w, const Instr& I, std::uint32_t lanes,
+                std::uint32_t participants) {
+  std::array<Value, kWarpSize> snap;
+  for (int l = 0; l < kWarpSize; ++l) snap[static_cast<std::size_t>(l)] = w.r(I.b, l);
+
+  if (I.op == Op::ShflDownCoa) {
+    std::array<int, kWarpSize> rank_to_lane{};
+    std::array<int, kWarpSize> lane_to_rank{};
+    int n = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (lane_in(participants, l)) {
+        rank_to_lane[static_cast<std::size_t>(n)] = l;
+        lane_to_rank[static_cast<std::size_t>(l)] = n;
+        ++n;
+      }
+    }
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!lane_in(lanes, l)) continue;
+      const int r = lane_to_rank[static_cast<std::size_t>(l)] + static_cast<int>(I.imm);
+      const int src = r < n ? rank_to_lane[static_cast<std::size_t>(r)] : l;
+      w.r(I.dst, l) = snap[static_cast<std::size_t>(src)];
+    }
+    return;
+  }
+
+  const int width = I.aux ? I.aux : kWarpSize;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!lane_in(lanes, l)) continue;
+    const int seg = l & ~(width - 1);
+    int src = l;
+    if (I.op == Op::ShflDown) {
+      const int cand = l + static_cast<int>(I.imm);
+      src = cand < seg + width ? cand : l;
+    } else {  // ShflIdx
+      const int idx = static_cast<int>(w.r(I.a, l).i) & (width - 1);
+      src = seg + idx;
+    }
+    w.r(I.dst, l) = snap[static_cast<std::size_t>(src)];
+  }
+}
+
+}  // namespace
+
+double Device::sync_latency_of(const Warp& w, const SyncWaiter& sw) const {
+  switch (sw.op) {
+    case Op::TileSync: return arch_.tile_sync_latency;
+    case Op::CoaSync:
+      return popcount(w.alive) == kWarpSize ? arch_.coalesced_sync_latency_full
+                                            : arch_.coalesced_sync_latency_partial;
+    case Op::ShflDown:
+    case Op::ShflIdx: return arch_.shfl_tile_latency;
+    case Op::ShflDownCoa: return arch_.shfl_coalesced_latency;
+    default: return arch_.tile_sync_latency;
+  }
+}
+
+void Device::complete_parked_shuffle(Warp& w, SyncWaiter& sw, Ps release) {
+  const std::uint32_t lanes = sw.ctx.mask & w.alive;
+  do_shuffle(w, *sw.pending, lanes, w.sync_arrived & w.alive);
+  w.reg_ready[sw.pending->dst] = std::max(w.reg_ready[sw.pending->dst], release);
+}
+
+void Device::step_warp(Warp& w) {
+  Block& b = *w.block;
+  GridExec& g = *b.grid;
+  const Program& prog = *g.desc.prog;
+  SMState& sm = sms_[static_cast<std::size_t>(b.sm_index)];
+
+  ExecContext& c = w.top();
+  if (c.pc < 0 || c.pc >= prog.size())
+    throw SimError("pc out of range in kernel '" + prog.name() + "'");
+  const Instr& I = prog.at(c.pc);
+  const std::uint32_t active = c.mask & w.alive;
+
+  // ---- operand readiness + issue -----------------------------------------
+  Ps ready = c.t;
+  auto use = [&](std::uint8_t r) { ready = std::max(ready, w.reg_ready[r]); };
+  switch (I.op) {
+    case Op::Mov: use(I.a); break;
+    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IMin: case Op::IMax:
+    case Op::IAnd: case Op::IOr: case Op::IXor: case Op::IShl: case Op::IShr:
+    case Op::FAdd: case Op::FMul:
+      use(I.a);
+      if (!I.b_is_imm) use(I.b);
+      break;
+    case Op::SetP:
+      use(I.a);
+      if (!I.b_is_imm) use(I.b);
+      break;
+    case Op::BraIf: use(I.pred); break;
+    case Op::LdG: case Op::LdS: use(I.a); break;
+    case Op::StG: case Op::StS: case Op::AtomAddG: use(I.a); use(I.b); break;
+    case Op::ShflDown: case Op::ShflDownCoa: use(I.b); break;
+    case Op::ShflIdx: use(I.a); use(I.b); break;
+    default: break;
+  }
+  // Causality guard: if the operands only become ready beyond the event
+  // horizon, stall to that time instead of acquiring unit slots "from the
+  // future" (which would make shared regulators jump past idle time and
+  // starve sibling warps).
+  if (ready > machine_.queue().next_time() + horizon_slack()) {
+    c.t = ready;
+    return;
+  }
+  const Ps slot =
+      sm.sched[static_cast<std::size_t>(w.sched_slot)].acquire(ready, cyc(arch_.alu_ii));
+  c.t = slot + cyc(1.0);
+
+  switch (I.op) {
+    case Op::Nop:
+      break;
+
+    case Op::MovI:
+      for (int l = 0; l < kWarpSize; ++l)
+        if (lane_in(active, l)) w.r(I.dst, l).i = I.imm;
+      w.reg_ready[I.dst] = slot + cyc(1.0);
+      break;
+
+    case Op::Mov:
+      for (int l = 0; l < kWarpSize; ++l)
+        if (lane_in(active, l)) w.r(I.dst, l) = w.r(I.a, l);
+      w.reg_ready[I.dst] = slot + cyc(1.0);
+      break;
+
+    case Op::SReg: {
+      const auto s = static_cast<SpecialReg>(I.aux);
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_in(active, l)) continue;
+        std::int64_t v = 0;
+        const std::int64_t tid = w.warp_in_block * kWarpSize + l;
+        switch (s) {
+          case SpecialReg::Tid: v = tid; break;
+          case SpecialReg::Bid: v = b.bid; break;
+          case SpecialReg::BlockDim: v = g.desc.block_threads; break;
+          case SpecialReg::GridDim: v = g.desc.grid_blocks; break;
+          case SpecialReg::Lane: v = l; break;
+          case SpecialReg::WarpId: v = w.warp_in_block; break;
+          case SpecialReg::GTid:
+            v = tid + static_cast<std::int64_t>(b.bid) * g.desc.block_threads;
+            break;
+          case SpecialReg::GSize:
+            v = static_cast<std::int64_t>(g.desc.block_threads) * g.desc.grid_blocks;
+            break;
+          case SpecialReg::SmId: v = b.sm_index; break;
+          case SpecialReg::GpuId: v = g.desc.mgrid_rank; break;
+          case SpecialReg::NumGpus:
+            v = g.desc.mgrid ? g.desc.mgrid->num_devices : 1;
+            break;
+        }
+        w.r(I.dst, l).i = v;
+      }
+      w.reg_ready[I.dst] = slot + cyc(1.0);
+      break;
+    }
+
+    case Op::LdParam: {
+      if (I.imm < 0 || static_cast<std::size_t>(I.imm) >= g.desc.params.size())
+        throw SimError("kernel parameter index out of range");
+      const std::int64_t v = g.desc.params[static_cast<std::size_t>(I.imm)];
+      for (int l = 0; l < kWarpSize; ++l)
+        if (lane_in(active, l)) w.r(I.dst, l).i = v;
+      w.reg_ready[I.dst] = slot + cyc(1.0);
+      break;
+    }
+
+    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IMin: case Op::IMax:
+    case Op::IAnd: case Op::IOr: case Op::IXor: case Op::IShl: case Op::IShr:
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_in(active, l)) continue;
+        const std::int64_t bv = I.b_is_imm ? I.imm : w.r(I.b, l).i;
+        w.r(I.dst, l).i = alu_eval(I.op, w.r(I.a, l).i, bv);
+      }
+      w.reg_ready[I.dst] = slot + cyc(arch_.alu_latency);
+      break;
+
+    case Op::FAdd: case Op::FMul:
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_in(active, l)) continue;
+        const double av = w.r(I.a, l).f();
+        const double bv = I.b_is_imm ? std::bit_cast<double>(I.imm) : w.r(I.b, l).f();
+        w.r(I.dst, l) = Value::from_f(I.op == Op::FAdd ? av + bv : av * bv);
+      }
+      w.reg_ready[I.dst] = slot + cyc(arch_.alu_latency);
+      break;
+
+    case Op::SetP:
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_in(active, l)) continue;
+        const std::int64_t bv = I.b_is_imm ? I.imm : w.r(I.b, l).i;
+        w.r(I.dst, l).i = cmp_eval(I.cmp, w.r(I.a, l).i, bv) ? 1 : 0;
+      }
+      w.reg_ready[I.dst] = slot + cyc(arch_.alu_latency);
+      break;
+
+    case Op::Bra:
+      c.pc = I.target;
+      return;
+
+    case Op::BraIf: {
+      std::uint32_t taken = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_in(active, l)) continue;
+        const bool p = w.r(I.pred, l).i != 0;
+        if (p != I.negate) taken |= 1u << l;
+      }
+      if (taken == active) { c.pc = I.target; return; }
+      if (taken == 0) { c.pc += 1; return; }
+      // Divergence: the current context becomes the reconvergence
+      // continuation; both arms are pushed above it.
+      const Ps tsplit = slot + cyc(2.0);
+      const std::int32_t fall_pc = c.pc + 1;
+      const std::uint32_t parent = c.id;
+      c.pc = I.reconv;
+      c.t = tsplit;
+      c.live_children += 2;
+      ExecContext fall{I.reconv, fall_pc, active & ~taken, tsplit, 0,
+                       w.next_ctx_id++, parent};
+      ExecContext tk{I.reconv, I.target, taken, tsplit, 0, w.next_ctx_id++, parent};
+      w.stack.push_back(tk);  // 'c' is invalid from here on
+      w.stack.push_back(fall);  // fall-through arm executes first
+      return;
+    }
+
+    case Op::LdG: case Op::StG: {
+      std::array<std::int64_t, kWarpSize> addr{};
+      int target_dev = -1;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_in(active, l)) continue;
+        addr[static_cast<std::size_t>(l)] = w.r(I.a, l).i;
+        const DevPtr p{addr[static_cast<std::size_t>(l)]};
+        if (p.raw % 8 != 0) throw SimError("unaligned 8-byte global access");
+        if (target_dev == -1) target_dev = p.device();
+        else if (target_dev != p.device())
+          throw SimError("global access spans devices within one warp");
+      }
+      const int lines = count_lines(addr, active);
+      const std::int64_t bytes = static_cast<std::int64_t>(lines) * 128;
+      const Ps port = w.gmem_port.acquire(slot, cyc(arch_.gmem_warp_ii));
+      Ps svc;
+      Ps extra = 0;
+      const double eff_bw = arch_.dram_bytes_per_cycle * arch_.dram_efficiency;
+      if (target_dev == id_) {
+        dram_requests += 1;
+        dram_bytes += bytes;
+        svc = dram.acquire(port, cyc(static_cast<double>(bytes) / eff_bw));
+      } else {
+        svc = machine_.fabric().remote_line_slot(id_, target_dev, bytes, port);
+        extra = machine_.fabric().remote_latency(id_, target_dev);
+      }
+      GlobalMemory& m = machine_.device(target_dev).mem();
+      if (I.op == Op::LdG) {
+        for (int l = 0; l < kWarpSize; ++l)
+          if (lane_in(active, l))
+            w.r(I.dst, l).i = m.load_i64(DevPtr{addr[static_cast<std::size_t>(l)]});
+        w.reg_ready[I.dst] = svc + cyc(arch_.gmem_latency) + extra;
+      } else {
+        for (int l = 0; l < kWarpSize; ++l)
+          if (lane_in(active, l))
+            m.store_i64(DevPtr{addr[static_cast<std::size_t>(l)]}, w.r(I.b, l).i);
+      }
+      break;
+    }
+
+    case Op::AtomAddG: {
+      Ps prev = slot;
+      int target_dev = -1;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_in(active, l)) continue;
+        const DevPtr p{w.r(I.a, l).i};
+        if (target_dev == -1) target_dev = p.device();
+        GlobalMemory& m = machine_.device(p.device()).mem();
+        if (I.aux) {
+          m.store_f64(p, m.load_f64(p) + w.r(I.b, l).f());
+        } else {
+          m.store_i64(p, m.load_i64(p) + w.r(I.b, l).i);
+        }
+        prev = atom_unit.acquire(prev, cyc(arch_.atom_ii));
+      }
+      Ps done = prev + cyc(arch_.atom_latency);
+      if (target_dev != -1 && target_dev != id_)
+        done += machine_.fabric().remote_latency(id_, target_dev);
+      c.t = std::max(c.t, slot + cyc(1.0));
+      // Atomics without return value do not stall the pipeline; the unit
+      // regulator alone throttles the rate. `done` is kept for future
+      // returning-atomic support.
+      (void)done;
+      break;
+    }
+
+    case Op::LdS: case Op::StS: {
+      const std::int64_t smem_size = static_cast<std::int64_t>(b.smem.size());
+      const std::int64_t bytes = popcount(active) * 8;
+      const Ps port = w.smem_port.acquire(slot, cyc(arch_.smem_warp_ii));
+      const Ps svc = sm.lsu.acquire(
+          port, cyc(static_cast<double>(bytes) / arch_.smem_sm_bytes_per_cycle));
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (!lane_in(active, l)) continue;
+        const std::int64_t off = w.r(I.a, l).i;
+        if (off < 0 || off + 8 > smem_size || off % 8 != 0)
+          throw SimError("shared memory access out of bounds or unaligned in '" +
+                         prog.name() + "'");
+        std::int64_t* word =
+            reinterpret_cast<std::int64_t*>(b.smem.data() + off);
+        SmemWordMeta& meta = b.smem_meta[static_cast<std::size_t>(off / 8)];
+        if (I.op == Op::LdS) {
+          std::int64_t v = *word;
+          if (!I.is_volatile && meta.writer_warp >= 0) {
+            const bool same_warp = meta.writer_warp == w.warp_in_block;
+            const bool stale =
+                same_warp
+                    ? (meta.writer_lane != l && meta.writer_warp_epoch == w.sync_epoch)
+                    : (meta.writer_block_epoch == b.block_epoch);
+            if (stale) v = meta.prev;  // unfenced cross-lane read: old value
+          }
+          w.r(I.dst, l).i = v;
+        } else {
+          if (I.is_volatile) {
+            meta.writer_warp = -1;  // immediately visible to everyone
+          } else {
+            meta.prev = *word;
+            meta.writer_warp = static_cast<std::int16_t>(w.warp_in_block);
+            meta.writer_lane = static_cast<std::int8_t>(l);
+            meta.writer_warp_epoch = w.sync_epoch;
+            meta.writer_block_epoch = b.block_epoch;
+          }
+          *word = w.r(I.b, l).i;
+        }
+      }
+      if (I.op == Op::LdS) w.reg_ready[I.dst] = svc + cyc(arch_.smem_latency);
+      break;
+    }
+
+    case Op::ShflDown: case Op::ShflIdx: case Op::ShflDownCoa: {
+      const bool coa = I.op == Op::ShflDownCoa;
+      const double lat = coa ? arch_.shfl_coalesced_latency : arch_.shfl_tile_latency;
+      const double ii = coa ? arch_.shfl_coalesced_ii : arch_.shfl_tile_ii;
+      const Ps pipe = sm.shfl_pipe.acquire(slot, cyc(ii));
+      const bool converged = active == w.alive && w.sync_waiters.empty();
+      if (!arch_.independent_thread_scheduling || converged) {
+        // Pascal always exchanges immediately (lock-step illusion): in
+        // divergent code this reads whatever the other lanes last wrote,
+        // which is exactly the paper's "shuffle does not work correctly".
+        do_shuffle(w, I, active, active);
+        w.reg_ready[I.dst] = pipe + cyc(lat);
+        c.t = pipe + cyc(1.0);  // the shuffle queue backpressures issue
+        c.pc += 1;
+        return;
+      }
+      // Volta: a shuffle is also a join point; park and exchange at release.
+      ExecContext saved = c;
+      saved.pc = c.pc + 1;
+      saved.t = pipe;
+      w.stack.pop_back();
+      w.sync_arrived |= active;
+      w.sync_waiters.push_back(SyncWaiter{saved, pipe, &I, I.op});
+      maybe_release_warp_sync(w, pipe);
+      return;
+    }
+
+    case Op::TileSync: case Op::CoaSync: {
+      double lat, ii;
+      if (I.op == Op::TileSync) {
+        lat = arch_.tile_sync_latency;
+        ii = arch_.tile_sync_ii;
+      } else if (popcount(active) == kWarpSize) {
+        lat = arch_.coalesced_sync_latency_full;
+        ii = arch_.coalesced_sync_ii_full;
+      } else {
+        lat = arch_.coalesced_sync_latency_partial;
+        ii = arch_.coalesced_sync_ii_partial;
+      }
+      const Ps pipe = sm.sync_pipe.acquire(slot, cyc(ii));
+      const bool converged = active == w.alive && w.sync_waiters.empty();
+      if (!arch_.independent_thread_scheduling || converged) {
+        c.t = pipe + cyc(lat);
+        w.sync_epoch += 1;  // visibility fence
+        c.pc += 1;
+        return;
+      }
+      ExecContext saved = c;
+      saved.pc = c.pc + 1;
+      saved.t = pipe;
+      w.stack.pop_back();
+      w.sync_arrived |= active;
+      w.sync_waiters.push_back(SyncWaiter{saved, pipe, nullptr, I.op});
+      maybe_release_warp_sync(w, pipe);
+      return;
+    }
+
+    case Op::BarSync: case Op::GridSync: case Op::MGridSync: {
+      if (active != w.alive)
+        throw SimError("block/grid barrier executed in divergent code in '" +
+                       prog.name() + "'");
+      if (I.op == Op::GridSync && !g.desc.cooperative)
+        throw SimError("grid.sync() requires a cooperative launch");
+      if (I.op == Op::MGridSync && !g.desc.mgrid)
+        throw SimError("multi_grid.sync() requires a multi-device cooperative launch");
+      const Ps arrive = sm.bar_unit.acquire(slot, cyc(arch_.bar_arrive_ii));
+      w.sync_epoch += 1;
+      c.pc += 1;  // resume after the barrier
+      const BlockBarKind kind = I.op == Op::BarSync ? BlockBarKind::Block
+                                : I.op == Op::GridSync ? BlockBarKind::Grid
+                                                       : BlockBarKind::MGrid;
+      block_bar_arrive(w, kind, arrive);
+      return;
+    }
+
+    case Op::Nanosleep:
+      c.t = slot + I.imm * kPsPerNs;
+      break;
+
+    case Op::RClock:
+      for (int l = 0; l < kWarpSize; ++l)
+        if (lane_in(active, l))
+          w.r(I.dst, l).i = static_cast<std::int64_t>(cycles_of(slot));
+      w.reg_ready[I.dst] = slot + cyc(1.0);
+      break;
+
+    case Op::Exit:
+      w.alive &= ~active;
+      exit_context(w, c.t);
+      return;
+  }
+
+  w.top().pc += 1;
+}
+
+}  // namespace vgpu

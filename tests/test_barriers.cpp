@@ -1,0 +1,203 @@
+// Block / grid / multi-grid barrier semantics: ordering guarantees, exited
+// participants, divergence validation, cooperative-launch requirements, and
+// repeated generations.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+using namespace vgpu;
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+using testutil::run_once;
+
+class Barriers : public ::testing::TestWithParam<const ArchSpec*> {};
+
+TEST_P(Barriers, BlockBarrierOrdersSharedMemory) {
+  // Producer warps write, everyone bar-syncs, consumers read: every value
+  // must be visible (also exercises the epoch model across warps).
+  KernelBuilder b("orders");
+  Reg out = b.reg(), tid = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(tid, SpecialReg::Tid);
+  Reg off = b.reg();
+  b.ishl(off, tid, 3);
+  Reg v = b.reg();
+  b.imul(v, tid, 3);
+  b.sts(off, v, false);
+  b.bar_sync();
+  // read neighbour (tid+1) % blockDim
+  Reg bdim = b.reg();
+  b.sreg(bdim, SpecialReg::BlockDim);
+  Reg nxt = b.reg();
+  b.iadd(nxt, tid, 1);
+  Reg p = b.reg();
+  b.setp(p, nxt, Cmp::Ge, bdim);
+  b.if_then(p, [&] { b.mov(nxt, 0); });
+  b.ishl(nxt, nxt, 3);
+  Reg got = b.reg();
+  b.lds(got, nxt, false);
+  Reg addr = b.reg();
+  b.ishl(addr, tid, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, got);
+  const int block = 128;
+  auto r = run_once(*GetParam(), b.finish(), 1, block, block * 8, block);
+  for (int t = 0; t < block; ++t)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(t)], ((t + 1) % block) * 3);
+}
+
+TEST_P(Barriers, ExitedWarpsDontCountTowardsBlockBarrier) {
+  // Half the warps exit before the barrier; the rest must not hang.
+  KernelBuilder b("halfexit");
+  Reg out = b.reg(), warp = b.reg(), tid = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(warp, SpecialReg::WarpId);
+  b.sreg(tid, SpecialReg::Tid);
+  Reg p = b.reg();
+  b.setp(p, warp, Cmp::Ge, 2);
+  b.if_then(p, [&] { b.exit(); });
+  b.bar_sync();
+  Reg one = b.imm(1);
+  Reg addr = b.reg();
+  b.ishl(addr, tid, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, one);
+  auto r = run_once(*GetParam(), b.finish(), 1, 128, 0, 128);
+  for (int t = 0; t < 64; ++t) EXPECT_EQ(r.out[static_cast<std::size_t>(t)], 1);
+  for (int t = 64; t < 128; ++t) EXPECT_EQ(r.out[static_cast<std::size_t>(t)], 0);
+}
+
+TEST_P(Barriers, BarSyncInDivergentCodeIsAnError) {
+  KernelBuilder b("divbar");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg p = b.reg();
+  b.setp(p, lane, Cmp::Lt, 16);
+  b.if_then(p, [&] { b.bar_sync(); });
+  EXPECT_THROW(run_once(*GetParam(), b.finish(), 1, 32, 0, 8), SimError);
+}
+
+TEST_P(Barriers, GridSyncRequiresCooperativeLaunch) {
+  KernelBuilder b("nogrid");
+  b.grid_sync();
+  EXPECT_THROW(run_once(*GetParam(), b.finish(), 2, 32, 0, 8,
+                        /*extra=*/{}, /*cooperative=*/false),
+               SimError);
+}
+
+TEST_P(Barriers, GridSyncOrdersWorkAcrossBlocks) {
+  // Every block writes its bid, grid-syncs, then block 0 sums all entries.
+  const ArchSpec& arch = *GetParam();
+  KernelBuilder b("gridorder");
+  Reg out = b.reg(), ws = b.reg(), bid = b.reg(), tid = b.reg();
+  b.ld_param(out, 0);
+  b.ld_param(ws, 1);
+  b.sreg(bid, SpecialReg::Bid);
+  b.sreg(tid, SpecialReg::Tid);
+  Reg is0 = b.reg();
+  b.setp(is0, tid, Cmp::Eq, 0);
+  b.if_then(is0, [&] {
+    Reg addr = b.reg();
+    b.ishl(addr, bid, 3);
+    b.iadd(addr, addr, ws);
+    Reg v = b.reg();
+    b.iadd(v, bid, 1);
+    b.stg(addr, v);
+  });
+  b.grid_sync();
+  Reg isb0 = b.reg();
+  b.setp(isb0, bid, Cmp::Eq, 0);
+  b.if_then(isb0, [&] {
+    b.if_then(is0, [&] {
+      Reg gdim = b.reg();
+      b.sreg(gdim, SpecialReg::GridDim);
+      Reg i = b.imm(0), sum = b.imm(0), p = b.reg(), addr = b.reg(), v = b.reg();
+      b.loop_while(
+          [&] {
+            b.setp(p, i, Cmp::Lt, gdim);
+            return p;
+          },
+          [&] {
+            b.ishl(addr, i, 3);
+            b.iadd(addr, addr, ws);
+            b.ldg(v, addr);
+            b.iadd(sum, sum, v);
+            b.iadd(i, i, 1);
+          });
+      b.stg(out, sum);
+    });
+  });
+  const int grid = arch.num_sms;  // 1 block/SM
+
+  System sys(MachineConfig::single(arch));
+  DevPtr out_buf = sys.malloc(0, 8);
+  DevPtr ws_buf = sys.malloc(0, static_cast<std::int64_t>(grid) * 8);
+  sys.run([&](HostThread& h) {
+    sys.launch_cooperative(
+        h, 0, LaunchParams{b.finish(), grid, 64, 0, {out_buf.raw, ws_buf.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  EXPECT_EQ(sys.read_i64(out_buf, 1)[0],
+            static_cast<std::int64_t>(grid) * (grid + 1) / 2);
+}
+
+TEST_P(Barriers, GridSyncSurvivesManyGenerations) {
+  // An iteration loop with a grid sync per step: counter must advance in
+  // lock-step (persistent-kernel pattern).
+  const ArchSpec& arch = *GetParam();
+  const int steps = 5;
+  KernelBuilder b("generations");
+  Reg out = b.reg(), tid = b.reg(), bid = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(tid, SpecialReg::Tid);
+  b.sreg(bid, SpecialReg::Bid);
+  Reg is_first = b.reg();
+  Reg t0 = b.reg();
+  b.iadd(t0, tid, 0);
+  b.setp(is_first, bid, Cmp::Eq, 0);
+  Reg one = b.imm(1);
+  for (int s = 0; s < steps; ++s) {
+    // block 0 / tid 0 increments out[0] once per step
+    b.if_then(is_first, [&] {
+      Reg isl0 = b.reg();
+      b.setp(isl0, t0, Cmp::Eq, 0);
+      b.if_then(isl0, [&] { b.atom_add_i64(out, one); });
+    });
+    b.grid_sync();
+  }
+  System sys(MachineConfig::single(arch));
+  DevPtr out_buf = sys.malloc(0, 8);
+  sys.run([&](HostThread& h) {
+    sys.launch_cooperative(h, 0,
+                           LaunchParams{b.finish(), arch.num_sms, 64, 0, {out_buf.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  EXPECT_EQ(sys.read_i64(out_buf, 1)[0], steps);
+}
+
+TEST_P(Barriers, BlockBarrierLatencyMatchesCalibration) {
+  // Single warp: the dependent barrier period equals the release latency.
+  const ArchSpec& arch = *GetParam();
+  KernelBuilder b("barlat");
+  Reg t0 = b.reg(), t1 = b.reg();
+  b.rclock(t0);
+  const int reps = 32;
+  b.repeat(reps, [&] { b.bar_sync(); });
+  b.rclock(t1);
+  Reg d = b.reg();
+  b.isub(d, t1, t0);
+  Reg out = b.reg(), lane = b.reg(), addr = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(lane, SpecialReg::Lane);
+  b.ishl(addr, lane, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, d);
+  auto r = run_once(arch, b.finish(), 1, 32, 0, 32);
+  const double per = static_cast<double>(r.out[0]) / reps;
+  EXPECT_NEAR(per, arch.bar_release_latency, arch.bar_release_latency * 0.15 + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, Barriers,
+                         ::testing::Values(&v100(), &p100()),
+                         [](const auto& info) { return info.param->name; });

@@ -1,0 +1,117 @@
+// Section VIII-B as executable specification: which partial-group syncs
+// hang, what the diagnostics say, and that non-hanging cases complete.
+#include <gtest/gtest.h>
+
+#include "syncbench/suite.hpp"
+#include "test_util.hpp"
+
+using namespace vgpu;
+using namespace syncbench;
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+
+TEST(Deadlock, MatrixMatchesThePaper) {
+  auto rows = partial_sync_matrix(MachineConfig::dgx1_v100(2));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_FALSE(rows[0].deadlocked) << rows[0].level;  // warp
+  EXPECT_FALSE(rows[1].deadlocked) << rows[1].level;  // block
+  EXPECT_TRUE(rows[2].deadlocked) << rows[2].level;   // grid
+  EXPECT_TRUE(rows[3].deadlocked) << rows[3].level;   // multi-grid
+}
+
+TEST(Deadlock, PascalMatrixMatchesToo) {
+  auto rows = partial_sync_matrix(MachineConfig::p100_pcie(2));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_FALSE(rows[0].deadlocked);
+  EXPECT_FALSE(rows[1].deadlocked);
+  EXPECT_TRUE(rows[2].deadlocked);
+  EXPECT_TRUE(rows[3].deadlocked);
+}
+
+TEST(Deadlock, GridDiagnosticCountsArrivals) {
+  System sys(MachineConfig::single(v100()));
+  DevPtr out = sys.malloc(0, 64);
+  try {
+    sys.run([&](HostThread& h) {
+      sys.launch_cooperative(h, 0,
+                             LaunchParams{partial_grid_sync_kernel(), 80, 64, 0,
+                                          {out.raw, 30}});
+      sys.device_synchronize(h, 0);
+    });
+    FAIL() << "expected deadlock";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("30/80 arrived"), std::string::npos) << what;
+    EXPECT_NE(what.find("50 blocks exited"), std::string::npos) << what;
+  }
+}
+
+TEST(Deadlock, FullParticipationDoesNotHang) {
+  System sys(MachineConfig::single(v100()));
+  DevPtr out = sys.malloc(0, 64);
+  sys.run([&](HostThread& h) {
+    // keep = grid size: everyone syncs.
+    sys.launch_cooperative(h, 0,
+                           LaunchParams{partial_grid_sync_kernel(), 80, 64, 0,
+                                        {out.raw, 80}});
+    sys.device_synchronize(h, 0);
+  });
+}
+
+TEST(Deadlock, SpinningLaneTripsTheVirtualTimeLimit) {
+  // One lane spins forever without syncing while the others wait at a
+  // Volta warp join. The queue never drains (the spinner keeps producing
+  // events), so quiescence detection cannot fire; the virtual-time limit
+  // catches the livelock instead.
+  KernelBuilder b("spinner");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg p = b.reg();
+  b.setp(p, lane, Cmp::Eq, 0);
+  Reg i = b.imm(0);
+  Reg q = b.reg();
+  b.if_then_else(p,
+                 [&] {
+                   b.loop_while(
+                       [&] {
+                         b.setp(q, i, Cmp::Ge, 0);
+                         return q;
+                       },
+                       [&] { b.iadd(i, i, 1); });
+                 },
+                 [&] { b.tile_sync(32); });
+  MachineConfig cfg = MachineConfig::single(v100());
+  cfg.virtual_time_limit = us(2000);
+  System sys(std::move(cfg));
+  DevPtr out = sys.malloc(0, 64);
+  EXPECT_THROW(sys.run([&](HostThread& h) {
+                 sys.launch(h, 0, LaunchParams{b.finish(), 1, 32, 0, {out.raw}});
+                 sys.device_synchronize(h, 0);
+               }),
+               DeadlockError);
+}
+
+TEST(Deadlock, SystemIsUsableAfterFreshConstruction) {
+  // A deadlock poisons the System; a new one works.
+  {
+    System sys(MachineConfig::single(v100()));
+    DevPtr out = sys.malloc(0, 64);
+    EXPECT_THROW(sys.run([&](HostThread& h) {
+                   sys.launch_cooperative(
+                       h, 0,
+                       LaunchParams{partial_grid_sync_kernel(), 80, 64, 0,
+                                    {out.raw, 1}});
+                   sys.device_synchronize(h, 0);
+                 }),
+                 DeadlockError);
+  }
+  System sys2(MachineConfig::single(v100()));
+  DevPtr out2 = sys2.malloc(0, 64);
+  sys2.run([&](HostThread& h) {
+    sys2.launch_cooperative(h, 0,
+                            LaunchParams{partial_grid_sync_kernel(), 80, 64, 0,
+                                         {out2.raw, 80}});
+    sys2.device_synchronize(h, 0);
+  });
+}

@@ -1,0 +1,169 @@
+// SIMT control flow: divergent branches, nested ifs, loops with non-uniform
+// trip counts, reconvergence, and lane exits. Functional results must be
+// identical on both architectures (timing differs; values must not).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+using namespace vgpu;
+using testutil::run_once;
+
+namespace {
+
+void store_lane(KernelBuilder& b, Reg v) {
+  Reg out = b.reg(), lane = b.reg(), addr = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(lane, SpecialReg::Lane);
+  b.ishl(addr, lane, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, v);
+}
+
+}  // namespace
+
+class Divergence : public ::testing::TestWithParam<const ArchSpec*> {};
+
+TEST_P(Divergence, IfThenElseMergesBothArms) {
+  KernelBuilder b("ite");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg p = b.reg();
+  b.setp(p, lane, Cmp::Lt, 10);
+  Reg v = b.imm(0);
+  b.if_then_else(p, [&] { b.iadd(v, lane, 100); },
+                 [&] { b.iadd(v, lane, 200); });
+  b.iadd(v, v, 1);  // runs reconverged, all lanes
+  store_lane(b, v);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], l + (l < 10 ? 101 : 201));
+}
+
+TEST_P(Divergence, NestedIfsKeepMasksStraight) {
+  KernelBuilder b("nested");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg v = b.imm(0);
+  Reg outer = b.reg(), inner = b.reg();
+  b.setp(outer, lane, Cmp::Lt, 16);
+  b.if_then(outer, [&] {
+    b.iadd(v, v, 1);
+    b.setp(inner, lane, Cmp::Lt, 8);
+    b.if_then(inner, [&] { b.iadd(v, v, 10); });
+    b.iadd(v, v, 100);  // lanes 0..15 again
+  });
+  b.iadd(v, v, 1000);  // all lanes
+  store_lane(b, v);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l) {
+    std::int64_t expect = 1000;
+    if (l < 16) expect += 101;
+    if (l < 8) expect += 10;
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], expect) << "lane " << l;
+  }
+}
+
+TEST_P(Divergence, LoopWithPerLaneTripCounts) {
+  // Lane l iterates l+1 times: v = sum over iterations.
+  KernelBuilder b("varloop");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg i = b.imm(0);
+  Reg v = b.imm(0);
+  Reg p = b.reg();
+  b.loop_while(
+      [&] {
+        b.setp(p, i, Cmp::Le, lane);
+        return p;
+      },
+      [&] {
+        b.iadd(v, v, i);
+        b.iadd(i, i, 1);
+      });
+  b.iadd(v, v, 7);  // after reconvergence
+  store_lane(b, v);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], l * (l + 1) / 2 + 7);
+}
+
+TEST_P(Divergence, EarlyExitLanesDontPerturbSurvivors) {
+  KernelBuilder b("earlyexit");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg p = b.reg();
+  b.setp(p, lane, Cmp::Ge, 16);
+  store_lane(b, lane);  // everyone records once
+  b.if_then(p, [&] { b.exit(); });
+  Reg v = b.reg();
+  b.imul(v, lane, 2);
+  store_lane(b, v);  // survivors overwrite
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], l < 16 ? 2 * l : l);
+}
+
+TEST_P(Divergence, AllLanesExitingInsideBranchEndsWarp) {
+  KernelBuilder b("allexit");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  store_lane(b, lane);
+  Reg p = b.reg();
+  b.setp(p, lane, Cmp::Ge, 0);  // true for all
+  b.if_then(p, [&] { b.exit(); });
+  // unreachable: would overwrite with zeros
+  Reg z = b.imm(0);
+  store_lane(b, z);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(r.out[static_cast<std::size_t>(l)], l);
+}
+
+TEST_P(Divergence, PartialLastWarpComputesOnlyLiveLanes) {
+  // 40 threads => second warp has 8 live lanes.
+  KernelBuilder b("partialwarp");
+  Reg out = b.reg(), tid = b.reg(), addr = b.reg(), v = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(tid, SpecialReg::Tid);
+  b.imul(v, tid, 5);
+  b.ishl(addr, tid, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, v);
+  auto r = run_once(*GetParam(), b.finish(), 1, 40, 0, 64);
+  for (int t = 0; t < 40; ++t) EXPECT_EQ(r.out[static_cast<std::size_t>(t)], 5 * t);
+  for (int t = 40; t < 64; ++t) EXPECT_EQ(r.out[static_cast<std::size_t>(t)], 0);
+}
+
+TEST_P(Divergence, DeepIfLadderReachesEveryLane) {
+  // A 32-arm ladder (the Fig. 17 shape) must visit each lane exactly once.
+  KernelBuilder b("ladder");
+  Reg out = b.reg(), tid = b.reg(), addr = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(tid, SpecialReg::Tid);
+  Reg p = b.reg();
+  Reg v = b.reg();
+  std::function<void(int)> ladder = [&](int i) {
+    if (i == 31) {
+      b.imul(v, tid, 3);
+      b.ishl(addr, tid, 3);
+      b.iadd(addr, addr, out);
+      b.stg(addr, v);
+      return;
+    }
+    b.setp(p, tid, Cmp::Eq, i);
+    b.if_then_else(p,
+                   [&] {
+                     b.imul(v, tid, 3);
+                     b.ishl(addr, tid, 3);
+                     b.iadd(addr, addr, out);
+                     b.stg(addr, v);
+                   },
+                   [&] { ladder(i + 1); });
+  };
+  ladder(0);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(r.out[static_cast<std::size_t>(l)], 3 * l);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, Divergence,
+                         ::testing::Values(&v100(), &p100()),
+                         [](const auto& info) { return info.param->name; });

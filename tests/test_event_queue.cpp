@@ -1,0 +1,80 @@
+// Unit tests for the discrete-event core: ordering, FIFO tie-breaking,
+// callback dispatch, and the throughput-regulator primitive.
+#include <gtest/gtest.h>
+
+#include "vgpu/event_queue.hpp"
+
+using vgpu::EventQueue;
+using vgpu::kPsInfinity;
+using vgpu::Ps;
+using vgpu::Regulator;
+
+TEST(EventQueue, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push_callback(30, [&](Ps) { order.push_back(3); });
+  q.push_callback(10, [&](Ps) { order.push_back(1); });
+  q.push_callback(20, [&](Ps) { order.push_back(2); });
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i)
+    q.push_callback(42, [&order, i](Ps) { order.push_back(i); });
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeTracksHead) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kPsInfinity);
+  q.push_callback(100, [](Ps) {});
+  q.push_callback(50, [](Ps) {});
+  EXPECT_EQ(q.next_time(), 50);
+  q.step([](vgpu::Warp*) {});
+  EXPECT_EQ(q.next_time(), 100);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(Ps)> chain = [&](Ps t) {
+    ++fired;
+    if (fired < 5) q.push_callback(t + 10, chain);
+  };
+  q.push_callback(0, chain);
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 40);
+}
+
+TEST(EventQueue, CallbackSlotsAreRecycled) {
+  EventQueue q;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) q.push_callback(i, [](Ps) {});
+    while (q.step([](vgpu::Warp*) {})) {
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Regulator, SerializesAtTheInterval) {
+  Regulator r;
+  EXPECT_EQ(r.acquire(100, 10), 100);  // free unit serves immediately
+  EXPECT_EQ(r.acquire(100, 10), 110);  // second request queues
+  EXPECT_EQ(r.acquire(105, 10), 120);
+  EXPECT_EQ(r.acquire(500, 10), 500);  // idle gap: serves at ready time
+}
+
+TEST(Regulator, ZeroIntervalIsPassThrough) {
+  Regulator r;
+  EXPECT_EQ(r.acquire(5, 0), 5);
+  EXPECT_EQ(r.acquire(5, 0), 5);
+}

@@ -1,0 +1,70 @@
+// cudaEvent-style stream timing markers.
+#include <gtest/gtest.h>
+
+#include "syncbench/kernels.hpp"
+#include "test_util.hpp"
+
+using namespace vgpu;
+using scuda::EventPtr;
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+
+TEST(Events, ElapsedBracketsAKernel) {
+  System sys(MachineConfig::single(v100()));
+  auto prog = syncbench::sleep_kernel(25000);
+  EventPtr start = sys.create_event();
+  EventPtr stop = sys.create_event();
+  sys.run([&](HostThread& h) {
+    sys.event_record(h, start, 0);  // idle stream: records immediately
+    sys.launch(h, 0, LaunchParams{prog, 1, 32, 0, {}});
+    sys.event_record(h, stop, 0);   // fires when the kernel drains
+    sys.event_synchronize(h, stop);
+  });
+  ASSERT_TRUE(start->recorded());
+  ASSERT_TRUE(stop->recorded());
+  const double us = scuda::event_elapsed_us(start, stop);
+  EXPECT_GT(us, 25.0);       // at least the kernel
+  EXPECT_LT(us, 25.0 + 15);  // plus launch pipeline, not more
+}
+
+TEST(Events, OrderedMarkersInOneStream) {
+  System sys(MachineConfig::single(v100()));
+  auto prog = syncbench::sleep_kernel(10000);
+  EventPtr e1 = sys.create_event(), e2 = sys.create_event();
+  sys.run([&](HostThread& h) {
+    sys.launch(h, 0, LaunchParams{prog, 1, 32, 0, {}});
+    sys.event_record(h, e1, 0);
+    sys.launch(h, 0, LaunchParams{prog, 1, 32, 0, {}});
+    sys.event_record(h, e2, 0);
+    sys.device_synchronize(h, 0);
+  });
+  ASSERT_TRUE(e1->recorded() && e2->recorded());
+  EXPECT_GT(e2->time(), e1->time());
+  EXPECT_NEAR(scuda::event_elapsed_us(e1, e2), 10.0 + 1.081, 1.0);
+}
+
+TEST(Events, RecordOnIdleStreamIsImmediate) {
+  System sys(MachineConfig::single(v100()));
+  EventPtr e = sys.create_event();
+  sys.run([&](HostThread& h) {
+    h.advance(us(3.0));
+    sys.event_record(h, e, 0);
+    EXPECT_TRUE(e->recorded());
+    EXPECT_NEAR(to_us(e->time()), 3.0, 0.01);
+  });
+}
+
+TEST(Events, ElapsedRequiresRecordedEvents) {
+  System sys(MachineConfig::single(v100()));
+  EventPtr a = sys.create_event(), b = sys.create_event();
+  EXPECT_THROW(scuda::event_elapsed_us(a, b), SimError);
+  EXPECT_THROW(scuda::event_elapsed_us(nullptr, b), SimError);
+}
+
+TEST(Events, SynchronizeOnUnrecordedEventIsAnError) {
+  System sys(MachineConfig::single(v100()));
+  EventPtr e = sys.create_event();
+  EXPECT_THROW(sys.run([&](HostThread& h) { sys.event_synchronize(h, e); }),
+               SimError);
+}

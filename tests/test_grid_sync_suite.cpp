@@ -1,0 +1,103 @@
+// Grid and multi-grid synchronization characterization: heat-map structure
+// (Figures 5/7/8) and the paper's headline observations.
+#include <gtest/gtest.h>
+
+#include "syncbench/suite.hpp"
+
+using namespace syncbench;
+using namespace vgpu;
+
+namespace {
+
+double cell(const HeatMap& hm, int blocks_per_sm, int threads) {
+  for (std::size_t r = 0; r < hm.blocks_per_sm.size(); ++r)
+    if (hm.blocks_per_sm[r] == blocks_per_sm)
+      for (std::size_t c = 0; c < hm.threads_per_block.size(); ++c)
+        if (hm.threads_per_block[c] == threads) return hm.latency_us[r][c];
+  return -1;
+}
+
+}  // namespace
+
+TEST(GridSync, V100HeatMapAnchors) {
+  const HeatMap hm = grid_sync_heatmap(v100());
+  EXPECT_NEAR(cell(hm, 1, 32), 1.43, 0.25);    // paper 1.43
+  EXPECT_NEAR(cell(hm, 32, 32), 19.29, 2.0);   // paper 19.29
+  EXPECT_NEAR(cell(hm, 1, 1024), 2.21, 0.4);   // paper 2.21
+}
+
+TEST(GridSync, P100HeatMapAnchors) {
+  const HeatMap hm = grid_sync_heatmap(p100());
+  EXPECT_NEAR(cell(hm, 1, 32), 1.77, 0.35);    // paper 1.77
+  EXPECT_NEAR(cell(hm, 32, 32), 31.69, 3.0);   // paper 31.69
+}
+
+TEST(GridSync, LatencyIsDominatedByBlocksPerSm) {
+  // The paper's core observation for Figure 5: scaling blocks/SM by 32x
+  // scales latency by ~10x, while scaling threads 32x adds < 2x.
+  const HeatMap hm = grid_sync_heatmap(v100());
+  const double by_blocks = cell(hm, 32, 32) / cell(hm, 1, 32);
+  const double by_threads = cell(hm, 1, 1024) / cell(hm, 1, 32);
+  EXPECT_GT(by_blocks, 8.0);
+  EXPECT_LT(by_threads, 2.0);
+}
+
+TEST(GridSync, InvalidCellsAreMarked) {
+  const HeatMap hm = grid_sync_heatmap(v100());
+  EXPECT_LT(cell(hm, 4, 1024), 0);  // 4096 threads/SM is impossible
+  EXPECT_LT(cell(hm, 32, 128), 0);
+  EXPECT_GT(cell(hm, 4, 512), 0);   // exactly 2048 fits
+}
+
+TEST(GridSync, RowsAreMonotonicInBlocksPerSm) {
+  for (const ArchSpec* arch : {&v100(), &p100()}) {
+    const HeatMap hm = grid_sync_heatmap(*arch);
+    for (std::size_t c = 0; c < hm.threads_per_block.size(); ++c) {
+      double prev = 0;
+      for (std::size_t r = 0; r < hm.blocks_per_sm.size(); ++r) {
+        const double v = hm.latency_us[r][c];
+        if (v < 0) continue;
+        EXPECT_GT(v, prev) << arch->name;
+        prev = v;
+      }
+    }
+  }
+}
+
+TEST(MultiGridSync, OneGpuTracksGridSyncAtSmallBlocks) {
+  const HeatMap grid = grid_sync_heatmap(v100());
+  const HeatMap mg = mgrid_sync_heatmap(MachineConfig::dgx1_v100(2), 1);
+  EXPECT_NEAR(cell(mg, 1, 32), cell(grid, 1, 32), 0.5);
+}
+
+TEST(MultiGridSync, FabricStepBetween5And6Gpus) {
+  const MachineConfig cfg = MachineConfig::dgx1_v100(8);
+  const double c2 = cell(mgrid_sync_heatmap(cfg, 2), 1, 32);
+  const double c5 = cell(mgrid_sync_heatmap(cfg, 5), 1, 32);
+  const double c6 = cell(mgrid_sync_heatmap(cfg, 6), 1, 32);
+  const double c8 = cell(mgrid_sync_heatmap(cfg, 8), 1, 32);
+  EXPECT_NEAR(c2, 6.44, 1.2);    // paper anchors
+  EXPECT_NEAR(c5, 7.02, 1.2);
+  EXPECT_NEAR(c6, 18.67, 2.5);
+  EXPECT_NEAR(c8, 20.97, 2.5);
+  EXPECT_LT(c5 - c2, 1.5);       // flat 2..5
+  EXPECT_GT(c6 - c5, 8.0);       // the step
+}
+
+TEST(MultiGridSync, PcieCostsMoreThanOneGpu) {
+  const MachineConfig cfg = MachineConfig::p100_pcie(2);
+  const double one = cell(mgrid_sync_heatmap(cfg, 1), 1, 32);
+  const double two = cell(mgrid_sync_heatmap(cfg, 2), 1, 32);
+  EXPECT_NEAR(one, 1.45, 0.5);   // paper Figure 7
+  EXPECT_NEAR(two, 7.29, 1.6);
+  EXPECT_GT(two, one + 4.0);
+}
+
+TEST(MultiGridSync, WarpCountMattersMoreThanForGridSync) {
+  // Figure 8 vs Figure 5: multi-grid release is costlier per warp.
+  const HeatMap grid = grid_sync_heatmap(v100());
+  const HeatMap mg = mgrid_sync_heatmap(MachineConfig::dgx1_v100(2), 1);
+  const double grid_delta = cell(grid, 1, 1024) - cell(grid, 1, 32);
+  const double mg_delta = cell(mg, 1, 1024) - cell(mg, 1, 32);
+  EXPECT_GT(mg_delta, 2.5 * grid_delta);
+}

@@ -1,0 +1,134 @@
+// Virtual-time host threads: the OpenMP stand-in. Determinism, barrier
+// semantics, clock propagation, exception plumbing.
+#include <gtest/gtest.h>
+
+#include "syncbench/kernels.hpp"
+#include "test_util.hpp"
+
+using namespace vgpu;
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+
+TEST(HostSim, ParallelRunsEveryTid) {
+  System sys(MachineConfig::dgx1_v100(4));
+  std::vector<int> seen(4, 0);
+  sys.run([&](HostThread& h) {
+    sys.parallel(h, 4, [&](HostThread& th, int tid) {
+      seen[static_cast<std::size_t>(tid)] = th.tid() >= 0 ? 1 : 0;
+    });
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(HostSim, BarrierAlignsVirtualClocks) {
+  System sys(MachineConfig::dgx1_v100(4));
+  std::vector<double> after(4, 0);
+  sys.run([&](HostThread& h) {
+    sys.parallel(h, 4, [&](HostThread& th, int tid) {
+      th.advance(us(10.0 * (tid + 1)));  // skewed work: 10..40 us
+      sys.barrier(th);
+      after[static_cast<std::size_t>(tid)] = th.now_us();
+    });
+  });
+  // Everyone resumes at the slowest arrival plus the barrier cost.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(after[static_cast<std::size_t>(i)], 40.0);
+    EXPECT_NEAR(after[static_cast<std::size_t>(i)], after[0], 1e-9);
+  }
+}
+
+TEST(HostSim, ParentClockFollowsSlowestChild) {
+  System sys(MachineConfig::dgx1_v100(2));
+  double parent_after = 0;
+  sys.run([&](HostThread& h) {
+    sys.parallel(h, 2, [&](HostThread& th, int tid) {
+      th.advance(us(tid == 1 ? 100.0 : 1.0));
+    });
+    parent_after = h.now_us();
+  });
+  EXPECT_GE(parent_after, 100.0);
+}
+
+TEST(HostSim, BarrierOutsideParallelIsAnError) {
+  System sys(MachineConfig::single(v100()));
+  EXPECT_THROW(sys.run([&](HostThread& h) { sys.barrier(h); }), SimError);
+}
+
+TEST(HostSim, ChildExceptionsPropagateToParent) {
+  System sys(MachineConfig::dgx1_v100(2));
+  EXPECT_THROW(sys.run([&](HostThread& h) {
+                 sys.parallel(h, 2, [&](HostThread&, int tid) {
+                   if (tid == 1) throw SimError("child failure");
+                 });
+               }),
+               SimError);
+}
+
+TEST(HostSim, ThreadsDriveTheirOwnDevices) {
+  // The Fig. 6 pattern: per-thread launch + sync + barrier. Clocks after the
+  // barrier reflect the kernel execution time.
+  System sys(MachineConfig::dgx1_v100(2));
+  auto prog = syncbench::sleep_kernel(30000);
+  std::vector<double> t_after(2, 0);
+  sys.run([&](HostThread& h) {
+    sys.parallel(h, 2, [&](HostThread& th, int tid) {
+      sys.launch(th, tid, LaunchParams{prog, 1, 32, 0, {}});
+      sys.device_synchronize(th, tid);
+      sys.barrier(th);
+      t_after[static_cast<std::size_t>(tid)] = th.now_us();
+    });
+  });
+  EXPECT_NEAR(t_after[0], t_after[1], 1e-9);
+  EXPECT_GT(t_after[0], 30.0);  // at least the kernel duration
+  EXPECT_LT(t_after[0], 60.0);
+}
+
+TEST(HostSim, RepeatedBarriersStayConsistent) {
+  System sys(MachineConfig::dgx1_v100(3));
+  std::vector<double> last(3, 0);
+  sys.run([&](HostThread& h) {
+    sys.parallel(h, 3, [&](HostThread& th, int tid) {
+      for (int round = 0; round < 10; ++round) {
+        th.advance(us(1.0 + tid));
+        sys.barrier(th);
+      }
+      last[static_cast<std::size_t>(tid)] = th.now_us();
+    });
+  });
+  EXPECT_NEAR(last[0], last[1], 1e-9);
+  EXPECT_NEAR(last[1], last[2], 1e-9);
+  EXPECT_GE(last[0], 30.0);  // 10 rounds, slowest advances 3 us each
+}
+
+TEST(HostSim, DeterministicAcrossIdenticalRuns) {
+  auto once = [] {
+    System sys(MachineConfig::dgx1_v100(4));
+    auto prog = syncbench::sleep_kernel(5000);
+    double result = 0;
+    sys.run([&](HostThread& h) {
+      sys.parallel(h, 4, [&](HostThread& th, int tid) {
+        for (int r = 0; r < 3; ++r) {
+          sys.launch(th, tid, LaunchParams{prog, 1, 32, 0, {}});
+          sys.device_synchronize(th, tid);
+          sys.barrier(th);
+        }
+        if (tid == 0) result = th.now_us();
+      });
+    });
+    return result;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(HostSim, SequentialRunsShareTheTimeline) {
+  System sys(MachineConfig::single(v100()));
+  double t1 = 0, t2 = 0;
+  sys.run([&](HostThread& h) {
+    h.advance(us(5));
+    t1 = h.now_us();
+  });
+  sys.run([&](HostThread& h) { t2 = h.now_us(); });
+  EXPECT_GE(t2, 0.0);  // fresh run starts at the drained machine time
+  (void)t1;
+}

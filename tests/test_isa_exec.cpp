@@ -1,0 +1,196 @@
+// Functional semantics of the instruction set, executed on the simulator and
+// read back through global memory.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+using namespace vgpu;
+using testutil::run_once;
+
+namespace {
+
+/// Store reg -> out[lane].
+void store_lane(KernelBuilder& b, Reg v) {
+  Reg out = b.reg(), lane = b.reg(), addr = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(lane, SpecialReg::Lane);
+  b.ishl(addr, lane, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, v);
+}
+
+}  // namespace
+
+class IsaExec : public ::testing::TestWithParam<const ArchSpec*> {};
+
+TEST_P(IsaExec, IntegerAluMatrix) {
+  KernelBuilder b("alu");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg v = b.reg();
+  b.imul(v, lane, 3);       // 3L
+  b.iadd(v, v, 7);          // 3L+7
+  Reg w = b.reg();
+  b.isub(w, v, lane);       // 2L+7
+  b.iand(w, w, 0xff);
+  Reg mx = b.reg(), mn = b.reg();
+  b.imax(mx, w, lane);
+  b.imin(mn, mx, v);
+  b.ishl(mn, mn, 2);
+  b.ishr(mn, mn, 1);
+  store_lane(b, mn);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l) {
+    const std::int64_t v = 3 * l + 7;
+    const std::int64_t w = (2 * l + 7) & 0xff;
+    const std::int64_t expect = ((std::min(std::max<std::int64_t>(w, l), v)) << 2) >> 1;
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], expect) << "lane " << l;
+  }
+}
+
+TEST_P(IsaExec, DoubleArithmeticRoundTrips) {
+  KernelBuilder b("fp");
+  Reg x = b.immf(1.5), y = b.immf(2.25);
+  b.fadd(x, x, y);   // 3.75
+  b.fmul(x, x, y);   // 8.4375
+  store_lane(b, x);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  EXPECT_DOUBLE_EQ(testutil::as_f64(r.out[0]), 8.4375);
+}
+
+TEST_P(IsaExec, ComparisonsCoverAllPredicates) {
+  KernelBuilder b("cmp");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg acc = b.imm(0);
+  Reg p = b.reg();
+  b.setp(p, lane, Cmp::Eq, 5);
+  b.iadd(acc, acc, p);
+  b.setp(p, lane, Cmp::Ne, 5);
+  b.iadd(acc, acc, p);
+  b.setp(p, lane, Cmp::Lt, 16);
+  b.iadd(acc, acc, p);
+  b.setp(p, lane, Cmp::Le, 15);
+  b.iadd(acc, acc, p);
+  b.setp(p, lane, Cmp::Gt, 15);
+  b.iadd(acc, acc, p);
+  b.setp(p, lane, Cmp::Ge, 16);
+  b.iadd(acc, acc, p);
+  store_lane(b, acc);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l) {
+    int expect = 1;                       // Eq xor Ne always contributes 1
+    expect += (l < 16) + (l <= 15) + (l > 15) + (l >= 16);
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], expect) << "lane " << l;
+  }
+}
+
+TEST_P(IsaExec, SpecialRegistersDescribeGeometry) {
+  KernelBuilder b("sregs");
+  Reg out = b.reg();
+  b.ld_param(out, 0);
+  Reg gtid = b.reg(), v = b.reg(), addr = b.reg();
+  b.sreg(gtid, SpecialReg::GTid);
+  // out[gtid] = tid + 1000*bid + 1000000*blockDim + gridDim
+  Reg tid = b.reg(), bid = b.reg(), bdim = b.reg(), gdim = b.reg();
+  b.sreg(tid, SpecialReg::Tid);
+  b.sreg(bid, SpecialReg::Bid);
+  b.sreg(bdim, SpecialReg::BlockDim);
+  b.sreg(gdim, SpecialReg::GridDim);
+  b.imul(v, bid, 1000);
+  b.iadd(v, v, tid);
+  Reg t2 = b.reg();
+  b.imul(t2, bdim, 1000000);
+  b.iadd(v, v, t2);
+  b.iadd(v, v, gdim);
+  b.ishl(addr, gtid, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, v);
+  const int grid = 3, block = 64;
+  auto r = run_once(*GetParam(), b.finish(), grid, block, 0, grid * block);
+  for (int g = 0; g < grid * block; ++g) {
+    const int tid = g % block, bid = g / block;
+    EXPECT_EQ(r.out[static_cast<std::size_t>(g)],
+              tid + 1000 * bid + 1000000 * block + grid);
+  }
+}
+
+TEST_P(IsaExec, WarpAndLaneIdentifiers) {
+  KernelBuilder b("warpids");
+  Reg out = b.reg();
+  b.ld_param(out, 0);
+  Reg tid = b.reg(), lane = b.reg(), warp = b.reg(), addr = b.reg(), v = b.reg();
+  b.sreg(tid, SpecialReg::Tid);
+  b.sreg(lane, SpecialReg::Lane);
+  b.sreg(warp, SpecialReg::WarpId);
+  b.imul(v, warp, 100);
+  b.iadd(v, v, lane);
+  b.ishl(addr, tid, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, v);
+  auto r = run_once(*GetParam(), b.finish(), 1, 96, 0, 96);
+  for (int t = 0; t < 96; ++t)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(t)], (t / 32) * 100 + t % 32);
+}
+
+TEST_P(IsaExec, ShuffleDownSegmentsRespectWidth) {
+  KernelBuilder b("shfl");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg v = b.reg();
+  b.shfl_down(v, lane, 2, 8);  // within 8-lane segments
+  store_lane(b, v);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l) {
+    const int seg = l & ~7;
+    const int expect = (l + 2 < seg + 8) ? l + 2 : l;
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], expect) << "lane " << l;
+  }
+}
+
+TEST_P(IsaExec, ShuffleIdxBroadcasts) {
+  KernelBuilder b("shflidx");
+  Reg lane = b.reg();
+  b.sreg(lane, SpecialReg::Lane);
+  Reg val = b.reg();
+  b.imul(val, lane, 11);
+  Reg src = b.imm(7);
+  Reg v = b.reg();
+  b.shfl_idx(v, val, src, 32);
+  store_lane(b, v);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; ++l)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], 77);
+}
+
+TEST_P(IsaExec, AtomicAddAccumulatesAcrossBlocks) {
+  KernelBuilder b("atom");
+  Reg out = b.reg();
+  b.ld_param(out, 0);
+  Reg one = b.imm(1);
+  // every thread: out[0] += 1
+  b.atom_add_i64(out, one);
+  auto r = run_once(*GetParam(), b.finish(), 4, 64, 0, 1);
+  EXPECT_EQ(r.out[0], 4 * 64);
+}
+
+TEST_P(IsaExec, ClockIsMonotonicWithinAWarp) {
+  KernelBuilder b("clock");
+  Reg t0 = b.reg(), t1 = b.reg();
+  b.rclock(t0);
+  Reg x = b.immf(0.0), y = b.immf(1.0);
+  b.repeat(64, [&] { b.fadd(x, x, y); });
+  b.rclock(t1);
+  Reg d = b.reg();
+  b.isub(d, t1, t0);
+  store_lane(b, d);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 0, 32);
+  // 64 dependent adds at alu_latency cycles each, plus small overheads.
+  const double lat = GetParam()->alu_latency;
+  EXPECT_GE(r.out[0], 64 * lat - 4);  // clock reads at issue, +-rounding
+  EXPECT_LE(r.out[0], 64 * lat + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, IsaExec,
+                         ::testing::Values(&v100(), &p100()),
+                         [](const auto& info) { return info.param->name; });

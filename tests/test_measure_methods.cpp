@@ -1,0 +1,111 @@
+// The paper's measurement methodology as executable checks: Eq. 6 (kernel
+// fusion), Eq. 7/8 (repeat scaling with error propagation), Wong's GPU-clock
+// method, and the cross-validation the paper performs between them
+// (float add = 4 cycles on V100, 6 on P100).
+#include <gtest/gtest.h>
+
+#include "syncbench/kernels.hpp"
+#include "syncbench/methods.hpp"
+#include "syncbench/stats.hpp"
+
+using namespace syncbench;
+using namespace vgpu;
+
+TEST(Stats, MeanAndStdev) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stdev(xs), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stdev(std::vector<double>{42.0}), 0.0);
+}
+
+TEST(Stats, FusionOverheadAlgebra) {
+  // 5 launches of 1 unit = 5u + 5o; 1 launch of 5 units = 5u + o.
+  const double u = 10, o = 1.08;
+  EXPECT_NEAR(fusion_overhead(5 * u + 5 * o, 5 * u + o, 5, 1), o, 1e-9);
+  EXPECT_THROW(fusion_overhead(1, 1, 3, 3), SimError);
+}
+
+TEST(Stats, RepeatScalingRecoversSlopeAndSigma) {
+  std::vector<double> l1 = {100.0, 102.0, 98.0};   // r1 = 10
+  std::vector<double> l2 = {60.0, 61.0, 59.0};     // r2 = 5
+  Estimate e = repeat_scaling(l1, l2, 10, 5);
+  EXPECT_NEAR(e.value, 8.0, 1e-9);
+  EXPECT_GT(e.sigma, 0.0);
+  // Eq. 8: sigma = sqrt(s1^2 + s2^2) / |r1 - r2|
+  const double s1 = stdev(l1), s2 = stdev(l2);
+  EXPECT_NEAR(e.sigma, std::sqrt(s1 * s1 + s2 * s2) / 5.0, 1e-12);
+  EXPECT_THROW(repeat_scaling(l1, l2, 5, 5), SimError);
+}
+
+TEST(Methods, WongMeasuresFloatAddLatency) {
+  // The paper's validation anchor for both methods.
+  {
+    scuda::System sys(MachineConfig::single(v100()));
+    const double cy = wong_cycles_per_op(sys, alu_chain_kernel(512), 512);
+    EXPECT_NEAR(cy, 4.0, 0.2);
+  }
+  {
+    scuda::System sys(MachineConfig::single(p100()));
+    const double cy = wong_cycles_per_op(sys, alu_chain_kernel(512), 512);
+    EXPECT_NEAR(cy, 6.0, 0.2);
+  }
+}
+
+TEST(Methods, RepeatScalingAgreesWithWong) {
+  // Section IX-D: the CPU-clock method approaches the GPU clock's accuracy.
+  scuda::System sys(MachineConfig::single(v100()));
+  const Estimate e = repeat_scaling_us(
+      sys, LaunchKind::Traditional, 1,
+      [](int r) { return alu_chain_kernel_unclocked(r); }, {1, 32, 0},
+      /*r1=*/20000, /*r2=*/60000);
+  const double cycles = e.value * v100().core_mhz;  // us/op * MHz = cy/op
+  EXPECT_NEAR(cycles, 4.0, 0.3);
+}
+
+TEST(Methods, SleepKernelDurationIsExact) {
+  scuda::System sys(MachineConfig::single(v100()));
+  const double l1 = timed_round_us(sys, LaunchKind::Traditional, 1,
+                                   sleep_kernel(40000), {1, 32, 0}, 1);
+  const double l2 = timed_round_us(sys, LaunchKind::Traditional, 1,
+                                   sleep_kernel(80000), {1, 32, 0}, 1);
+  EXPECT_NEAR(l2 - l1, 40.0, 0.5);
+}
+
+TEST(Methods, MultiDeviceLaunchOverheadGrowsWithGpus) {
+  std::vector<double> overhead;
+  for (int g : {1, 2, 4, 8}) {
+    scuda::System sys(MachineConfig::dgx1_v100(std::max(g, 2)));
+    overhead.push_back(
+        measure_launch_cost(sys, LaunchKind::CooperativeMulti, g).overhead_us);
+  }
+  EXPECT_NEAR(overhead[0], 1.26, 0.15);   // Figure 9 left anchor
+  EXPECT_NEAR(overhead[3], 67.2, 3.0);    // Figure 9 right anchor
+  for (std::size_t i = 1; i < overhead.size(); ++i)
+    EXPECT_GT(overhead[i], overhead[i - 1]);
+}
+
+TEST(Methods, NoiseGivesEq8RealVariance) {
+  MachineConfig cfg = MachineConfig::single(v100());
+  cfg.noise_seed = 7;
+  cfg.noise_amplitude = 0.02;
+  scuda::System sys(std::move(cfg));
+  const Estimate e = repeat_scaling_us(
+      sys, LaunchKind::Cooperative, 1,
+      [](int r) { return grid_sync_kernel(r); }, {80, 64, 0},
+      /*r1=*/4, /*r2=*/12, /*trials=*/5);
+  EXPECT_GT(e.sigma, 0.0);
+  EXPECT_LT(e.sigma, e.value);  // still a usable measurement
+}
+
+TEST(Methods, NoiseIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    MachineConfig cfg = MachineConfig::single(v100());
+    cfg.noise_seed = seed;
+    cfg.noise_amplitude = 0.02;
+    scuda::System sys(std::move(cfg));
+    return timed_round_us(sys, LaunchKind::Traditional, 1, null_kernel(),
+                          {1, 32, 0}, 5);
+  };
+  EXPECT_DOUBLE_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}

@@ -1,0 +1,103 @@
+// Multi-GPU reduction paths (Figures 13/14/16): correctness over GPU counts
+// and both orchestration styles, plus the throughput-scaling relations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reduction/reduce.hpp"
+
+using namespace reduction;
+using namespace vgpu;
+
+namespace {
+
+struct Case {
+  int gpus;
+  MultiGpuAlgo algo;
+  std::int64_t n_per;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string a = info.param.algo == MultiGpuAlgo::MGridSync ? "mgrid" : "cpu";
+  return a + "_" + std::to_string(info.param.gpus) + "gpu_" +
+         std::to_string(info.param.n_per);
+}
+
+}  // namespace
+
+class MultiReduce : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MultiReduce, SumsAllShards) {
+  const Case& c = GetParam();
+  scuda::System sys(MachineConfig::dgx1_v100(std::max(c.gpus, 2)));
+  std::vector<DevPtr> shards;
+  for (int g = 0; g < c.gpus; ++g) {
+    DevPtr p = sys.malloc(g, c.n_per * 8);
+    fill_pattern(sys, p, c.n_per);
+    shards.push_back(p);
+  }
+  const ReduceRun r = reduce_multi(sys, c.algo, shards, c.n_per);
+  const double expected = expected_pattern_sum(c.n_per) * c.gpus;
+  EXPECT_NEAR(r.value, expected, 1e-9 * expected);
+  EXPECT_GT(r.bandwidth_gbs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiReduce,
+    ::testing::Values(Case{2, MultiGpuAlgo::MGridSync, 1 << 18},
+                      Case{2, MultiGpuAlgo::CpuBarrier, 1 << 18},
+                      Case{4, MultiGpuAlgo::MGridSync, 1 << 18},
+                      Case{4, MultiGpuAlgo::CpuBarrier, 1 << 18},
+                      Case{8, MultiGpuAlgo::MGridSync, 1 << 17},
+                      Case{8, MultiGpuAlgo::CpuBarrier, 1 << 17},
+                      Case{3, MultiGpuAlgo::MGridSync, 100001},
+                      Case{5, MultiGpuAlgo::CpuBarrier, 65537}),
+    case_name);
+
+TEST(MultiReduceScaling, ThroughputGrowsWithGpus) {
+  const std::int64_t n_per = (16ll << 20) / 8;
+  double prev = 0;
+  for (int gpus : {1, 2, 4, 8}) {
+    scuda::System sys(MachineConfig::dgx1_v100(std::max(gpus, 2)));
+    std::vector<DevPtr> shards;
+    for (int g = 0; g < gpus; ++g) {
+      DevPtr p = sys.malloc(g, n_per * 8);
+      fill_pattern(sys, p, n_per);
+      shards.push_back(p);
+    }
+    const ReduceRun r = reduce_multi(sys, MultiGpuAlgo::CpuBarrier, shards, n_per);
+    EXPECT_GT(r.bandwidth_gbs, prev);
+    prev = r.bandwidth_gbs;
+  }
+}
+
+TEST(MultiReduceScaling, CpuBarrierBeatsMGridAtModestSizes) {
+  // Figure 16's ordering (the gap narrows as shards grow).
+  const std::int64_t n_per = (16ll << 20) / 8;
+  scuda::System sys(MachineConfig::dgx1_v100(4));
+  std::vector<DevPtr> shards;
+  for (int g = 0; g < 4; ++g) {
+    DevPtr p = sys.malloc(g, n_per * 8);
+    fill_pattern(sys, p, n_per);
+    shards.push_back(p);
+  }
+  const ReduceRun m = reduce_multi(sys, MultiGpuAlgo::MGridSync, shards, n_per);
+  const ReduceRun c = reduce_multi(sys, MultiGpuAlgo::CpuBarrier, shards, n_per);
+  EXPECT_GT(c.bandwidth_gbs, m.bandwidth_gbs);
+}
+
+TEST(MultiReduceScaling, MGridOverheadAmortizesWithShardSize) {
+  scuda::System sys(MachineConfig::dgx1_v100(4));
+  auto bw_at = [&](std::int64_t n_per) {
+    std::vector<DevPtr> shards;
+    for (int g = 0; g < 4; ++g) {
+      DevPtr p = sys.malloc(g, n_per * 8);
+      fill_pattern(sys, p, n_per);
+      shards.push_back(p);
+    }
+    return reduce_multi(sys, MultiGpuAlgo::MGridSync, shards, n_per).bandwidth_gbs;
+  };
+  const double small = bw_at((4ll << 20) / 8);
+  const double large = bw_at((32ll << 20) / 8);
+  EXPECT_GT(large, small * 1.5);
+}

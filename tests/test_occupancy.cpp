@@ -1,0 +1,68 @@
+// Occupancy calculator and cooperative-launch validation.
+#include <gtest/gtest.h>
+
+#include "scuda/system.hpp"
+#include "syncbench/kernels.hpp"
+#include "vgpu/occupancy.hpp"
+
+using namespace vgpu;
+
+TEST(Occupancy, ThreadLimited) {
+  Occupancy o = occupancy_for(v100(), 256, 0);
+  EXPECT_EQ(o.blocks_per_sm, 8);  // 2048 / 256
+  EXPECT_EQ(o.threads_per_sm, 2048);
+  EXPECT_STREQ(o.limiter, "threads");
+}
+
+TEST(Occupancy, BlockLimited) {
+  Occupancy o = occupancy_for(v100(), 32, 0);
+  EXPECT_EQ(o.blocks_per_sm, 32);  // hardware cap
+  EXPECT_EQ(o.warps_per_sm, 32);
+}
+
+TEST(Occupancy, SmemLimited) {
+  Occupancy o = occupancy_for(v100(), 64, 40 * 1024);
+  EXPECT_EQ(o.blocks_per_sm, 2);  // 96 KB / 40 KB
+  EXPECT_STREQ(o.limiter, "smem");
+}
+
+TEST(Occupancy, WholeBlockAtMaxThreads) {
+  Occupancy o = occupancy_for(v100(), 1024, 0);
+  EXPECT_EQ(o.blocks_per_sm, 2);
+  EXPECT_EQ(o.warps_per_sm, 64);
+}
+
+TEST(Occupancy, RejectsBadShapes) {
+  EXPECT_THROW(occupancy_for(v100(), 0, 0), SimError);
+  EXPECT_THROW(occupancy_for(v100(), 2048, 0), SimError);
+  EXPECT_THROW(occupancy_for(v100(), 64, 64 * 1024), SimError);
+}
+
+TEST(Occupancy, CooperativeGridCap) {
+  EXPECT_EQ(max_cooperative_grid(v100(), 256, 0), 80 * 8);
+  EXPECT_EQ(max_cooperative_grid(p100(), 256, 0), 56 * 8);
+  EXPECT_EQ(max_cooperative_grid(v100(), 1024, 0), 80 * 2);
+}
+
+TEST(CooperativeLaunch, OversizedGridIsRejected) {
+  scuda::System sys(MachineConfig::single(v100()));
+  sys.run([&](scuda::HostThread& h) {
+    EXPECT_THROW(
+        sys.launch_cooperative(
+            h, 0, scuda::LaunchParams{syncbench::null_kernel(), 80 * 8 + 1, 256, 0, {}}),
+        scuda::LaunchError);
+    // The boundary case fits.
+    sys.launch_cooperative(
+        h, 0, scuda::LaunchParams{syncbench::grid_sync_kernel(1), 80 * 8, 256, 0, {}});
+    sys.device_synchronize(h, 0);
+  });
+}
+
+TEST(CooperativeLaunch, MultiDeviceValidatesEveryGrid) {
+  scuda::System sys(MachineConfig::dgx1_v100(2));
+  sys.run([&](scuda::HostThread& h) {
+    std::vector<scuda::LaunchParams> ps(2, scuda::LaunchParams{
+        syncbench::mgrid_sync_kernel(1), 80 * 8 + 1, 256, 0, {}});
+    EXPECT_THROW(sys.launch_cooperative_multi(h, {0, 1}, ps), scuda::LaunchError);
+  });
+}

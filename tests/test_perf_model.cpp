@@ -1,0 +1,82 @@
+// The Little's-law performance model (Eqs. 1-5) and its coupling to
+// measured microbenchmarks (Tables III/IV).
+#include <gtest/gtest.h>
+
+#include "model/perf_model.hpp"
+#include "syncbench/suite.hpp"
+
+using namespace perfmodel;
+using namespace vgpu;
+
+TEST(PerfModel, LittlesLawConcurrency) {
+  WorkerConfig w{"warp", 19.6, 13.0};
+  EXPECT_NEAR(w.concurrency_bytes(), 254.8, 0.1);  // Table III: ~256 B
+}
+
+TEST(PerfModel, SwitchPointsMatchPaperTableFour) {
+  // Paper inputs (V100): 1 thread 0.62 B/cy vs 1 warp 19.6 B/cy, sync 110 cy
+  // => Nl = 70 B. 32 thr 19.6 vs 1024 thr 215 B/cy, sync 420 cy => Nl = 9076.
+  WorkerConfig one_thread{"1 thread", 0.62, 13};
+  WorkerConfig one_warp{"1 warp", 19.6, 13};
+  WorkerConfig block{"1024 thr", 215, 13};
+  EXPECT_NEAR(switch_point_nl(one_thread, one_warp, 110), 70.4, 1.0);
+  EXPECT_NEAR(switch_point_nm(one_thread, 110), 76.3, 1.0);
+  EXPECT_NEAR(switch_point_nl(one_warp, block, 420), 9057, 60);
+  EXPECT_NEAR(switch_point_nm(one_warp, 420), 8487, 60);
+}
+
+TEST(PerfModel, NlRequiresFasterMore) {
+  WorkerConfig a{"a", 10, 5};
+  WorkerConfig b{"b", 5, 5};
+  EXPECT_THROW(switch_point_nl(a, b, 100), SimError);
+}
+
+TEST(PerfModel, PredictedCyclesHasThreeRegimes) {
+  WorkerConfig w{"w", 10, 100};  // concurrency = 1000 B
+  // Below concurrency: latency-dominated, flat.
+  EXPECT_DOUBLE_EQ(predicted_cycles(w, 500, 0), 100);
+  EXPECT_DOUBLE_EQ(predicted_cycles(w, 1000, 0), 100);
+  // Above: throughput term kicks in.
+  EXPECT_DOUBLE_EQ(predicted_cycles(w, 2000, 0), 100 + 100);
+  // Sync adds a constant.
+  EXPECT_DOUBLE_EQ(predicted_cycles(w, 2000, 50), 250);
+}
+
+TEST(PerfModel, EmpiricalCrossoverBracketsTheFormula) {
+  WorkerConfig basic{"warp", 19.6, 13};
+  WorkerConfig more{"block", 215, 13};
+  const double nl = switch_point_nl(basic, more, 420);
+  const std::int64_t cross =
+      empirical_crossover(basic, more, 420, 8, 8, 1 << 24);
+  // The scan is in powers of two; the formula's point must lie within one
+  // doubling of the empirical crossover.
+  EXPECT_GE(static_cast<double>(cross) * 8, nl / 2);
+  EXPECT_LE(static_cast<double>(cross) * 8 / 2, nl * 2);
+}
+
+TEST(PerfModel, MeasuredInputsGiveSaneSwitchPoints) {
+  // End-to-end: microbenchmark -> model, both architectures.
+  for (const ArchSpec* arch : {&v100(), &p100()}) {
+    auto pts = syncbench::characterize_smem(*arch);
+    ASSERT_EQ(pts.size(), 4u);
+    WorkerConfig one{"1 thread", pts[0].bytes_per_cycle, pts[0].latency_cycles};
+    WorkerConfig warp{"1 warp", pts[1].bytes_per_cycle, pts[1].latency_cycles};
+    const double nl = switch_point_nl(one, warp, 5 * arch->shfl_tile_latency);
+    // Paper: ~70 bytes on both platforms — i.e. less than a cache line per
+    // warp of work is better done by one thread.
+    EXPECT_GT(nl, 20);
+    EXPECT_LT(nl, 300);
+  }
+}
+
+TEST(TableThree, SmemScenariosScaleAsMeasured) {
+  auto pts = syncbench::characterize_smem(v100());
+  ASSERT_EQ(pts.size(), 4u);
+  // 1 warp streams ~32x one lane; a full SM is another ~10x.
+  EXPECT_NEAR(pts[1].bytes_per_cycle / pts[0].bytes_per_cycle, 32.0, 4.0);
+  EXPECT_GT(pts[3].bytes_per_cycle, 8 * pts[1].bytes_per_cycle);
+  // Paper anchors (V100): 19.6 B/cy per warp, 215 B/cy per SM, 13 cy/iter.
+  EXPECT_NEAR(pts[1].bytes_per_cycle, 19.6, 4.5);
+  EXPECT_NEAR(pts[3].bytes_per_cycle, 215.0, 40.0);
+  EXPECT_NEAR(pts[0].latency_cycles, 13.0, 4.0);
+}

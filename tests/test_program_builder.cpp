@@ -1,0 +1,95 @@
+// KernelBuilder: label resolution, validation, structured control flow,
+// disassembly, and error paths.
+#include <gtest/gtest.h>
+
+#include "vgpu/program.hpp"
+
+using namespace vgpu;
+
+TEST(Builder, ResolvesForwardLabels) {
+  KernelBuilder b("fwd");
+  Reg p = b.imm(1);
+  Label end = b.label();
+  Label other = b.label();
+  b.bra_if(p, end, other, false);
+  b.bind(other);
+  b.nop();
+  b.bind(end);
+  auto prog = b.finish();
+  // Instruction 1 is MovI (imm), 2 is the branch.
+  const Instr& br = prog->at(1);
+  EXPECT_EQ(br.op, Op::BraIf);
+  EXPECT_GT(br.target, 0);
+  EXPECT_GE(br.reconv, 0);
+}
+
+TEST(Builder, UnboundLabelIsRejected) {
+  KernelBuilder b("unbound");
+  Label never = b.label();
+  b.bra(never);
+  EXPECT_THROW(b.finish(), SimError);
+}
+
+TEST(Builder, DoubleBindIsRejected) {
+  KernelBuilder b("dbl");
+  Label l = b.label();
+  b.bind(l);
+  EXPECT_THROW(b.bind(l), SimError);
+}
+
+TEST(Builder, AppendsExitWhenMissing) {
+  KernelBuilder b("noexit");
+  b.nop();
+  auto prog = b.finish();
+  EXPECT_EQ(prog->at(prog->size() - 1).op, Op::Exit);
+}
+
+TEST(Builder, RegisterExhaustionIsReported) {
+  KernelBuilder b("regs");
+  for (int i = 0; i < kMaxRegs; ++i) b.reg();
+  EXPECT_THROW(b.reg(), SimError);
+}
+
+TEST(Builder, TileSyncValidatesGroupSize) {
+  KernelBuilder b("tile");
+  EXPECT_THROW(b.tile_sync(3), SimError);
+  EXPECT_THROW(b.tile_sync(0), SimError);
+  EXPECT_THROW(b.tile_sync(64), SimError);
+  b.tile_sync(16);  // fine
+}
+
+TEST(Builder, FinishTwiceIsRejected) {
+  KernelBuilder b("twice");
+  b.nop();
+  b.finish();
+  EXPECT_THROW(b.finish(), SimError);
+}
+
+TEST(Builder, IfThenElseEmitsReconvergenceAtEnd) {
+  KernelBuilder b("ite");
+  Reg p = b.imm(1);
+  b.if_then_else(p, [&] { b.nop(); }, [&] { b.nop(); });
+  auto prog = b.finish();
+  // Find the conditional branch; its reconvergence must be past both arms.
+  for (std::int32_t pc = 0; pc < prog->size(); ++pc) {
+    const Instr& i = prog->at(pc);
+    if (i.op == Op::BraIf) {
+      EXPECT_GT(i.reconv, i.target);
+      return;
+    }
+  }
+  FAIL() << "no conditional branch emitted";
+}
+
+TEST(Builder, DisassemblyMentionsEveryOpcode) {
+  KernelBuilder b("disasm");
+  Reg a = b.imm(1), c = b.imm(2);
+  b.iadd(a, a, c);
+  b.fadd(a, a, c);
+  b.tile_sync(32);
+  b.bar_sync();
+  auto prog = b.finish();
+  const std::string text = prog->disassemble();
+  for (const char* frag : {"movi", "iadd", "fadd", "tile.sync", "bar.sync", "exit"})
+    EXPECT_NE(text.find(frag), std::string::npos) << frag;
+}

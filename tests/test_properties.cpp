@@ -1,0 +1,200 @@
+// Property-style sweeps (parameterized gtest) over configuration spaces:
+// invariants that must hold for *every* shape, not just anchor points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reduction/reduce.hpp"
+#include "syncbench/kernels.hpp"
+#include "syncbench/methods.hpp"
+#include "test_util.hpp"
+
+using namespace vgpu;
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+
+// ---------------------------------------------------------------------------
+// Block-shape sweep: a block-reduce-style sum must be exact for every
+// geometry, including partial warps and single-warp blocks.
+// ---------------------------------------------------------------------------
+
+struct ShapeCase {
+  const ArchSpec* arch;
+  int grid;
+  int block;
+};
+
+class ShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(ShapeSweep, BlockPartialSumsAreExact) {
+  const ShapeCase& c = GetParam();
+  const std::int64_t n = 40000;
+  System sys(MachineConfig::single(*c.arch));
+  DevPtr src = sys.malloc(0, n * 8);
+  reduction::fill_pattern(sys, src, n);
+  DevPtr part = sys.malloc(0, static_cast<std::int64_t>(c.grid) * 8);
+  sys.run([&](HostThread& h) {
+    sys.launch(h, 0,
+               LaunchParams{reduction::partial_sum_kernel(), c.grid, c.block,
+                            32 * 8, {src.raw, n, part.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  const auto partials = sys.read_f64(part, c.grid);
+  double total = 0;
+  for (double p : partials) total += p;
+  EXPECT_NEAR(total, reduction::expected_pattern_sum(n), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(ShapeCase{&v100(), 1, 32}, ShapeCase{&v100(), 1, 1024},
+                      ShapeCase{&v100(), 7, 96}, ShapeCase{&v100(), 80, 128},
+                      ShapeCase{&v100(), 160, 256}, ShapeCase{&v100(), 13, 1000},
+                      ShapeCase{&p100(), 1, 64}, ShapeCase{&p100(), 56, 512},
+                      ShapeCase{&p100(), 100, 224}),
+    [](const auto& info) {
+      return info.param.arch->name + "_g" + std::to_string(info.param.grid) +
+             "_b" + std::to_string(info.param.block);
+    });
+
+// ---------------------------------------------------------------------------
+// Tile-size sweep: shuffle-based warp reduction is exact at every width.
+// ---------------------------------------------------------------------------
+
+struct TileCase {
+  const ArchSpec* arch;
+  int width;
+};
+
+class TileSweep : public ::testing::TestWithParam<TileCase> {};
+
+TEST_P(TileSweep, SegmentedShuffleReduceIsExact) {
+  const TileCase& c = GetParam();
+  KernelBuilder b("segreduce");
+  Reg out = b.reg(), lane = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(lane, SpecialReg::Lane);
+  Reg v = b.reg();
+  b.iadd(v, lane, 1);  // 1..32
+  Reg tmp = b.reg();
+  for (int s = c.width / 2; s >= 1; s /= 2) {
+    b.shfl_down(tmp, v, s, c.width);
+    b.iadd(v, v, tmp);
+  }
+  Reg addr = b.reg();
+  b.ishl(addr, lane, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, v);
+  auto r = testutil::run_once(*c.arch, b.finish(), 1, 32, 0, 32);
+  for (int l = 0; l < 32; l += c.width) {
+    // Segment leader holds the segment sum: sum of (l+1 .. l+width).
+    std::int64_t expect = 0;
+    for (int k = 0; k < c.width; ++k) expect += l + k + 1;
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], expect)
+        << "segment at lane " << l << " width " << c.width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, TileSweep,
+    ::testing::Values(TileCase{&v100(), 2}, TileCase{&v100(), 4},
+                      TileCase{&v100(), 8}, TileCase{&v100(), 16},
+                      TileCase{&v100(), 32}, TileCase{&p100(), 4},
+                      TileCase{&p100(), 16}, TileCase{&p100(), 32}),
+    [](const auto& info) {
+      return info.param.arch->name + "_w" + std::to_string(info.param.width);
+    });
+
+// ---------------------------------------------------------------------------
+// Grid-sync latency is monotone in blocks/SM for every thread count
+// (property behind Figure 5), and co-residency is always respected.
+// ---------------------------------------------------------------------------
+
+class GridShape : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridShape, LatencyMonotoneInBlocksPerSm) {
+  const int threads = GetParam();
+  const ArchSpec& arch = v100();
+  double prev = 0;
+  for (int bpsm : {1, 2, 4}) {
+    if (bpsm * threads > arch.max_threads_per_sm) break;
+    System sys(MachineConfig::single(arch));
+    const syncbench::Estimate e = syncbench::repeat_scaling_us(
+        sys, syncbench::LaunchKind::Cooperative, 1,
+        [](int r) { return syncbench::grid_sync_kernel(r); },
+        {bpsm * arch.num_sms, threads, 0}, 2, 8);
+    EXPECT_GT(e.value, prev) << "threads=" << threads << " bpsm=" << bpsm;
+    prev = e.value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GridShape, ::testing::Values(32, 128, 512),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Determinism property: any config, run twice, bit-identical timing.
+// ---------------------------------------------------------------------------
+
+struct DetCase {
+  int gpus;
+  int grid;
+  int block;
+};
+
+class Determinism : public ::testing::TestWithParam<DetCase> {};
+
+TEST_P(Determinism, VirtualTimeIsReproducible) {
+  const DetCase& c = GetParam();
+  auto once = [&] {
+    System sys(MachineConfig::dgx1_v100(std::max(c.gpus, 2)));
+    std::vector<int> devs;
+    std::vector<LaunchParams> ps;
+    for (int g = 0; g < c.gpus; ++g) {
+      devs.push_back(g);
+      ps.push_back(LaunchParams{syncbench::mgrid_sync_kernel(4), c.grid, c.block,
+                                0, {}});
+    }
+    double t = 0;
+    sys.run([&](HostThread& h) {
+      sys.launch_cooperative_multi(h, devs, ps);
+      for (int g = 0; g < c.gpus; ++g) sys.device_synchronize(h, g);
+      t = h.now_us();
+    });
+    return t;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, Determinism,
+                         ::testing::Values(DetCase{2, 80, 64}, DetCase{4, 160, 128},
+                                           DetCase{8, 80, 256}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.gpus) + "gpu_g" +
+                                  std::to_string(info.param.grid) + "_b" +
+                                  std::to_string(info.param.block);
+                         });
+
+// ---------------------------------------------------------------------------
+// Exit-mask property: for any exit threshold, surviving lanes complete a
+// tile sync and the result only reflects survivors.
+// ---------------------------------------------------------------------------
+
+class ExitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExitSweep, PartialWarpSyncNeverHangs) {
+  const int keep = GetParam();
+  auto r = testutil::run_once(v100(), syncbench::partial_warp_sync_kernel(keep),
+                              1, 32, 0, 32);
+  for (int l = 0; l < keep; ++l)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], l);
+  for (int l = keep; l < 32; ++l)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Keeps, ExitSweep, ::testing::Values(1, 2, 7, 16, 31),
+                         [](const auto& info) {
+                           return "keep" + std::to_string(info.param);
+                         });

@@ -1,0 +1,145 @@
+// The reduction case study: numerical correctness of every implementation
+// across sizes and architectures (property sweep), Table V behaviours, and
+// bandwidth sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reduction/reduce.hpp"
+#include "reduction/warp_reduce.hpp"
+
+using namespace reduction;
+using namespace vgpu;
+
+namespace {
+
+struct Case {
+  const ArchSpec* arch;
+  SingleGpuAlgo algo;
+  std::int64_t n;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string a = to_string(info.param.algo);
+  for (char& c : a)
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  return info.param.arch->name + "_" + a + "_" + std::to_string(info.param.n);
+}
+
+}  // namespace
+
+class ReduceCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ReduceCorrectness, MatchesClosedForm) {
+  const Case& c = GetParam();
+  scuda::System sys(MachineConfig::single(*c.arch));
+  DevPtr src = sys.malloc(0, c.n * 8);
+  fill_pattern(sys, src, c.n);
+  const ReduceRun r = reduce_single(sys, c.algo, 0, src, c.n);
+  const double expected = expected_pattern_sum(c.n);
+  EXPECT_NEAR(r.value, expected, 1e-9 * std::max(1.0, std::abs(expected)));
+  EXPECT_GT(r.micros, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReduceCorrectness,
+    ::testing::Values(
+        // Edge sizes: below one warp, non-multiples of block/grid, pow2 +- 1.
+        Case{&v100(), SingleGpuAlgo::Implicit, 1},
+        Case{&v100(), SingleGpuAlgo::Implicit, 31},
+        Case{&v100(), SingleGpuAlgo::Implicit, 4097},
+        Case{&v100(), SingleGpuAlgo::Implicit, 1 << 20},
+        Case{&v100(), SingleGpuAlgo::GridSync, 1},
+        Case{&v100(), SingleGpuAlgo::GridSync, 255},
+        Case{&v100(), SingleGpuAlgo::GridSync, 163841},
+        Case{&v100(), SingleGpuAlgo::GridSync, 1 << 20},
+        Case{&v100(), SingleGpuAlgo::CubLike, 63},
+        Case{&v100(), SingleGpuAlgo::CubLike, (1 << 20) + 7},
+        Case{&v100(), SingleGpuAlgo::SampleLike, 100000},
+        Case{&p100(), SingleGpuAlgo::Implicit, 77777},
+        Case{&p100(), SingleGpuAlgo::GridSync, 77777},
+        Case{&p100(), SingleGpuAlgo::CubLike, 1 << 18},
+        Case{&p100(), SingleGpuAlgo::SampleLike, 12345}),
+    case_name);
+
+TEST(ReduceShapes, CooperativeVariantsAreCoResident) {
+  for (const ArchSpec* arch : {&v100(), &p100()}) {
+    const Shape s = shape_for(*arch, SingleGpuAlgo::GridSync, 1 << 24);
+    EXPECT_LE(s.blocks, max_cooperative_grid(*arch, s.threads, 32 * 8));
+  }
+}
+
+TEST(ReduceShapes, CubLikeScalesGridWithInput) {
+  const Shape small = shape_for(v100(), SingleGpuAlgo::CubLike, 1 << 12);
+  const Shape large = shape_for(v100(), SingleGpuAlgo::CubLike, 1 << 26);
+  EXPECT_LT(small.blocks, large.blocks);
+}
+
+TEST(ReduceBandwidth, LargeInputsApproachTheoreticalBandwidth) {
+  scuda::System sys(MachineConfig::single(v100()));
+  const std::int64_t n = (64ll << 20) / 8;  // 64 MB
+  DevPtr src = sys.malloc(0, n * 8);
+  fill_pattern(sys, src, n);
+  const ReduceRun r = reduce_single(sys, SingleGpuAlgo::Implicit, 0, src, n);
+  EXPECT_GT(r.bandwidth_gbs, 0.80 * v100().dram_peak_gbs());
+  EXPECT_LT(r.bandwidth_gbs, v100().dram_peak_gbs());
+}
+
+TEST(ReduceBandwidth, GridSyncTrailsImplicitSlightly) {
+  // Table VI / Figure 15: implicit is marginally ahead at large sizes.
+  scuda::System sys(MachineConfig::single(v100()));
+  const std::int64_t n = (64ll << 20) / 8;
+  DevPtr src = sys.malloc(0, n * 8);
+  fill_pattern(sys, src, n);
+  const ReduceRun imp = reduce_single(sys, SingleGpuAlgo::Implicit, 0, src, n);
+  const ReduceRun gs = reduce_single(sys, SingleGpuAlgo::GridSync, 0, src, n);
+  EXPECT_GT(imp.bandwidth_gbs, gs.bandwidth_gbs);
+  EXPECT_LT(imp.bandwidth_gbs / gs.bandwidth_gbs, 1.10);  // "not decisive"
+}
+
+// ---- Table V ------------------------------------------------------------------
+
+class WarpReduce : public ::testing::TestWithParam<const ArchSpec*> {};
+
+TEST_P(WarpReduce, OnlyNoSyncIsWrong) {
+  for (WarpVariant v :
+       {WarpVariant::Serial, WarpVariant::NoSync, WarpVariant::Volatile,
+        WarpVariant::Tile, WarpVariant::Coalesced, WarpVariant::TileShfl,
+        WarpVariant::CoaShfl}) {
+    const WarpReduceResult r = run_warp_reduce(*GetParam(), v);
+    if (v == WarpVariant::NoSync) {
+      EXPECT_FALSE(r.correct) << to_string(v);
+    } else {
+      EXPECT_TRUE(r.correct) << to_string(v) << " got " << r.value
+                             << " expected " << r.expected;
+    }
+  }
+}
+
+TEST_P(WarpReduce, LatencyOrderingMatchesTableFive) {
+  const auto arch = *GetParam();
+  const double serial = run_warp_reduce(arch, WarpVariant::Serial).cycles;
+  const double nosync = run_warp_reduce(arch, WarpVariant::NoSync).cycles;
+  const double tile = run_warp_reduce(arch, WarpVariant::Tile).cycles;
+  const double tshfl = run_warp_reduce(arch, WarpVariant::TileShfl).cycles;
+  const double cshfl = run_warp_reduce(arch, WarpVariant::CoaShfl).cycles;
+  EXPECT_LT(tshfl, tile);    // shuffle wins in real code
+  EXPECT_LT(nosync, tile);   // skipping sync is faster (and wrong)
+  EXPECT_LT(tile, serial);   // tree beats serial
+  EXPECT_GT(cshfl, 3 * tile);  // coalesced shuffle's software path is slow
+}
+
+TEST_P(WarpReduce, VoltaSyncCostsShowUpInTileVariant) {
+  const auto arch = *GetParam();
+  const double vol = run_warp_reduce(arch, WarpVariant::Volatile).cycles;
+  const double tile = run_warp_reduce(arch, WarpVariant::Tile).cycles;
+  if (arch.independent_thread_scheduling) {
+    EXPECT_GT(tile, vol);  // 5 real joins
+  } else {
+    EXPECT_NEAR(tile, vol, 40);  // sync is a no-op on Pascal
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, WarpReduce,
+                         ::testing::Values(&v100(), &p100()),
+                         [](const auto& info) { return info.param->name; });

@@ -1,0 +1,135 @@
+// scuda runtime semantics: stream ordering, launch-pipeline identities
+// (Table I invariants), device_synchronize, and the idle-stream reset.
+#include <gtest/gtest.h>
+
+#include "syncbench/kernels.hpp"
+#include "syncbench/methods.hpp"
+#include "test_util.hpp"
+
+using namespace vgpu;
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+
+TEST(Streams, KernelsInOneStreamExecuteInOrder) {
+  // k1 writes out[0]=1; k2 reads out[0] and writes out[1]=out[0]+1. The
+  // implicit barrier between launches must order them.
+  System sys(MachineConfig::single(v100()));
+  DevPtr out = sys.malloc(0, 16);
+
+  KernelBuilder b1("writer");
+  Reg o1 = b1.reg();
+  b1.ld_param(o1, 0);
+  Reg one = b1.imm(1);
+  b1.stg(o1, one);
+
+  KernelBuilder b2("reader");
+  Reg o2 = b2.reg();
+  b2.ld_param(o2, 0);
+  Reg v = b2.reg();
+  b2.ldg(v, o2);
+  b2.iadd(v, v, 1);
+  Reg a = b2.reg();
+  b2.iadd(a, o2, 8);
+  b2.stg(a, v);
+
+  sys.run([&](HostThread& h) {
+    sys.launch(h, 0, LaunchParams{b1.finish(), 1, 32, 0, {out.raw}});
+    sys.launch(h, 0, LaunchParams{b2.finish(), 1, 32, 0, {out.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  auto got = sys.read_i64(out, 2);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 2);
+}
+
+TEST(Streams, NullKernelSteadyStateMatchesTableOne) {
+  System sys(MachineConfig::single(v100()));
+  const auto cost =
+      syncbench::measure_launch_cost(sys, syncbench::LaunchKind::Traditional, 1);
+  EXPECT_NEAR(cost.null_total_us * 1e3, 8888, 50);
+  EXPECT_NEAR(cost.overhead_us * 1e3, 1081, 60);
+}
+
+TEST(Streams, CooperativeLaunchCostsMore) {
+  System s1(MachineConfig::single(v100()));
+  System s2(MachineConfig::single(v100()));
+  const auto trad =
+      syncbench::measure_launch_cost(s1, syncbench::LaunchKind::Traditional, 1);
+  const auto coop =
+      syncbench::measure_launch_cost(s2, syncbench::LaunchKind::Cooperative, 1);
+  EXPECT_GT(coop.null_total_us, trad.null_total_us);
+}
+
+TEST(Streams, LongKernelsHideTheLaunchGap) {
+  // Per-kernel marginal cost with 10 us kernels ~ issue cost, not gap.
+  System sys(MachineConfig::single(v100()));
+  auto prog = syncbench::sleep_kernel(10000);
+  const double l1 =
+      syncbench::timed_round_us(sys, syncbench::LaunchKind::Traditional, 1, prog,
+                                {1, 32, 0}, 1);
+  const double l5 =
+      syncbench::timed_round_us(sys, syncbench::LaunchKind::Traditional, 1, prog,
+                                {1, 32, 0}, 5);
+  const double marginal = (l5 - l1) / 4.0;
+  EXPECT_NEAR(marginal, 10.0 + 1.081, 0.3);  // exec + saturated overhead
+}
+
+TEST(Streams, DeviceSynchronizeOnIdleDeviceIsCheap) {
+  System sys(MachineConfig::single(v100()));
+  sys.run([&](HostThread& h) {
+    const double t0 = h.now_us();
+    sys.device_synchronize(h, 0);
+    EXPECT_LT(h.now_us() - t0, 1.0);
+  });
+}
+
+TEST(Streams, IndependentDevicesOverlap) {
+  // Two 50 us kernels on two devices launched back to back must overlap:
+  // total wall time well under 100 us.
+  System sys(MachineConfig::dgx1_v100(2));
+  auto prog = syncbench::sleep_kernel(50000);
+  double took = 0;
+  sys.run([&](HostThread& h) {
+    const double t0 = h.now_us();
+    sys.launch(h, 0, LaunchParams{prog, 1, 32, 0, {}});
+    sys.launch(h, 1, LaunchParams{prog, 1, 32, 0, {}});
+    sys.device_synchronize(h, 0);
+    sys.device_synchronize(h, 1);
+    took = h.now_us() - t0;
+  });
+  EXPECT_GT(took, 50.0);
+  EXPECT_LT(took, 75.0);
+}
+
+TEST(Streams, HungKernelAtProgramEndIsReported) {
+  // A cooperative kernel whose blocks partially skip grid.sync never
+  // completes; run() must surface it even without a device_synchronize.
+  System sys(MachineConfig::single(v100()));
+  DevPtr out = sys.malloc(0, 64);
+  EXPECT_THROW(sys.run([&](HostThread& h) {
+                 sys.launch_cooperative(
+                     h, 0,
+                     LaunchParams{syncbench::partial_grid_sync_kernel(), 80, 64, 0,
+                                  {out.raw, 40}});
+               }),
+               DeadlockError);
+}
+
+TEST(Streams, ErrorMessagesNameTheKernel) {
+  System sys(MachineConfig::single(v100()));
+  DevPtr out = sys.malloc(0, 64);
+  try {
+    sys.run([&](HostThread& h) {
+      sys.launch_cooperative(h, 0,
+                             LaunchParams{syncbench::partial_grid_sync_kernel(),
+                                          80, 64, 0, {out.raw, 40}});
+      sys.device_synchronize(h, 0);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("partial_grid_sync"), std::string::npos) << what;
+    EXPECT_NE(what.find("arrived"), std::string::npos) << what;
+  }
+}

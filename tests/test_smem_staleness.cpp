@@ -1,0 +1,130 @@
+// The shared-memory staleness model behind Table V's "nosync is incorrect":
+// unfenced cross-lane reads observe the previous value; volatile accesses
+// and warp/block syncs restore visibility.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+using namespace vgpu;
+using testutil::run_once;
+
+namespace {
+
+// Lane L writes (L+1)*10 to sm[L]; then every lane reads sm[(L+1)%32] and
+// stores what it saw. `vol` controls both accesses; `sync` inserts a tile
+// sync between write and read.
+ProgramPtr cross_lane_kernel(bool vol, bool sync) {
+  KernelBuilder b("crosslane");
+  Reg out = b.reg(), lane = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(lane, SpecialReg::Lane);
+  Reg v = b.reg();
+  b.iadd(v, lane, 1);
+  b.imul(v, v, 10);
+  Reg off = b.reg();
+  b.ishl(off, lane, 3);
+  b.sts(off, v, vol);
+  if (sync) b.tile_sync(32);
+  Reg nxt = b.reg();
+  b.iadd(nxt, lane, 1);
+  b.iand(nxt, nxt, 31);
+  b.ishl(nxt, nxt, 3);
+  Reg got = b.reg();
+  b.lds(got, nxt, vol);
+  Reg addr = b.reg();
+  b.ishl(addr, lane, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, got);
+  return b.finish();
+}
+
+}  // namespace
+
+class Staleness : public ::testing::TestWithParam<const ArchSpec*> {};
+
+TEST_P(Staleness, UnfencedCrossLaneReadIsStale) {
+  auto r = run_once(*GetParam(), cross_lane_kernel(false, false), 1, 32, 256, 32);
+  // Shared memory was zero-initialized; the fresh values are invisible.
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(r.out[static_cast<std::size_t>(l)], 0);
+}
+
+TEST_P(Staleness, VolatileMakesWritesVisible) {
+  auto r = run_once(*GetParam(), cross_lane_kernel(true, false), 1, 32, 256, 32);
+  for (int l = 0; l < 32; ++l)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], ((l + 1) % 32 + 1) * 10);
+}
+
+TEST_P(Staleness, TileSyncMakesWritesVisible) {
+  auto r = run_once(*GetParam(), cross_lane_kernel(false, true), 1, 32, 256, 32);
+  for (int l = 0; l < 32; ++l)
+    EXPECT_EQ(r.out[static_cast<std::size_t>(l)], ((l + 1) % 32 + 1) * 10);
+}
+
+TEST_P(Staleness, OwnWritesAlwaysVisible) {
+  KernelBuilder b("own");
+  Reg out = b.reg(), lane = b.reg();
+  b.ld_param(out, 0);
+  b.sreg(lane, SpecialReg::Lane);
+  Reg off = b.reg();
+  b.ishl(off, lane, 3);
+  Reg v = b.reg();
+  b.imul(v, lane, 7);
+  b.sts(off, v, false);
+  Reg got = b.reg();
+  b.lds(got, off, false);  // same lane: register forwarding
+  Reg addr = b.reg();
+  b.ishl(addr, lane, 3);
+  b.iadd(addr, addr, out);
+  b.stg(addr, got);
+  auto r = run_once(*GetParam(), b.finish(), 1, 32, 256, 32);
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(r.out[static_cast<std::size_t>(l)], 7 * l);
+}
+
+TEST_P(Staleness, CrossWarpNeedsBlockBarrier) {
+  // Warp 0 writes sm[0..31]; warp 1 reads it. Without __syncthreads the
+  // values are stale; with it they are visible.
+  for (bool use_bar : {false, true}) {
+    KernelBuilder b("crosswarp");
+    Reg out = b.reg(), tid = b.reg(), warp = b.reg(), lane = b.reg();
+    b.ld_param(out, 0);
+    b.sreg(tid, SpecialReg::Tid);
+    b.sreg(warp, SpecialReg::WarpId);
+    b.sreg(lane, SpecialReg::Lane);
+    Reg isw0 = b.reg();
+    b.setp(isw0, warp, Cmp::Eq, 0);
+    Reg off = b.reg();
+    b.ishl(off, lane, 3);
+    Reg v = b.reg();
+    b.iadd(v, lane, 500);
+    b.if_then(isw0, [&] { b.sts(off, v, false); });
+    if (use_bar) b.bar_sync();
+    Reg isw1 = b.reg();
+    b.setp(isw1, warp, Cmp::Eq, 1);
+    b.if_then(isw1, [&] {
+      Reg got = b.reg();
+      b.lds(got, off, false);
+      Reg addr = b.reg();
+      b.ishl(addr, lane, 3);
+      b.iadd(addr, addr, out);
+      b.stg(addr, got);
+    });
+    auto r = run_once(*GetParam(), b.finish(), 1, 64, 256, 32);
+    for (int l = 0; l < 32; ++l) {
+      const std::int64_t expect = use_bar ? 500 + l : 0;
+      EXPECT_EQ(r.out[static_cast<std::size_t>(l)], expect)
+          << "lane " << l << " bar=" << use_bar;
+    }
+  }
+}
+
+TEST_P(Staleness, SmemOutOfBoundsIsDiagnosed) {
+  KernelBuilder b("smem_oob");
+  Reg off = b.imm(1 << 16);
+  Reg v = b.imm(1);
+  b.sts(off, v, false);
+  EXPECT_THROW(run_once(*GetParam(), b.finish(), 1, 32, 256, 8), SimError);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothArchs, Staleness,
+                         ::testing::Values(&v100(), &p100()),
+                         [](const auto& info) { return info.param->name; });

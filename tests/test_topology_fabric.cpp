@@ -1,0 +1,82 @@
+// Interconnect topologies and the fabric barrier cost model: the DGX-1
+// hybrid cube-mesh explains the paper's 5->6 GPU latency step.
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+#include "fabric/topology.hpp"
+
+using namespace vgpu;
+
+TEST(Topology, Dgx1QuadsAreFullyMeshed) {
+  Topology t = Topology::dgx1_nvlink(8);
+  for (int q : {0, 4})
+    for (int i = q; i < q + 4; ++i)
+      for (int j = q; j < q + 4; ++j)
+        EXPECT_EQ(t.hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                  i == j ? 0 : 1);
+}
+
+TEST(Topology, Dgx1CrossQuadSiblings) {
+  Topology t = Topology::dgx1_nvlink(8);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(t.hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(i + 4)], 1);
+  EXPECT_EQ(t.hops[0][5], 2);
+  EXPECT_EQ(t.hops[1][6], 2);
+  EXPECT_EQ(t.hops[3][4], 2);
+}
+
+TEST(Topology, LeaderDistanceStepsBetween5And6) {
+  Topology t = Topology::dgx1_nvlink(8);
+  for (int n = 2; n <= 5; ++n) EXPECT_EQ(t.max_leader_hops(n), 1) << n;
+  for (int n = 6; n <= 8; ++n) EXPECT_EQ(t.max_leader_hops(n), 2) << n;
+}
+
+TEST(Topology, BarrierCostReproducesThePaperSteps) {
+  Topology t = Topology::dgx1_nvlink(8);
+  EXPECT_EQ(t.fabric_barrier_cost(1), 0);
+  const double c2 = to_us(t.fabric_barrier_cost(2));
+  const double c5 = to_us(t.fabric_barrier_cost(5));
+  const double c6 = to_us(t.fabric_barrier_cost(6));
+  const double c8 = to_us(t.fabric_barrier_cost(8));
+  EXPECT_NEAR(c2, 5.0, 0.5);    // paper: +5.0 us at 2 GPUs
+  EXPECT_NEAR(c5, 5.6, 0.5);    // flat through 5
+  EXPECT_GT(c6, c5 + 8.0);      // the step
+  EXPECT_GT(c8, c6);            // mild growth after
+  EXPECT_LT(c8 - c6, 2.0);
+}
+
+TEST(Topology, PcieIsFlat) {
+  Topology t = Topology::pcie(2);
+  EXPECT_EQ(t.hops[0][1], 1);
+  EXPECT_NEAR(to_us(t.fabric_barrier_cost(2)), 5.8, 0.5);  // Figure 7 delta
+}
+
+TEST(Topology, RejectsOversizedDgx1) {
+  EXPECT_THROW(Topology::dgx1_nvlink(9), SimError);
+}
+
+TEST(Fabric, TransferTimeScalesWithBytes) {
+  Fabric f(Topology::dgx1_nvlink(8));
+  const Ps t1 = f.transfer_done(0, 1, 1 << 20, 0);
+  Fabric f2(Topology::dgx1_nvlink(8));
+  const Ps t16 = f2.transfer_done(0, 1, 16 << 20, 0);
+  EXPECT_GT(t16, t1);
+  // 16 MB at 25 GB/s ~ 671 us of wire time.
+  EXPECT_NEAR(to_us(t16), 671.0 + to_us(f2.topology().hop_latency), 40.0);
+}
+
+TEST(Fabric, BackToBackTransfersQueueOnTheLink) {
+  Fabric f(Topology::dgx1_nvlink(8));
+  const Ps a = f.transfer_done(0, 1, 1 << 20, 0);
+  const Ps b = f.transfer_done(0, 1, 1 << 20, 0);
+  EXPECT_GT(b, a);
+  // Different link: no queueing against the first pair.
+  const Ps c = f.transfer_done(2, 3, 1 << 20, 0);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Fabric, TwoHopPairsAreSlower) {
+  Fabric f(Topology::dgx1_nvlink(8));
+  EXPECT_GT(f.remote_latency(0, 5), f.remote_latency(0, 4));
+  EXPECT_GT(f.transfer_done(0, 5, 8 << 20, 0), f.transfer_done(0, 4, 8 << 20, 0));
+}

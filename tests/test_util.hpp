@@ -1,0 +1,51 @@
+// Shared helpers for the test suite: one-shot kernel runs and common
+// fixtures over both simulated architectures.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scuda/system.hpp"
+#include "vgpu/program.hpp"
+
+namespace testutil {
+
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+using vgpu::DevPtr;
+
+/// Launch `prog` once on a fresh single-device machine and return the
+/// contents of an output buffer of `out_count` int64 slots (passed as
+/// param 0, followed by `extra_params`).
+struct RunResult {
+  std::vector<std::int64_t> out;
+  double elapsed_us = 0;
+};
+
+inline RunResult run_once(const vgpu::ArchSpec& arch, vgpu::ProgramPtr prog,
+                          int grid, int block, int smem, std::int64_t out_count,
+                          std::vector<std::int64_t> extra_params = {},
+                          bool cooperative = false) {
+  System sys(vgpu::MachineConfig::single(arch));
+  DevPtr out = sys.malloc(0, out_count * 8);
+  std::vector<std::int64_t> params = {out.raw};
+  params.insert(params.end(), extra_params.begin(), extra_params.end());
+  RunResult r;
+  sys.run([&](HostThread& h) {
+    const double t0 = h.now_us();
+    if (cooperative)
+      sys.launch_cooperative(h, 0, LaunchParams{prog, grid, block, smem, params});
+    else
+      sys.launch(h, 0, LaunchParams{prog, grid, block, smem, params});
+    sys.device_synchronize(h, 0);
+    r.elapsed_us = h.now_us() - t0;
+  });
+  r.out = sys.read_i64(out, out_count);
+  return r;
+}
+
+inline double as_f64(std::int64_t bits) { return std::bit_cast<double>(bits); }
+
+}  // namespace testutil

@@ -1,0 +1,131 @@
+// Volta vs Pascal warp-level synchronization semantics (Section VIII-A,
+// Figures 17/18) and Table II invariants.
+#include <gtest/gtest.h>
+
+#include "syncbench/suite.hpp"
+
+using namespace syncbench;
+using namespace vgpu;
+
+TEST(WarpSyncSemantics, VoltaBlocksTheWholeWarp) {
+  const WarpTimerResult r = warp_sync_timers(v100(), WarpSyncKind::Tile);
+  EXPECT_TRUE(r.barrier_blocked_all());
+}
+
+TEST(WarpSyncSemantics, PascalDoesNot) {
+  const WarpTimerResult r = warp_sync_timers(p100(), WarpSyncKind::Tile);
+  EXPECT_FALSE(r.barrier_blocked_all());
+}
+
+TEST(WarpSyncSemantics, PascalArmsSerializeInTidOrder) {
+  const WarpTimerResult r = warp_sync_timers(p100(), WarpSyncKind::Tile);
+  for (int l = 1; l < 32; ++l)
+    EXPECT_GT(r.start_cycles[static_cast<std::size_t>(l)],
+              r.start_cycles[static_cast<std::size_t>(l - 1)]);
+  // Each arm's end trails its own start closely: the staircase of Fig 18.
+  for (int l = 0; l < 32; ++l)
+    EXPECT_LT(r.end_cycles[static_cast<std::size_t>(l)] -
+                  r.start_cycles[static_cast<std::size_t>(l)],
+              50);
+}
+
+TEST(WarpSyncSemantics, VoltaEndsFollowTheLastArrival) {
+  const WarpTimerResult r = warp_sync_timers(v100(), WarpSyncKind::Tile);
+  std::int64_t max_start = 0;
+  for (auto s : r.start_cycles) max_start = std::max(max_start, s);
+  for (auto e : r.end_cycles) EXPECT_GE(e, max_start);
+}
+
+TEST(WarpSyncSemantics, ShuffleJoinsOnVoltaToo) {
+  EXPECT_TRUE(
+      warp_sync_timers(v100(), WarpSyncKind::ShuffleTile).barrier_blocked_all());
+  EXPECT_FALSE(
+      warp_sync_timers(p100(), WarpSyncKind::ShuffleTile).barrier_blocked_all());
+}
+
+// ---- Table II invariants ----------------------------------------------------
+
+TEST(TableTwo, TileLatencyIsGroupSizeInvariant) {
+  for (const ArchSpec* arch : {&v100(), &p100()}) {
+    double base = -1;
+    for (int g : {1, 2, 4, 8, 16, 32}) {
+      scuda::System sys(MachineConfig::single(*arch));
+      const double cy = wong_cycles_per_op(
+          sys, warp_sync_latency_kernel(WarpSyncKind::Tile, g, 64), 64);
+      if (base < 0) base = cy;
+      EXPECT_NEAR(cy, base, 0.5) << arch->name << " g=" << g;
+    }
+  }
+}
+
+TEST(TableTwo, CoalescedPartialGroupsArePenalizedOnVoltaOnly) {
+  auto latency = [](const ArchSpec& a, int g) {
+    scuda::System sys(MachineConfig::single(a));
+    return wong_cycles_per_op(
+        sys, warp_sync_latency_kernel(WarpSyncKind::Coalesced, g, 64), 64);
+  };
+  EXPECT_GT(latency(v100(), 16), 5 * latency(v100(), 32));  // 108 vs 14
+  EXPECT_NEAR(latency(p100(), 16), latency(p100(), 32), 0.5);  // both ~1
+}
+
+TEST(TableTwo, WarpSyncLatenciesMatchThePaper) {
+  struct Row {
+    WarpSyncKind kind;
+    int group;
+    double v100_cy;
+    double p100_cy;
+  };
+  const Row rows[] = {
+      {WarpSyncKind::Tile, 32, 14, 1},
+      {WarpSyncKind::ShuffleTile, 32, 22, 31},
+      {WarpSyncKind::Coalesced, 16, 108, 1},
+      {WarpSyncKind::Coalesced, 32, 14, 1},
+      {WarpSyncKind::ShuffleCoalesced, 32, 77, 50},
+  };
+  for (const Row& r : rows) {
+    scuda::System sv(MachineConfig::single(v100()));
+    scuda::System sp(MachineConfig::single(p100()));
+    const double v = wong_cycles_per_op(
+        sv, warp_sync_latency_kernel(r.kind, r.group, 64), 64);
+    const double p = wong_cycles_per_op(
+        sp, warp_sync_latency_kernel(r.kind, r.group, 64), 64);
+    EXPECT_NEAR(v, r.v100_cy, r.v100_cy * 0.12 + 1.0) << to_string(r.kind);
+    EXPECT_NEAR(p, r.p100_cy, r.p100_cy * 0.12 + 1.0) << to_string(r.kind);
+  }
+}
+
+TEST(TableTwo, PascalWarpSyncIsEffectivelyFree) {
+  // "Warp level sync does not work on Pascal" — it costs one issue slot.
+  scuda::System sys(MachineConfig::single(p100()));
+  const double cy = wong_cycles_per_op(
+      sys, warp_sync_latency_kernel(WarpSyncKind::Tile, 32, 128), 128);
+  EXPECT_LT(cy, 2.0);
+}
+
+// ---- Figure 4 invariants ----------------------------------------------------
+
+TEST(FigureFour, LatencyGrowsAndThroughputSaturates) {
+  for (const ArchSpec* arch : {&v100(), &p100()}) {
+    auto pts = characterize_block_sync(*arch);
+    ASSERT_GE(pts.size(), 4u);
+    for (std::size_t i = 1; i < pts.size(); ++i)
+      EXPECT_GE(pts[i].latency_cycles, pts[i - 1].latency_cycles * 0.95)
+          << arch->name;
+    // Throughput at the residency limit is the maximum and is close to the
+    // Table II block row.
+    double best = 0;
+    for (const auto& p : pts) best = std::max(best, p.warp_sync_per_cycle);
+    EXPECT_NEAR(best, pts.back().warp_sync_per_cycle, best * 0.1) << arch->name;
+  }
+}
+
+TEST(FigureFour, SaturatedThroughputMatchesPaper) {
+  auto best = [](const ArchSpec& a) {
+    double m = 0;
+    for (const auto& p : characterize_block_sync(a))
+      m = std::max(m, p.warp_sync_per_cycle);
+    return m;
+  };
+  EXPECT_NEAR(best(v100()), 0.475, 0.05);
+  EXPECT_NEAR(best(p100()), 0.091, 0.012);
+}
