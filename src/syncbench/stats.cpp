@@ -4,14 +4,14 @@
 
 namespace syncbench {
 
-double mean(std::span<const double> xs) {
+double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0;
   double s = 0;
   for (double x : xs) s += x;
   return s / static_cast<double>(xs.size());
 }
 
-double stdev(std::span<const double> xs) {
+double stdev(const std::vector<double>& xs) {
   if (xs.size() < 2) return 0;
   const double m = mean(xs);
   double s2 = 0;
@@ -19,8 +19,8 @@ double stdev(std::span<const double> xs) {
   return std::sqrt(s2 / static_cast<double>(xs.size() - 1));
 }
 
-Estimate repeat_scaling(std::span<const double> lat_k1,
-                        std::span<const double> lat_k2, int r1, int r2) {
+Estimate repeat_scaling(const std::vector<double>& lat_k1,
+                        const std::vector<double>& lat_k2, int r1, int r2) {
   if (r1 == r2) throw vgpu::SimError("repeat_scaling: r1 == r2");
   Estimate e;
   const double dr = static_cast<double>(r1 - r2);

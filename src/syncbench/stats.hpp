@@ -7,14 +7,13 @@
 #pragma once
 
 #include <cmath>
-#include <span>
 #include <vector>
 
 namespace syncbench {
 
-double mean(std::span<const double> xs);
+double mean(const std::vector<double>& xs);
 /// Sample standard deviation (n-1 denominator), 0 for n < 2.
-double stdev(std::span<const double> xs);
+double stdev(const std::vector<double>& xs);
 
 struct Estimate {
   double value = 0;
@@ -23,8 +22,8 @@ struct Estimate {
 
 /// Eq. 7 + Eq. 8 over repeated measurements of two kernels whose only
 /// difference is the repeat count of the instruction under test.
-Estimate repeat_scaling(std::span<const double> lat_k1,
-                        std::span<const double> lat_k2, int r1, int r2);
+Estimate repeat_scaling(const std::vector<double>& lat_k1,
+                        const std::vector<double>& lat_k2, int r1, int r2);
 
 /// Eq. 6: launch overhead via kernel fusion. `lat_ij` is the total latency
 /// of i launches of j work units; `lat_ji` of j launches of i work units.

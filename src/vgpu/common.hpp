@@ -1,10 +1,15 @@
 // Shared small utilities: error types, lane-mask helpers.
 #pragma once
 
-#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+
+#ifdef _MSC_VER
+#include <intrin.h>
+#endif
 
 namespace vgpu {
 
@@ -28,7 +33,25 @@ class DeadlockError : public std::runtime_error {
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
 };
 
-inline int popcount(std::uint32_t m) { return std::popcount(m); }
+inline int popcount(std::uint32_t m) {
+#ifdef _MSC_VER
+  return static_cast<int>(__popcnt(m));
+#else
+  return __builtin_popcount(m);
+#endif
+}
+
+/// C++17 stand-in for std::bit_cast (the project targets C++17; <bit> is
+/// C++20). memcpy of equal-sized trivially-copyable types, as the real thing.
+template <class To, class From>
+inline To bit_cast(const From& src) {
+  static_assert(sizeof(To) == sizeof(From), "bit_cast size mismatch");
+  static_assert(std::is_trivially_copyable_v<To> && std::is_trivially_copyable_v<From>,
+                "bit_cast requires trivially copyable types");
+  To dst;
+  std::memcpy(&dst, &src, sizeof(To));
+  return dst;
+}
 
 /// Mask with bits [0, n) set. n may be 32.
 inline std::uint32_t lane_mask(int n) {
@@ -41,7 +64,14 @@ inline bool lane_in(std::uint32_t mask, int lane) {
 
 /// Lowest set lane index, or -1 when empty.
 inline int first_lane(std::uint32_t mask) {
-  return mask == 0 ? -1 : std::countr_zero(mask);
+  if (mask == 0) return -1;
+#ifdef _MSC_VER
+  unsigned long idx;
+  _BitScanForward(&idx, mask);
+  return static_cast<int>(idx);
+#else
+  return __builtin_ctz(mask);
+#endif
 }
 
 }  // namespace vgpu

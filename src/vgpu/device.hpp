@@ -4,7 +4,6 @@
 #pragma once
 
 #include <array>
-#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -27,8 +26,8 @@ struct GridExec;
 /// Per-lane 64-bit value; doubles travel as bit patterns.
 struct Value {
   std::int64_t i = 0;
-  double f() const { return std::bit_cast<double>(i); }
-  static Value from_f(double d) { return Value{std::bit_cast<std::int64_t>(d)}; }
+  double f() const { return vgpu::bit_cast<double>(i); }
+  static Value from_f(double d) { return Value{vgpu::bit_cast<std::int64_t>(d)}; }
 };
 
 /// One SIMT execution context: a set of lanes at a pc, with the pc at which

@@ -1,6 +1,5 @@
 #include "vgpu/program.hpp"
 
-#include <bit>
 #include <sstream>
 
 namespace vgpu {
@@ -70,7 +69,7 @@ void KernelBuilder::mov(Reg d, std::int64_t v) {
 }
 
 void KernelBuilder::movf(Reg d, double v) {
-  emit({.op = Op::MovI, .dst = d.id, .imm = std::bit_cast<std::int64_t>(v)});
+  emit({.op = Op::MovI, .dst = d.id, .imm = vgpu::bit_cast<std::int64_t>(v)});
 }
 
 void KernelBuilder::mov(Reg d, Reg s) {

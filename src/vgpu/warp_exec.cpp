@@ -236,7 +236,7 @@ void Device::step_warp(Warp& w) {
       for (int l = 0; l < kWarpSize; ++l) {
         if (!lane_in(active, l)) continue;
         const double av = w.r(I.a, l).f();
-        const double bv = I.b_is_imm ? std::bit_cast<double>(I.imm) : w.r(I.b, l).f();
+        const double bv = I.b_is_imm ? vgpu::bit_cast<double>(I.imm) : w.r(I.b, l).f();
         w.r(I.dst, l) = Value::from_f(I.op == Op::FAdd ? av + bv : av * bv);
       }
       w.reg_ready[I.dst] = slot + cyc(arch_.alu_latency);

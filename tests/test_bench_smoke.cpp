@@ -1,0 +1,123 @@
+// Smoke coverage for every syncbench characterization entry point, so the
+// suite.cpp paths that were previously exercised only by the bench binaries
+// are part of tier-1. Each test runs one fast configuration (or a shrunken
+// arch for the sweeps) and sanity-checks the returned structure, not the
+// calibrated values — those are pinned by the dedicated table/figure tests.
+#include <gtest/gtest.h>
+
+#include "syncbench/suite.hpp"
+#include "vgpu/arch.hpp"
+
+namespace {
+
+using namespace syncbench;
+using vgpu::ArchSpec;
+using vgpu::MachineConfig;
+using vgpu::v100;
+
+/// V100 timing model on a 4-SM die: the throughput sweeps scale with
+/// blocks_per_sm * num_sms, so this keeps the full-sweep entry points fast.
+ArchSpec small_v100() {
+  ArchSpec a = v100();
+  a.name = "V100-4sm";
+  a.num_sms = 4;
+  return a;
+}
+
+TEST(BenchSmoke, LaunchTable) {
+  const auto rows = characterize_launch(v100());
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.overhead_ns, 0.0) << r.name;
+    EXPECT_GT(r.null_total_ns, r.overhead_ns) << r.name;
+  }
+}
+
+TEST(BenchSmoke, WarpSyncTable) {
+  const auto rows = characterize_warp_sync(small_v100());
+  ASSERT_EQ(rows.size(), 5u);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.latency_cycles, 0.0) << r.label;
+    EXPECT_GT(r.throughput_per_cycle, 0.0) << r.label;
+  }
+}
+
+TEST(BenchSmoke, BlockSyncRow) {
+  const WarpSyncRow r = characterize_block_sync_row(v100());
+  EXPECT_GT(r.latency_cycles, 0.0);
+  EXPECT_GT(r.throughput_per_cycle, 0.0);
+}
+
+TEST(BenchSmoke, BlockSyncSweep) {
+  const auto pts = characterize_block_sync(v100());
+  ASSERT_FALSE(pts.empty());
+  for (const auto& p : pts) {
+    EXPECT_GT(p.warps_per_sm, 0);
+    EXPECT_GT(p.latency_cycles, 0.0);
+    EXPECT_GT(p.warp_sync_per_cycle, 0.0);
+  }
+}
+
+TEST(BenchSmoke, GridSyncHeatmap) {
+  const HeatMap hm = grid_sync_heatmap(v100());
+  ASSERT_FALSE(hm.threads_per_block.empty());
+  ASSERT_EQ(hm.latency_us.size(), hm.blocks_per_sm.size());
+  bool any_valid = false;
+  for (const auto& row : hm.latency_us) {
+    ASSERT_EQ(row.size(), hm.threads_per_block.size());
+    for (double v : row) any_valid = any_valid || v > 0;
+  }
+  EXPECT_TRUE(any_valid);
+}
+
+TEST(BenchSmoke, MgridSyncHeatmap) {
+  const HeatMap hm = mgrid_sync_heatmap(MachineConfig::dgx1_v100(2), 2);
+  ASSERT_FALSE(hm.latency_us.empty());
+  bool any_valid = false;
+  for (const auto& row : hm.latency_us)
+    for (double v : row) any_valid = any_valid || v > 0;
+  EXPECT_TRUE(any_valid);
+}
+
+TEST(BenchSmoke, MultiGpuBarriers) {
+  const auto pts = characterize_multi_gpu_barriers(
+      [](int g) { return MachineConfig::dgx1_v100(g); }, 2);
+  ASSERT_EQ(pts.size(), 2u);
+  for (const auto& p : pts) {
+    EXPECT_GT(p.multi_launch_overhead_us, 0.0) << p.gpus;
+    // The 1-GPU row has no CPU-side barrier measurement (fig9 prints "-").
+    if (p.gpus > 1) {
+      EXPECT_GT(p.cpu_barrier_us, 0.0) << p.gpus;
+    }
+    EXPECT_GT(p.mgrid_fast_us, 0.0) << p.gpus;
+    EXPECT_GT(p.mgrid_general_us, 0.0) << p.gpus;
+    EXPECT_GT(p.mgrid_slow_us, 0.0) << p.gpus;
+  }
+}
+
+TEST(BenchSmoke, SmemScenarios) {
+  const auto pts = characterize_smem(v100());
+  ASSERT_FALSE(pts.empty());
+  for (const auto& p : pts) {
+    EXPECT_GT(p.active_threads, 0) << p.scenario;
+    EXPECT_GT(p.bytes_per_cycle, 0.0) << p.scenario;
+  }
+}
+
+TEST(BenchSmoke, WarpTimers) {
+  const WarpTimerResult r = warp_sync_timers(v100(), WarpSyncKind::Tile);
+  ASSERT_EQ(r.start_cycles.size(), 32u);
+  ASSERT_EQ(r.end_cycles.size(), 32u);
+  EXPECT_TRUE(r.barrier_blocked_all());  // Volta: the sync is a real join
+}
+
+TEST(BenchSmoke, DeadlockMatrix) {
+  const auto rows = partial_sync_matrix(MachineConfig::dgx1_v100(2));
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_FALSE(rows[0].deadlocked) << rows[0].detail;  // warp
+  EXPECT_FALSE(rows[1].deadlocked) << rows[1].detail;  // block
+  EXPECT_TRUE(rows[2].deadlocked);                     // grid
+  EXPECT_TRUE(rows[3].deadlocked);                     // multi-grid
+}
+
+}  // namespace

@@ -46,6 +46,6 @@ inline RunResult run_once(const vgpu::ArchSpec& arch, vgpu::ProgramPtr prog,
   return r;
 }
 
-inline double as_f64(std::int64_t bits) { return std::bit_cast<double>(bits); }
+inline double as_f64(std::int64_t bits) { return vgpu::bit_cast<double>(bits); }
 
 }  // namespace testutil
