@@ -7,11 +7,13 @@
 #include <iostream>
 
 #include "reduction/reduce.hpp"
+#include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reduction;
   using syncbench::fmt;
+  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
 
   // Fixed overheads (multi-device launch coordination, fabric barriers,
   // host barriers) amortize with shard size; the paper's near-unity
@@ -25,8 +27,13 @@ int main() {
   std::cout << "Figure 16 — multi-GPU reduction throughput on DGX-1 (V100),\n"
             << shard_mb << " MB per GPU\n\n";
 
-  std::vector<std::vector<std::string>> cells;
-  for (int gpus = 1; gpus <= 8; ++gpus) {
+  // One independent simulation per GPU count — the sweep grid. Concurrent
+  // points hold their shards simultaneously (~g x shard_mb each, ~4.5 GB
+  // total at --jobs 8 with the 128 MB default); shrink --jobs or
+  // GSB_FIG16_MB if host RAM is tight.
+  std::vector<int> gpu_counts;
+  for (int gpus = 1; gpus <= 8; ++gpus) gpu_counts.push_back(gpus);
+  const auto cells = sweep::map(gpu_counts, [&](int gpus) {
     scuda::System sys(vgpu::MachineConfig::dgx1_v100(std::max(gpus, 2)));
     std::vector<vgpu::DevPtr> shards;
     for (int g = 0; g < gpus; ++g) {
@@ -40,10 +47,10 @@ int main() {
     auto ok = [&](const ReduceRun& r) {
       return std::abs(r.value - expected) < 1e-6 * expected;
     };
-    cells.push_back({std::to_string(gpus),
-                     ok(m) ? fmt(m.bandwidth_gbs, 0) : "WRONG",
-                     ok(c) ? fmt(c.bandwidth_gbs, 0) : "WRONG"});
-  }
+    return std::vector<std::string>{std::to_string(gpus),
+                                    ok(m) ? fmt(m.bandwidth_gbs, 0) : "WRONG",
+                                    ok(c) ? fmt(c.bandwidth_gbs, 0) : "WRONG"};
+  });
   syncbench::print_table(std::cout, "reduction throughput (GB/s)",
                          {"GPUs", "mgrid sync", "CPU-side barrier"}, cells);
   return 0;

@@ -3,6 +3,7 @@
 // saturates once the resident-warp limit (64/SM) is reached.
 #include <iostream>
 
+#include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
 #include "syncbench/suite.hpp"
 
@@ -24,7 +25,8 @@ void run(const vgpu::ArchSpec& arch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
   std::cout << "Figure 4 — block sync vs active warps per SM\n"
                "paper: latency grows linearly with warps/SM; throughput\n"
                "saturates at ~0.475/cy (V100) and ~0.091/cy (P100)\n\n";

@@ -3,11 +3,13 @@
 // 19.29 us at 32x32; P100 1.77 us at 1x32, 31.69 us at 32x32.
 #include <iostream>
 
+#include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
 #include "syncbench/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncbench;
+  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
   std::cout << "Figure 5 — grid sync latency (us)\n\n";
   print_heatmap(std::cout, grid_sync_heatmap(vgpu::v100()));
   print_heatmap(std::cout, grid_sync_heatmap(vgpu::p100()));

@@ -3,11 +3,13 @@
 // 1x32/1 GPU; 7.29 us at 1x32/2 GPUs; 68.05 us at 32x64/2 GPUs.
 #include <iostream>
 
+#include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
 #include "syncbench/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncbench;
+  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
   std::cout << "Figure 7 — multi-grid sync latency (us), P100 over PCIe\n\n";
   print_heatmap(std::cout,
                 mgrid_sync_heatmap(vgpu::MachineConfig::p100_pcie(2), 1));

@@ -4,11 +4,13 @@
 // in the cube-mesh topology.
 #include <iostream>
 
+#include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
 #include "syncbench/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncbench;
+  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
   std::cout << "Figure 8 — multi-grid sync latency (us), V100 DGX-1\n"
                "paper anchors (1 blk/SM, 32thr): 1 GPU 1.42, 2 GPUs 6.44,\n"
                "5 GPUs 7.02, 6 GPUs 18.67, 8 GPUs 20.97\n\n";

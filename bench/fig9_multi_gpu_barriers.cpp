@@ -4,11 +4,13 @@
 // configurations.
 #include <iostream>
 
+#include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
 #include "syncbench/suite.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace syncbench;
+  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
   std::cout
       << "Figure 9 — multi-GPU barriers on DGX-1 (V100)\n"
          "paper anchors: multi-device launch overhead 1.26 us @1 GPU,\n"

@@ -23,6 +23,38 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
+void BM_EventQueueWarpDispatch(benchmark::State& state) {
+  // Pins the per-event cost of the hot WarpRun pop-dispatch path in
+  // isolation: push/step of POD warp events with a no-op executor. The
+  // dispatch is a direct template call — this case guards against a
+  // per-event std::function (or other indirection) creeping back in.
+  std::vector<Warp> warps(64);
+  std::size_t dispatched = 0;
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 4096; ++i)
+      q.push_warp((i * 37) % 4096, &warps[static_cast<std::size_t>(i % 64)]);
+    while (q.step([&](Warp*) { ++dispatched; })) {
+    }
+  }
+  benchmark::DoNotOptimize(dispatched);
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_EventQueueWarpDispatch);
+
+void BM_MachineStepDrain(benchmark::State& state) {
+  // The full Machine::step path (limit check + dispatch) over a callback
+  // storm, as driven by scuda::System's batched event pump.
+  for (auto _ : state) {
+    Machine m(MachineConfig::single(v100()));
+    for (int i = 0; i < 1024; ++i)
+      m.queue().push_callback((i * 37) % 4096, [](Ps) {});
+    m.drain();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MachineStepDrain);
+
 void BM_KernelLaunchRoundTrip(benchmark::State& state) {
   scuda::System sys(MachineConfig::single(v100()));
   auto prog = syncbench::null_kernel();

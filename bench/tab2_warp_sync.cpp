@@ -2,6 +2,7 @@
 // block-sync row, on both simulated platforms.
 #include <iostream>
 
+#include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
 #include "syncbench/suite.hpp"
 
@@ -22,7 +23,8 @@ void run(const vgpu::ArchSpec& arch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
   std::cout
       << "Table II — warp synchronization in a block\n"
          "paper V100: tile 14cy@0.812, shfl(tile) 22cy@0.928, coa(1-31)\n"

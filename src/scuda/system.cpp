@@ -36,6 +36,7 @@ HostThread* System::pick_runnable(const HostThread* except) {
 void System::wake(HostThread& h, Ps t) {
   h.runnable = true;
   h.wake_time = std::max(h.wake_time, t);
+  wake_pending_ = true;
 }
 
 void System::abort_all(std::unique_lock<std::mutex>& lk, std::string why) {
@@ -57,15 +58,32 @@ void System::block_until_runnable(HostThread& h, std::unique_lock<std::mutex>& l
       h.has_token = false;
       continue;
     }
-    // Nobody runnable: this thread drives the event queue.
-    if (!machine_->step()) {
-      std::string report = "simulation deadlock: virtual time cannot advance.\n";
-      report += machine_->blocked_report();
-      int blocked_hosts = 0;
-      for (HostThread* t : all_threads_)
-        if (!t->finished && !t->runnable) ++blocked_hosts;
-      report += "  blocked host threads: " + std::to_string(blocked_hosts) + "\n";
-      abort_all(lk, std::move(report));
+    // Nobody runnable: this thread drives the event queue. Batch the
+    // pop-dispatch loop — a host thread can only become runnable through
+    // wake(), so there is no point re-scanning the thread list per event.
+    wake_pending_ = false;
+    while (!wake_pending_) {
+      bool progressed;
+      try {
+        progressed = machine_->step();
+      } catch (const std::exception& e) {
+        // step() threw (virtual-time-limit livelock, guest error). Route it
+        // through the abort protocol so threads parked in a parallel region
+        // wake and unwind instead of waiting forever on a dead dispatcher.
+        aborting_ = true;
+        abort_reason_ = e.what();
+        for (HostThread* t : all_threads_) t->cv.notify_all();
+        throw;
+      }
+      if (!progressed) {
+        std::string report = "simulation deadlock: virtual time cannot advance.\n";
+        report += machine_->blocked_report();
+        int blocked_hosts = 0;
+        for (HostThread* t : all_threads_)
+          if (!t->finished && !t->runnable) ++blocked_hosts;
+        report += "  blocked host threads: " + std::to_string(blocked_hosts) + "\n";
+        abort_all(lk, std::move(report));
+      }
     }
   }
   h.clock_ = std::max(h.clock_, h.wake_time);
@@ -96,12 +114,15 @@ void System::run(const std::function<void(HostThread&)>& fn) {
     h.finished = true;
     if (!err && !aborting_) {
       // Drain in-flight device work so back-to-back run() calls compose.
-      while (machine_->step()) {
-      }
-      if (machine_->blocked_entities() > 0) {
-        err = std::make_exception_ptr(DeadlockError(
-            "device work left hung at end of host program:\n" +
-            machine_->blocked_report()));
+      try {
+        machine_->drain();
+        if (machine_->blocked_entities() > 0) {
+          err = std::make_exception_ptr(DeadlockError(
+              "device work left hung at end of host program:\n" +
+              machine_->blocked_report()));
+        }
+      } catch (...) {
+        err = std::current_exception();
       }
     }
     all_threads_.erase(std::find(all_threads_.begin(), all_threads_.end(), &h));
@@ -172,12 +193,25 @@ void System::parallel(HostThread& h, int n,
           next->cv.notify_all();
           return;
         }
-        if (!machine_->step()) {
-          aborting_ = true;
-          abort_reason_ = "simulation deadlock: virtual time cannot advance.\n" +
-                          machine_->blocked_report();
-          for (HostThread* t : all_threads_) t->cv.notify_all();
-          return;
+        // Batched event pump: only a wake() can make a thread runnable.
+        wake_pending_ = false;
+        while (!wake_pending_) {
+          bool progressed = false;
+          try {
+            progressed = machine_->step();
+          } catch (const std::exception& e) {
+            // An OS thread's stack cannot carry the error out; abort the
+            // region so the waiting threads rethrow it as DeadlockError.
+            abort_reason_ = e.what();
+          }
+          if (!progressed) {
+            aborting_ = true;
+            if (abort_reason_.empty())
+              abort_reason_ = "simulation deadlock: virtual time cannot advance.\n" +
+                              machine_->blocked_report();
+            for (HostThread* t : all_threads_) t->cv.notify_all();
+            return;
+          }
         }
       }
     });

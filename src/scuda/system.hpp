@@ -210,6 +210,7 @@ class System {
 
   std::mutex mu_;
   std::vector<HostThread*> all_threads_;  // registration for scheduling
+  bool wake_pending_ = false;  // set by wake(); lets the dispatcher batch events
   bool aborting_ = false;
   std::string abort_reason_;
   int next_tid_ = 1;

@@ -1,0 +1,71 @@
+#include "sweep/sweep.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace sweep {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+int initial_default_jobs() {
+  if (const char* e = std::getenv("SYNCBENCH_JOBS")) {
+    const int j = std::atoi(e);
+    return j <= 0 ? hardware_jobs() : j;
+  }
+  return 1;
+}
+
+std::atomic<int>& default_jobs_slot() {
+  static std::atomic<int> jobs{initial_default_jobs()};
+  return jobs;
+}
+
+}  // namespace
+
+int default_jobs() { return default_jobs_slot().load(std::memory_order_relaxed); }
+
+void set_default_jobs(int jobs) {
+  default_jobs_slot().store(jobs <= 0 ? hardware_jobs() : jobs,
+                            std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Whole-string integer parse; a typo must not silently select maximum
+/// parallelism (atoi("four") == 0 would mean "all cores").
+int parse_jobs_or_die(const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "invalid --jobs value '%s' (want an integer; 0 = all cores)\n", s);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int init_jobs_from_cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      set_default_jobs(parse_jobs_or_die(argv[i + 1]));
+      break;
+    }
+    if (std::strncmp(a, "--jobs=", 7) == 0) {
+      set_default_jobs(parse_jobs_or_die(a + 7));
+      break;
+    }
+  }
+  return default_jobs();
+}
+
+}  // namespace sweep

@@ -1,0 +1,58 @@
+// SweepRunner: the characterization sweeps are embarrassingly parallel —
+// every configuration point builds its own System (fresh Machine, fresh
+// event queue, deterministic timeline), so mapping a grid of points to
+// results in parallel is bit-identical to the serial loop; only wall-clock
+// changes. sweep::map() is the one way every sweep-shaped entry point in
+// syncbench/suite.cpp (and the bench binaries) expresses its grid.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sweep/thread_pool.hpp"
+
+namespace sweep {
+
+/// Usable hardware parallelism (>= 1).
+int hardware_jobs();
+
+/// The process-wide default used by sweep::map when no explicit job count is
+/// given. Starts at 1 (serial) unless the SYNCBENCH_JOBS environment
+/// variable is set; bench binaries override it from --jobs.
+int default_jobs();
+
+/// Set the default. jobs <= 0 means "all hardware threads".
+void set_default_jobs(int jobs);
+
+/// Parse `--jobs N` (or `--jobs=N`) from argv and install it as the default;
+/// `N <= 0` selects all hardware threads. Returns the resulting job count.
+/// Unrecognized arguments are ignored (the bench binaries take no others).
+int init_jobs_from_cli(int argc, char** argv);
+
+/// Map `fn` over `points` with `jobs`-way parallelism, preserving order:
+/// out[i] == fn(points[i]). Each point must be independent (build its own
+/// System); results are then bit-identical for any job count. The result
+/// type must be default-constructible. Exceptions propagate (lowest-index
+/// task wins).
+template <class Point, class Fn>
+auto map(const std::vector<Point>& points, Fn&& fn, int jobs)
+    -> std::vector<decltype(fn(points[std::size_t{0}]))> {
+  using Result = decltype(fn(points[std::size_t{0}]));
+  static_assert(!std::is_same<Result, bool>::value,
+                "sweep::map cannot return bool: std::vector<bool> packs bits, "
+                "so concurrent out[i] writes would race — return int instead");
+  std::vector<Result> out(points.size());
+  ThreadPool pool(jobs <= 0 ? hardware_jobs() : jobs);
+  pool.run(points.size(), [&](std::size_t i) { out[i] = fn(points[i]); });
+  return out;
+}
+
+template <class Point, class Fn>
+auto map(const std::vector<Point>& points, Fn&& fn)
+    -> std::vector<decltype(fn(points[std::size_t{0}]))> {
+  return map(points, std::forward<Fn>(fn), default_jobs());
+}
+
+}  // namespace sweep

@@ -1,0 +1,69 @@
+#include "sweep/thread_pool.hpp"
+
+namespace sweep {
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
+  workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  for (int i = 1; i < jobs_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::work_on(Batch& b, std::unique_lock<std::mutex>& lk) {
+  while (b.next < b.num_tasks) {
+    const std::size_t i = b.next++;
+    ++b.in_flight;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      (*b.body)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    b.errors[i] = std::move(err);
+    --b.in_flight;
+  }
+  if (b.in_flight == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (batch_) work_on(*batch_, lk);
+  }
+}
+
+void ThreadPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& body) {
+  if (num_tasks == 0) return;
+  Batch b;
+  b.body = &body;
+  b.num_tasks = num_tasks;
+  b.errors.resize(num_tasks);
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!workers_.empty() && num_tasks > 1) {
+    batch_ = &b;
+    ++generation_;
+    work_cv_.notify_all();
+  }
+  work_on(b, lk);  // the caller participates
+  done_cv_.wait(lk, [&] { return b.next >= b.num_tasks && b.in_flight == 0; });
+  batch_ = nullptr;
+  for (auto& e : b.errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace sweep

@@ -1,0 +1,58 @@
+// A minimal fixed-size thread pool for the characterization sweeps. No work
+// stealing: tasks are heavyweight (each simulates a full machine for
+// milliseconds to seconds), so a single mutex-guarded cursor handing out
+// indices in order is both simpler and fully sufficient.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sweep {
+
+class ThreadPool {
+ public:
+  /// `jobs` is the total parallelism including the caller of run();
+  /// values < 1 clamp to 1 (serial). jobs == 1 spawns no worker threads.
+  explicit ThreadPool(int jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  /// Execute body(0) .. body(num_tasks-1), each exactly once, and block
+  /// until all complete. The caller participates as a worker. If any tasks
+  /// throw, the exception of the lowest-index failing task is rethrown
+  /// (after every task has still been attempted).
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& body);
+
+ private:
+  /// One batch of tasks; lives on run()'s stack, published via batch_.
+  struct Batch {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t num_tasks = 0;
+    std::size_t next = 0;  // next unclaimed index (under mu_)
+    int in_flight = 0;     // workers currently executing a task
+    std::vector<std::exception_ptr> errors;  // slot per task
+  };
+
+  void worker_loop();
+  void work_on(Batch& b, std::unique_lock<std::mutex>& lk);
+
+  int jobs_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch is available
+  std::condition_variable done_cv_;  // run(): the batch completed
+  Batch* batch_ = nullptr;           // current batch; null when idle
+  std::uint64_t generation_ = 0;     // bumped per published batch
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sweep

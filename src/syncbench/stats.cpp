@@ -1,5 +1,8 @@
 #include "syncbench/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "vgpu/common.hpp"
 
 namespace syncbench {

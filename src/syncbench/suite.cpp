@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sweep/sweep.hpp"
 #include "vgpu/occupancy.hpp"
 
 namespace syncbench {
@@ -42,61 +43,79 @@ std::vector<LaunchRow> characterize_launch(const ArchSpec& arch) {
 
 namespace {
 
-/// Best per-SM op throughput over the paper's config sweep ("we tested every
+/// One measurement of the Table II grid: either a Wong-method latency probe
+/// or one configuration of the paper's throughput sweep ("we tested every
 /// pair of up to 1024 threads and up to 64 blocks per SM and record the
-/// highest result").
-double best_throughput(const ArchSpec& arch, WarpSyncKind kind, int group) {
+/// highest result"). Each point builds its own System, so the grid can run
+/// through the sweep runner in any order with bit-identical results.
+struct WarpSyncPoint {
+  WarpSyncKind kind;
+  int group = 32;
+  int threads = 0;  // throughput points only
+  int bpsm = 0;
+  bool latency = false;
+};
+
+double warp_sync_point(const ArchSpec& arch, const WarpSyncPoint& pt) {
+  if (pt.latency) {
+    const int reps = 64;
+    System sys(MachineConfig::single(arch));
+    return wong_cycles_per_op(
+        sys, warp_sync_latency_kernel(pt.kind, pt.group, reps), reps);
+  }
   // Repeat counts must be large enough that the kernel outlives the launch
   // pipeline gap (Section IX-B: short kernels hide entirely inside it).
   const int r1 = 512, r2 = 1536;
-  double best = 0;
-  for (int threads : {256, 1024}) {
-    for (int bpsm : {1, 2}) {
-      const int blocks = bpsm * arch.num_sms;
-      if (threads * bpsm > arch.max_threads_per_sm) continue;
-      System sys(MachineConfig::single(arch));
-      auto factory = [&](int r) {
-        return warp_sync_throughput_kernel(kind, group, r);
-      };
-      const Estimate e = repeat_scaling_us(
-          sys, LaunchKind::Traditional, 1, factory, {blocks, threads, 0}, r1, r2);
-      const double us_per_rep = e.value;  // all warps run one op per repeat
-      const double cycles = us_per_rep * arch.core_mhz;  // us * MHz = cycles
-      const double warps_per_sm =
-          static_cast<double>(bpsm) * ((threads + 31) / 32);
-      const double thr = warps_per_sm / cycles;
-      best = std::max(best, thr);
-    }
-  }
-  return best;
+  if (pt.threads * pt.bpsm > arch.max_threads_per_sm) return 0;
+  const int blocks = pt.bpsm * arch.num_sms;
+  System sys(MachineConfig::single(arch));
+  auto factory = [&](int r) {
+    return warp_sync_throughput_kernel(pt.kind, pt.group, r);
+  };
+  const Estimate e = repeat_scaling_us(
+      sys, LaunchKind::Traditional, 1, factory, {blocks, pt.threads, 0}, r1, r2);
+  const double us_per_rep = e.value;  // all warps run one op per repeat
+  const double cycles = us_per_rep * arch.core_mhz;  // us * MHz = cycles
+  const double warps_per_sm =
+      static_cast<double>(pt.bpsm) * ((pt.threads + 31) / 32);
+  return warps_per_sm / cycles;
 }
 
 }  // namespace
 
 std::vector<WarpSyncRow> characterize_warp_sync(const ArchSpec& arch) {
-  std::vector<WarpSyncRow> rows;
-  const int reps = 64;
-
-  auto latency = [&](WarpSyncKind k, int group) {
-    System sys(MachineConfig::single(arch));
-    return wong_cycles_per_op(sys, warp_sync_latency_kernel(k, group, reps), reps);
+  struct RowSpec {
+    WarpSyncKind kind;
+    int group;
+    const char* label;
   };
-
   // Tile: group size does not matter (verified by test_table2); report g=32.
-  rows.push_back({WarpSyncKind::Tile, "Tile(*)", latency(WarpSyncKind::Tile, 32),
-                  best_throughput(arch, WarpSyncKind::Tile, 32)});
-  rows.push_back({WarpSyncKind::ShuffleTile, "Shuffle(Tile)(*)",
-                  latency(WarpSyncKind::ShuffleTile, 32),
-                  best_throughput(arch, WarpSyncKind::ShuffleTile, 32)});
-  rows.push_back({WarpSyncKind::Coalesced, "Coalesced(1-31)",
-                  latency(WarpSyncKind::Coalesced, 16),
-                  best_throughput(arch, WarpSyncKind::Coalesced, 16)});
-  rows.push_back({WarpSyncKind::Coalesced, "Coalesced(32)",
-                  latency(WarpSyncKind::Coalesced, 32),
-                  best_throughput(arch, WarpSyncKind::Coalesced, 32)});
-  rows.push_back({WarpSyncKind::ShuffleCoalesced, "Shuffle(COA)(*)",
-                  latency(WarpSyncKind::ShuffleCoalesced, 32),
-                  best_throughput(arch, WarpSyncKind::ShuffleCoalesced, 32)});
+  const std::vector<RowSpec> specs = {
+      {WarpSyncKind::Tile, 32, "Tile(*)"},
+      {WarpSyncKind::ShuffleTile, 32, "Shuffle(Tile)(*)"},
+      {WarpSyncKind::Coalesced, 16, "Coalesced(1-31)"},
+      {WarpSyncKind::Coalesced, 32, "Coalesced(32)"},
+      {WarpSyncKind::ShuffleCoalesced, 32, "Shuffle(COA)(*)"},
+  };
+  // The grid as data: per row, one latency point (first) plus the
+  // throughput config sweep; every point is an independent simulation.
+  std::vector<WarpSyncPoint> pts;
+  for (const auto& s : specs) {
+    pts.push_back({s.kind, s.group, 0, 0, true});
+    for (int threads : {256, 1024})
+      for (int bpsm : {1, 2}) pts.push_back({s.kind, s.group, threads, bpsm, false});
+  }
+  const std::vector<double> vals = sweep::map(
+      pts, [&](const WarpSyncPoint& p) { return warp_sync_point(arch, p); });
+
+  const std::size_t per_row = pts.size() / specs.size();
+  std::vector<WarpSyncRow> rows;
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    double best = 0;
+    for (std::size_t k = 1; k < per_row; ++k)
+      best = std::max(best, vals[r * per_row + k]);
+    rows.push_back({specs[r].kind, specs[r].label, vals[r * per_row], best});
+  }
   return rows;
 }
 
@@ -138,13 +157,18 @@ BlockSyncPoint block_sync_point(const ArchSpec& arch, int blocks_per_sm,
 }  // namespace
 
 std::vector<BlockSyncPoint> characterize_block_sync(const ArchSpec& arch) {
-  std::vector<BlockSyncPoint> pts;
   const int reps = 64;
-  for (int t : {32, 64, 128, 256, 512, 1024})
-    pts.push_back(block_sync_point(arch, 1, t, reps));
+  struct Cfg {
+    int bpsm;
+    int threads;
+  };
+  std::vector<Cfg> grid;
+  for (int t : {32, 64, 128, 256, 512, 1024}) grid.push_back({1, t});
   for (int t : {768, 1024})  // 48 and 64 warps/SM
-    pts.push_back(block_sync_point(arch, 2, t, reps));
-  return pts;
+    grid.push_back({2, t});
+  return sweep::map(grid, [&](const Cfg& c) {
+    return block_sync_point(arch, c.bpsm, c.threads, reps);
+  });
 }
 
 WarpSyncRow characterize_block_sync_row(const ArchSpec& arch) {
@@ -174,27 +198,35 @@ HeatMap sync_heatmap(const std::function<MachineConfig()>& mk_config, int gpus,
   hm.threads_per_block = kHeatThreads;
   hm.blocks_per_sm = kHeatBlocks;
   const int r1 = 2, r2 = 10;
-  for (int b : kHeatBlocks) {
-    std::vector<double> row;
-    for (int t : kHeatThreads) {
-      MachineConfig cfg = mk_config();
-      const ArchSpec arch = cfg.arch;
-      if (b * t > arch.max_threads_per_sm || b > arch.max_blocks_per_sm) {
-        row.push_back(-1);
-        continue;
-      }
-      System sys(std::move(cfg));
-      auto factory = [&](int r) {
-        return mgrid ? mgrid_sync_kernel(r) : grid_sync_kernel(r);
-      };
-      const LaunchKind kind =
-          mgrid ? LaunchKind::CooperativeMulti : LaunchKind::Cooperative;
-      const Estimate e = repeat_scaling_us(sys, kind, gpus, factory,
-                                           {b * arch.num_sms, t, 0}, r1, r2);
-      row.push_back(e.value);
-    }
-    hm.latency_us.push_back(std::move(row));
-  }
+  // The full (blocks/SM x threads/block) grid as one flat point list;
+  // invalid cells stay part of the grid and map to the -1 marker.
+  struct Cell {
+    int b;
+    int t;
+  };
+  std::vector<Cell> cells;
+  for (int b : kHeatBlocks)
+    for (int t : kHeatThreads) cells.push_back({b, t});
+  const std::vector<double> lat =
+      sweep::map(cells, [&](const Cell& c) -> double {
+        MachineConfig cfg = mk_config();
+        const ArchSpec arch = cfg.arch;
+        if (c.b * c.t > arch.max_threads_per_sm || c.b > arch.max_blocks_per_sm)
+          return -1;
+        System sys(std::move(cfg));
+        auto factory = [&](int r) {
+          return mgrid ? mgrid_sync_kernel(r) : grid_sync_kernel(r);
+        };
+        const LaunchKind kind =
+            mgrid ? LaunchKind::CooperativeMulti : LaunchKind::Cooperative;
+        const Estimate e = repeat_scaling_us(sys, kind, gpus, factory,
+                                             {c.b * arch.num_sms, c.t, 0}, r1, r2);
+        return e.value;
+      });
+  const std::size_t cols = kHeatThreads.size();
+  for (std::size_t row = 0; row < kHeatBlocks.size(); ++row)
+    hm.latency_us.emplace_back(lat.begin() + static_cast<std::ptrdiff_t>(row * cols),
+                               lat.begin() + static_cast<std::ptrdiff_t>((row + 1) * cols));
   return hm;
 }
 
@@ -264,15 +296,47 @@ double cpu_barrier_us(const std::function<MachineConfig(int)>& cfg, int gpus) {
 
 std::vector<MultiGpuBarrierPoint> characterize_multi_gpu_barriers(
     const std::function<MachineConfig(int)>& config_for_gpus, int max_gpus) {
+  // Five independent measurements per GPU count (the 1-GPU row has no
+  // CPU-side barrier), flattened into one grid for the sweep runner.
+  enum class Kind { Overhead, CpuBarrier, Fast, General, Slow };
+  struct Pt {
+    int gpus;
+    Kind kind;
+  };
+  std::vector<Pt> grid;
+  for (int g = 1; g <= max_gpus; ++g) {
+    grid.push_back({g, Kind::Overhead});
+    if (g >= 2) grid.push_back({g, Kind::CpuBarrier});
+    grid.push_back({g, Kind::Fast});
+    grid.push_back({g, Kind::General});
+    grid.push_back({g, Kind::Slow});
+  }
+  const std::vector<double> vals = sweep::map(grid, [&](const Pt& p) -> double {
+    switch (p.kind) {
+      case Kind::Overhead:
+        return multi_launch_overhead_us(config_for_gpus, p.gpus);
+      case Kind::CpuBarrier:
+        return cpu_barrier_us(config_for_gpus, p.gpus);
+      case Kind::Fast:
+        return mgrid_point_us(config_for_gpus, p.gpus, 1, 32);
+      case Kind::General:
+        return mgrid_point_us(config_for_gpus, p.gpus, 1, 1024);
+      case Kind::Slow:
+        return mgrid_point_us(config_for_gpus, p.gpus, 32, 64);
+    }
+    return 0;
+  });
+
   std::vector<MultiGpuBarrierPoint> pts;
+  std::size_t i = 0;
   for (int g = 1; g <= max_gpus; ++g) {
     MultiGpuBarrierPoint p;
     p.gpus = g;
-    p.multi_launch_overhead_us = multi_launch_overhead_us(config_for_gpus, g);
-    p.cpu_barrier_us = g >= 2 ? cpu_barrier_us(config_for_gpus, g) : 0;
-    p.mgrid_fast_us = mgrid_point_us(config_for_gpus, g, 1, 32);
-    p.mgrid_general_us = mgrid_point_us(config_for_gpus, g, 1, 1024);
-    p.mgrid_slow_us = mgrid_point_us(config_for_gpus, g, 32, 64);
+    p.multi_launch_overhead_us = vals[i++];
+    p.cpu_barrier_us = g >= 2 ? vals[i++] : 0;
+    p.mgrid_fast_us = vals[i++];
+    p.mgrid_general_us = vals[i++];
+    p.mgrid_slow_us = vals[i++];
     pts.push_back(p);
   }
   return pts;
@@ -321,9 +385,17 @@ SmemRun smem_run(const ArchSpec& arch, int block_threads, int active) {
 
 std::vector<SmemPoint> characterize_smem(const ArchSpec& arch) {
   std::vector<SmemPoint> pts;
-  const SmemRun one = smem_run(arch, 32, 1);
-  const SmemRun warp = smem_run(arch, 32, 32);
-  const SmemRun full = smem_run(arch, 1024, 1024);
+  struct Cfg {
+    int block_threads;
+    int active;
+  };
+  const std::vector<Cfg> grid = {{32, 1}, {32, 32}, {1024, 1024}};
+  const std::vector<SmemRun> runs = sweep::map(grid, [&](const Cfg& c) {
+    return smem_run(arch, c.block_threads, c.active);
+  });
+  const SmemRun& one = runs[0];
+  const SmemRun& warp = runs[1];
+  const SmemRun& full = runs[2];
   const double lat = one.iter_cycles;  // the paper quotes the dependent
                                        // per-iteration latency for all rows
   pts.push_back({"1 thread", 1, one.bytes_per_cycle, lat});

@@ -50,8 +50,11 @@ class EventQueue {
 
   /// Pop and dispatch one event. run_warp is the warp execution entry point
   /// (supplied by the machine to avoid a dependency cycle). Returns false if
-  /// the queue was empty.
-  bool step(const std::function<void(Warp*)>& run_warp) {
+  /// the queue was empty. Templated on the callable so the hot WarpRun branch
+  /// dispatches through a direct (inlinable) call instead of a std::function
+  /// constructed per event.
+  template <class RunWarp>
+  bool step(RunWarp&& run_warp) {
     if (heap_.empty()) return false;
     Event e = pop();
     now_ = e.t;

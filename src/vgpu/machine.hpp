@@ -46,8 +46,15 @@ class Machine {
   int num_devices() const { return static_cast<int>(devices_.size()); }
   Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
 
-  /// Pop and dispatch one event; false when the queue is empty.
+  /// Pop and dispatch one event; false when the queue is empty. Throws
+  /// DeadlockError *before* dispatching an event whose time is past
+  /// `virtual_time_limit`, so nothing executes beyond the bound.
   bool step();
+
+  /// Pop and dispatch events until the queue is empty, honoring the
+  /// virtual-time limit per event exactly like step(). Returns the number
+  /// of events dispatched.
+  std::size_t drain();
 
   /// Deadlock accounting: warps parked at barriers / joins.
   void note_blocked(int delta) { blocked_entities_ += delta; }

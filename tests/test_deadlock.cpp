@@ -85,11 +85,69 @@ TEST(Deadlock, SpinningLaneTripsTheVirtualTimeLimit) {
   cfg.virtual_time_limit = us(2000);
   System sys(std::move(cfg));
   DevPtr out = sys.malloc(0, 64);
-  EXPECT_THROW(sys.run([&](HostThread& h) {
-                 sys.launch(h, 0, LaunchParams{b.finish(), 1, 32, 0, {out.raw}});
-                 sys.device_synchronize(h, 0);
-               }),
-               DeadlockError);
+  try {
+    sys.run([&](HostThread& h) {
+      sys.launch(h, 0, LaunchParams{b.finish(), 1, 32, 0, {out.raw}});
+      sys.device_synchronize(h, 0);
+    });
+    FAIL() << "expected the virtual-time limit to fire";
+  } catch (const DeadlockError& e) {
+    // The diagnostic still names the blocked entities: the spinning kernel
+    // and its stuck block (the parked arm never got to run, so there is no
+    // warp-join line — the grid progress line is the evidence).
+    const std::string what = e.what();
+    EXPECT_NE(what.find("virtual time limit exceeded"), std::string::npos) << what;
+    EXPECT_NE(what.find("spinner"), std::string::npos) << what;
+    EXPECT_NE(what.find("0/1 blocks done"), std::string::npos) << what;
+  }
+}
+
+TEST(Deadlock, VirtualTimeLimitFiresBeforeTheOffendingEvent) {
+  // The limit must be checked against the *next pending* event, so nothing
+  // past the bound ever executes (previously one late event slipped through
+  // before DeadlockError fired).
+  MachineConfig cfg = MachineConfig::single(v100());
+  cfg.virtual_time_limit = us(10);
+  Machine m(cfg);
+  bool late_ran = false;
+  m.queue().push_callback(us(5), [](Ps) {});
+  m.queue().push_callback(us(11), [&](Ps) { late_ran = true; });
+  EXPECT_TRUE(m.step());  // t = 5 us: inside the limit
+  EXPECT_THROW(m.step(), DeadlockError);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(m.queue().now(), us(5));  // virtual time never passed the bound
+}
+
+TEST(Deadlock, VirtualTimeLimitInsideParallelRegionAbortsCleanly) {
+  // The limit firing while host threads are parked in a parallel region
+  // must route through the abort protocol (wake everyone, unwind as
+  // DeadlockError) — not strand the waiters or terminate the process.
+  MachineConfig cfg = MachineConfig::single(v100());
+  cfg.virtual_time_limit = us(10);
+  System sys(std::move(cfg));
+  EXPECT_THROW(
+      sys.run([&](HostThread& h) {
+        sys.parallel(h, 2, [&](HostThread& th, int tid) {
+          if (tid == 0)
+            sys.launch(th, 0,
+                       LaunchParams{sleep_kernel(1'000'000), 1, 32, 0, {}});
+          sys.barrier(th);
+          sys.device_synchronize(th, 0);
+        });
+      }),
+      DeadlockError);
+}
+
+TEST(Deadlock, DrainHonorsTheVirtualTimeLimitToo) {
+  MachineConfig cfg = MachineConfig::single(v100());
+  cfg.virtual_time_limit = us(10);
+  Machine m(cfg);
+  bool late_ran = false;
+  for (int i = 1; i <= 8; ++i) m.queue().push_callback(us(i), [](Ps) {});
+  m.queue().push_callback(us(11), [&](Ps) { late_ran = true; });
+  EXPECT_THROW(m.drain(), DeadlockError);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(m.queue().now(), us(8));
 }
 
 TEST(Deadlock, SystemIsUsableAfterFreshConstruction) {

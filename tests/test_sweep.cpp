@@ -1,0 +1,165 @@
+// The sweep subsystem: ThreadPool semantics (every task exactly once,
+// exception propagation, degenerate grids) and the property the whole
+// parallelization rests on — sweep::map with any job count returns results
+// bit-identical to the serial path, because every configuration point
+// simulates its own System.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+#include "syncbench/suite.hpp"
+#include "vgpu/arch.hpp"
+
+namespace {
+
+using sweep::ThreadPool;
+using syncbench::HeatMap;
+using syncbench::WarpSyncRow;
+using vgpu::ArchSpec;
+using vgpu::MachineConfig;
+
+/// Restores the process-wide default job count on scope exit, so these
+/// tests cannot leak parallelism settings into other suites.
+struct JobsGuard {
+  int saved = sweep::default_jobs();
+  ~JobsGuard() { sweep::set_default_jobs(saved); }
+};
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  // Distinct slots per task: no synchronization needed beyond the pool's.
+  std::vector<int> hits(100, 0);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, EmptyGridIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.run(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, MoreJobsThanPoints) {
+  ThreadPool pool(16);
+  std::vector<int> hits(3, 0);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPool, NonPositiveJobsClampToSerial) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.jobs(), 1);
+  std::vector<int> hits(5, 0);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(hits, (std::vector<int>(5, 1)));
+}
+
+TEST(ThreadPool, IsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::vector<int> hits(20, 0);
+  for (int round = 0; round < 4; ++round)
+    pool.run(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(hits, (std::vector<int>(20, 4)));
+}
+
+TEST(ThreadPool, ExceptionsPropagateAndOtherTasksStillRun) {
+  ThreadPool pool(4);
+  std::vector<int> hits(32, 0);
+  EXPECT_THROW(pool.run(hits.size(),
+                        [&](std::size_t i) {
+                          hits[i] += 1;
+                          if (i == 7) throw std::runtime_error("point 7 failed");
+                        }),
+               std::runtime_error);
+  // A failing point does not cancel the rest of the grid.
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+  ThreadPool pool(4);
+  try {
+    pool.run(16, [&](std::size_t i) {
+      if (i == 3) throw std::runtime_error("from 3");
+      if (i == 11) throw std::runtime_error("from 11");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "from 3");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sweep::map
+// ---------------------------------------------------------------------------
+
+TEST(SweepMap, PreservesPointOrder) {
+  std::vector<int> points;
+  for (int i = 0; i < 50; ++i) points.push_back(i);
+  const std::vector<int> out =
+      sweep::map(points, [](int p) { return p * p; }, 8);
+  ASSERT_EQ(out.size(), points.size());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(SweepMap, DefaultJobsRoundTrip) {
+  JobsGuard guard;
+  sweep::set_default_jobs(3);
+  EXPECT_EQ(sweep::default_jobs(), 3);
+  sweep::set_default_jobs(0);  // 0 = all hardware threads
+  EXPECT_EQ(sweep::default_jobs(), sweep::hardware_jobs());
+  EXPECT_GE(sweep::hardware_jobs(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism under --jobs > 1: the acceptance property
+// ---------------------------------------------------------------------------
+
+/// V100 timing model on a 4-SM die (same shrink as the bench smoke tests)
+/// so the full warp-sync sweep stays fast.
+ArchSpec small_v100() {
+  ArchSpec a = vgpu::v100();
+  a.name = "V100-4sm";
+  a.num_sms = 4;
+  return a;
+}
+
+TEST(SweepDeterminism, WarpSyncParallelIsBitIdenticalToSerial) {
+  JobsGuard guard;
+  const ArchSpec arch = small_v100();
+  sweep::set_default_jobs(1);
+  const std::vector<WarpSyncRow> serial = syncbench::characterize_warp_sync(arch);
+  sweep::set_default_jobs(4);
+  const std::vector<WarpSyncRow> parallel = syncbench::characterize_warp_sync(arch);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    // Exact double equality: each point is an independent deterministic
+    // simulation, so the job count must not change a single bit.
+    EXPECT_EQ(serial[i].latency_cycles, parallel[i].latency_cycles) << serial[i].label;
+    EXPECT_EQ(serial[i].throughput_per_cycle, parallel[i].throughput_per_cycle)
+        << serial[i].label;
+  }
+}
+
+TEST(SweepDeterminism, MgridHeatmapParallelIsBitIdenticalToSerial) {
+  JobsGuard guard;
+  const MachineConfig cfg = MachineConfig::dgx1_v100(2);
+  sweep::set_default_jobs(1);
+  const HeatMap serial = syncbench::mgrid_sync_heatmap(cfg, 2);
+  sweep::set_default_jobs(4);
+  const HeatMap parallel = syncbench::mgrid_sync_heatmap(cfg, 2);
+  EXPECT_EQ(serial.title, parallel.title);
+  ASSERT_EQ(serial.latency_us.size(), parallel.latency_us.size());
+  for (std::size_t r = 0; r < serial.latency_us.size(); ++r)
+    EXPECT_EQ(serial.latency_us[r], parallel.latency_us[r]) << "row " << r;
+}
+
+}  // namespace
