@@ -23,7 +23,7 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
-void BM_EventQueueWarpDispatch(benchmark::State& state) {
+void warp_dispatch_storm(benchmark::State& state, QueueKind kind) {
   // Pins the per-event cost of the hot WarpRun pop-dispatch path in
   // isolation: push/step of POD warp events with a no-op executor. The
   // dispatch is a direct template call — this case guards against a
@@ -31,7 +31,7 @@ void BM_EventQueueWarpDispatch(benchmark::State& state) {
   std::vector<Warp> warps(64);
   std::size_t dispatched = 0;
   for (auto _ : state) {
-    EventQueue q;
+    EventQueue q(kind);
     for (int i = 0; i < 4096; ++i)
       q.push_warp((i * 37) % 4096, &warps[static_cast<std::size_t>(i % 64)]);
     while (q.step([&](Warp*) { ++dispatched; })) {
@@ -40,7 +40,41 @@ void BM_EventQueueWarpDispatch(benchmark::State& state) {
   benchmark::DoNotOptimize(dispatched);
   state.SetItemsProcessed(state.iterations() * 4096);
 }
+
+void BM_EventQueueWarpDispatch(benchmark::State& state) {
+  // The default implementation — what every simulation actually runs.
+  warp_dispatch_storm(state, QueueKind::Auto);
+}
 BENCHMARK(BM_EventQueueWarpDispatch);
+
+void BM_HeapQueueWarpDispatch(benchmark::State& state) {
+  warp_dispatch_storm(state, QueueKind::Heap);  // the PR 2 baseline structure
+}
+BENCHMARK(BM_HeapQueueWarpDispatch);
+
+void BM_CalendarQueueWarpDispatch(benchmark::State& state) {
+  warp_dispatch_storm(state, QueueKind::Calendar);
+}
+BENCHMARK(BM_CalendarQueueWarpDispatch);
+
+void BM_CalendarQueueSparseTimeline(benchmark::State& state) {
+  // Events spread over milliseconds force window advances through the
+  // overflow tier — the calendar's worst case, which must stay competitive
+  // with the heap (same shape, ~70 ns/event either way).
+  std::vector<Warp> warps(64);
+  std::size_t dispatched = 0;
+  for (auto _ : state) {
+    EventQueue q(QueueKind::Calendar);
+    for (int i = 0; i < 4096; ++i)
+      q.push_warp(static_cast<Ps>((i * 2654435761u) % 4096) * us(1.0),
+                  &warps[static_cast<std::size_t>(i % 64)]);
+    while (q.step([&](Warp*) { ++dispatched; })) {
+    }
+  }
+  benchmark::DoNotOptimize(dispatched);
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_CalendarQueueSparseTimeline);
 
 void BM_MachineStepDrain(benchmark::State& state) {
   // The full Machine::step path (limit check + dispatch) over a callback
@@ -95,6 +129,116 @@ void BM_MemoryBoundReduction(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * n * 8);
 }
 BENCHMARK(BM_MemoryBoundReduction)->Arg(4)->Arg(16);
+
+// ---------------------------------------------------------------------------
+// Decoded-vs-raw interpreter front end
+// ---------------------------------------------------------------------------
+
+/// A kernel body with the instruction mix of the characterization suite:
+/// ALU chains, compares, moves, shared/global traffic and shuffles.
+ProgramPtr issue_mix_program() {
+  KernelBuilder kb("issue_mix");
+  Reg a = kb.reg(), b = kb.reg(), d = kb.reg(), p = kb.reg();
+  for (int i = 0; i < 64; ++i) {
+    kb.iadd(d, a, b);
+    kb.imul(d, d, 3);
+    kb.setp(p, d, Cmp::Lt, 100);
+    kb.mov(a, d);
+    kb.fadd(d, a, b);
+    kb.lds(b, a);
+    kb.sts(a, d);
+    kb.shfl_down(d, b, 1);
+  }
+  return kb.finish();
+}
+
+/// PR 2's per-issue operand-readiness scan over the raw Instr record — the
+/// switch/flag work the decode step now runs once per program instead of
+/// once per issue slot. Kept verbatim as the baseline side of the
+/// decoded-vs-raw microbench.
+inline Ps raw_operand_ready(const Instr& I, const std::array<Ps, kMaxRegs>& rr,
+                            Ps t) {
+  Ps ready = t;
+  auto use = [&](std::uint8_t r) { ready = std::max(ready, rr[r]); };
+  switch (I.op) {
+    case Op::Mov: use(I.a); break;
+    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IMin: case Op::IMax:
+    case Op::IAnd: case Op::IOr: case Op::IXor: case Op::IShl: case Op::IShr:
+    case Op::FAdd: case Op::FMul:
+      use(I.a);
+      if (!I.b_is_imm) use(I.b);
+      break;
+    case Op::SetP:
+      use(I.a);
+      if (!I.b_is_imm) use(I.b);
+      break;
+    case Op::BraIf: use(I.pred); break;
+    case Op::LdG: case Op::LdS: use(I.a); break;
+    case Op::StG: case Op::StS: case Op::AtomAddG: use(I.a); use(I.b); break;
+    case Op::ShflDown: case Op::ShflDownCoa: use(I.b); break;
+    case Op::ShflIdx: use(I.a); use(I.b); break;
+    default: break;
+  }
+  return ready;
+}
+
+/// The decoded equivalent: two sentinel-checked scoreboard reads.
+inline Ps decoded_operand_ready(const DecodedInstr& I,
+                                const std::array<Ps, kMaxRegs>& rr, Ps t) {
+  Ps ready = t;
+  if (I.src0 != kNoReg && rr[I.src0] > ready) ready = rr[I.src0];
+  if (I.src1 != kNoReg && rr[I.src1] > ready) ready = rr[I.src1];
+  return ready;
+}
+
+void BM_RawInstrIssueScan(benchmark::State& state) {
+  auto prog = issue_mix_program();
+  std::array<Ps, kMaxRegs> rr{};
+  Ps t = 0;
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    for (std::int32_t pc = 0; pc < prog->size(); ++pc) {
+      const Instr& I = prog->at(pc);
+      t = raw_operand_ready(I, rr, t) + 1;
+      rr[I.dst] = t + 4;
+      ++n;
+    }
+  }
+  benchmark::DoNotOptimize(t);
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_RawInstrIssueScan);
+
+void BM_DecodedInstrIssueScan(benchmark::State& state) {
+  auto prog = issue_mix_program();
+  std::array<Ps, kMaxRegs> rr{};
+  Ps t = 0;
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    for (const DecodedInstr& I : prog->decoded_stream()) {
+      t = decoded_operand_ready(I, rr, t) + 1;
+      rr[I.dst] = t + 4;
+      ++n;
+    }
+  }
+  benchmark::DoNotOptimize(t);
+  state.SetItemsProcessed(n);
+}
+BENCHMARK(BM_DecodedInstrIssueScan);
+
+void BM_ProgramDecode(benchmark::State& state) {
+  // Cost of the decode step itself (paid once per Program::finish, never on
+  // the issue path).
+  auto prog = issue_mix_program();
+  std::vector<Instr> code;
+  for (std::int32_t pc = 0; pc < prog->size(); ++pc) code.push_back(prog->at(pc));
+  for (auto _ : state) {
+    Program p("decode_cost", code, prog->num_regs());
+    benchmark::DoNotOptimize(p.decoded(0).op);
+  }
+  state.SetItemsProcessed(state.iterations() * prog->size());
+}
+BENCHMARK(BM_ProgramDecode);
 
 void BM_GridSyncRound(benchmark::State& state) {
   scuda::System sys(MachineConfig::single(v100()));

@@ -61,6 +61,8 @@ void System::block_until_runnable(HostThread& h, std::unique_lock<std::mutex>& l
     // Nobody runnable: this thread drives the event queue. Batch the
     // pop-dispatch loop — a host thread can only become runnable through
     // wake(), so there is no point re-scanning the thread list per event.
+    // The batch runs entirely inside Machine::step's direct dispatch, so the
+    // queue's calendar cursor stays hot across the whole pump.
     wake_pending_ = false;
     while (!wake_pending_) {
       bool progressed;

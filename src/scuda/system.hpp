@@ -113,6 +113,9 @@ class System {
   vgpu::Machine& machine() { return *machine_; }
   const vgpu::ArchSpec& arch() const { return machine_->arch(); }
   int num_devices() const { return machine_->num_devices(); }
+  /// Which event-queue implementation this system's machine dispatches
+  /// through (heap oracle or the default two-level calendar queue).
+  vgpu::QueueKind queue_kind() const { return machine_->queue_kind(); }
 
   /// Run `fn` as host thread 0 in virtual time. Rethrows guest errors
   /// (SimError) and hangs (DeadlockError).

@@ -62,6 +62,17 @@ inline bool lane_in(std::uint32_t mask, int lane) {
   return (mask >> lane) & 1u;
 }
 
+/// Index of the lowest set bit of a non-zero 64-bit word.
+inline int countr_zero64(std::uint64_t x) {
+#ifdef _MSC_VER
+  unsigned long idx;
+  _BitScanForward64(&idx, x);
+  return static_cast<int>(idx);
+#else
+  return __builtin_ctzll(x);
+#endif
+}
+
 /// Lowest set lane index, or -1 when empty.
 inline int first_lane(std::uint32_t mask) {
   if (mask == 0) return -1;

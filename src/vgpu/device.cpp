@@ -15,6 +15,33 @@ Device::Device(Machine& m, const ArchSpec& arch, int id)
     : machine_(m), arch_(arch), id_(id), clock_(arch.core_mhz), mem_(id) {
   sms_.resize(static_cast<std::size_t>(arch_.num_sms));
   horizon_slack_ = cyc(16);
+
+  // Hoist every fixed cycles→ps conversion out of the interpreter's issue
+  // loop. Values are exactly cyc(...) of the ArchSpec constants, so the
+  // timeline is bit-identical to converting in place.
+  lat_.one = cyc(1.0);
+  lat_.two = cyc(2.0);
+  lat_.alu_ii = cyc(arch_.alu_ii);
+  lat_.gmem_warp_ii = cyc(arch_.gmem_warp_ii);
+  lat_.gmem_lat = cyc(arch_.gmem_latency);
+  lat_.smem_warp_ii = cyc(arch_.smem_warp_ii);
+  lat_.smem_lat = cyc(arch_.smem_latency);
+  lat_.atom_ii = cyc(arch_.atom_ii);
+  lat_.atom_lat = cyc(arch_.atom_latency);
+  lat_.shfl_tile_lat = cyc(arch_.shfl_tile_latency);
+  lat_.shfl_tile_ii = cyc(arch_.shfl_tile_ii);
+  lat_.shfl_coa_lat = cyc(arch_.shfl_coalesced_latency);
+  lat_.shfl_coa_ii = cyc(arch_.shfl_coalesced_ii);
+  lat_.tile_sync_lat = cyc(arch_.tile_sync_latency);
+  lat_.tile_sync_ii = cyc(arch_.tile_sync_ii);
+  lat_.coa_sync_full_lat = cyc(arch_.coalesced_sync_latency_full);
+  lat_.coa_sync_full_ii = cyc(arch_.coalesced_sync_ii_full);
+  lat_.coa_sync_part_lat = cyc(arch_.coalesced_sync_latency_partial);
+  lat_.coa_sync_part_ii = cyc(arch_.coalesced_sync_ii_partial);
+  lat_.bar_arrive_ii = cyc(arch_.bar_arrive_ii);
+  lat_.scoreboard[static_cast<std::size_t>(LatKind::None)] = 0;
+  lat_.scoreboard[static_cast<std::size_t>(LatKind::One)] = lat_.one;
+  lat_.scoreboard[static_cast<std::size_t>(LatKind::Alu)] = cyc(arch_.alu_latency);
 }
 
 // ---------------------------------------------------------------------------

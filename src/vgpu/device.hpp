@@ -50,9 +50,15 @@ struct ExecContext {
 struct SyncWaiter {
   ExecContext ctx;        // resume state (pc already advanced past the sync)
   Ps arrive = 0;
-  const Instr* pending = nullptr;  // shuffles complete at release time
+  const DecodedInstr* pending = nullptr;  // shuffles complete at release time
   Op op = Op::TileSync;
 };
+
+/// Distinct 128-byte lines touched by the active lanes of a global access
+/// (the per-warp DRAM traffic unit). Sort-free: an open-addressed 64-slot
+/// table with a bitmask of live slots, O(active) expected.
+int count_lines(const std::array<std::int64_t, kWarpSize>& addr,
+                std::uint32_t active);
 
 struct Warp {
   Block* block = nullptr;
@@ -171,6 +177,26 @@ struct GridExec {
   bool completed = false;
 };
 
+/// Every per-instruction cyc() constant of an ArchSpec, converted to integer
+/// picoseconds once per device. The interpreter's issue loop reads these
+/// instead of re-running the cycles→ps float conversion per instruction; the
+/// values are bit-identical to calling cyc() in place.
+struct LatTable {
+  Ps one = 0, two = 0;
+  Ps alu_ii = 0;
+  Ps gmem_warp_ii = 0, gmem_lat = 0;
+  Ps smem_warp_ii = 0, smem_lat = 0;
+  Ps atom_ii = 0, atom_lat = 0;
+  Ps shfl_tile_lat = 0, shfl_tile_ii = 0;
+  Ps shfl_coa_lat = 0, shfl_coa_ii = 0;
+  Ps tile_sync_lat = 0, tile_sync_ii = 0;
+  Ps coa_sync_full_lat = 0, coa_sync_full_ii = 0;
+  Ps coa_sync_part_lat = 0, coa_sync_part_ii = 0;
+  Ps bar_arrive_ii = 0;
+  /// LatKind-indexed issue→scoreboard-write delta (None, One, Alu).
+  std::array<Ps, kNumLatKinds> scoreboard{};
+};
+
 class Device {
  public:
   Device(Machine& m, const ArchSpec& arch, int id);
@@ -242,6 +268,7 @@ class Device {
   int id_;
   ClockDomain clock_;
   GlobalMemory mem_;
+  LatTable lat_;  // precomputed cyc() constants for the interpreter
   std::vector<SMState> sms_;
   std::vector<std::unique_ptr<GridExec>> grids_;
   Ps horizon_slack_ = 0;

@@ -1,14 +1,34 @@
-// Discrete-event core. A single global priority queue in picoseconds drives
+// Discrete-event core. A single global event queue in picoseconds drives
 // every device, warp, fabric transaction and host wake-up, which keeps
 // cross-domain interactions (unit contention, barriers, streams) causal.
 //
+// Two interchangeable scheduling structures live behind one API:
+//
+//  - Heap: the classic flat binary heap of 32-byte POD records. O(log n)
+//    per operation, trivially correct — kept as the differential-testing
+//    oracle.
+//  - Calendar (default): a two-level calendar queue. A near horizon of
+//    `kNumBuckets` time buckets of width `kBucketWidth` absorbs the dense
+//    picosecond-granular warp traffic with O(1) amortized push/pop; events
+//    beyond the horizon land in a sorted overflow tier that is swept into
+//    the bucket array when the window advances.
+//
+// Both structures pop in strict (time, sequence-number) order, so every
+// simulated timeline is bit-identical regardless of the implementation
+// (pinned by test_determinism and the differential fuzz in
+// test_event_queue). Select with VGPU_QUEUE=heap|calendar or per
+// MachineConfig.
+//
 // The hot path — "this warp is runnable at time t" — is a POD event; generic
 // callbacks go through a slab of std::function so the queue itself stays a
-// flat binary heap of 32-byte records.
+// flat array of 32-byte records.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "vgpu/common.hpp"
@@ -18,12 +38,43 @@ namespace vgpu {
 
 struct Warp;
 
+/// Which scheduling structure an EventQueue uses. Auto resolves to the
+/// VGPU_QUEUE environment variable ("heap" or "calendar"), defaulting to
+/// the calendar queue when unset.
+enum class QueueKind : std::uint8_t { Auto, Heap, Calendar };
+
+inline QueueKind resolve_queue_kind(QueueKind k) {
+  if (k != QueueKind::Auto) return k;
+  static const QueueKind from_env = [] {
+    const char* v = std::getenv("VGPU_QUEUE");
+    if (!v || !*v || std::string_view(v) == "calendar") return QueueKind::Calendar;
+    if (std::string_view(v) == "heap") return QueueKind::Heap;
+    throw SimError(std::string("VGPU_QUEUE must be 'heap' or 'calendar', got '") +
+                   v + "'");
+  }();
+  return from_env;
+}
+
+inline const char* to_string(QueueKind k) {
+  switch (k) {
+    case QueueKind::Auto: return "auto";
+    case QueueKind::Heap: return "heap";
+    case QueueKind::Calendar: return "calendar";
+  }
+  return "?";
+}
+
 class EventQueue {
  public:
   using Callback = std::function<void(Ps)>;
 
-  /// Schedule a warp-run event (hot path, no allocation beyond the heap).
-  void push_warp(Ps t, Warp* w) { push(Event{t, next_seq_++, Kind::WarpRun, w, 0}); }
+  EventQueue() : EventQueue(QueueKind::Auto) {}
+  explicit EventQueue(QueueKind kind) : kind_(resolve_queue_kind(kind)) {}
+
+  QueueKind kind() const { return kind_; }
+
+  /// Schedule a warp-run event (hot path, no allocation beyond the queue).
+  void push_warp(Ps t, Warp* w) { push(Event{t, next_seq_++, w, 0}); }
 
   /// Schedule a generic callback.
   void push_callback(Ps t, Callback cb) {
@@ -36,14 +87,24 @@ class EventQueue {
       free_slots_.pop_back();
       callbacks_[slot] = std::move(cb);
     }
-    push(Event{t, next_seq_++, Kind::Func, nullptr, slot});
+    push(Event{t, next_seq_++, nullptr, slot});
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
-  /// Time of the earliest pending event, or kPsInfinity when empty.
-  Ps next_time() const { return heap_.empty() ? kPsInfinity : heap_.front().t; }
+  /// Callback slab capacity — exposed so tests can pin slot recycling.
+  std::size_t callback_slab_size() const { return callbacks_.size(); }
+
+  /// Time of the earliest pending event, or kPsInfinity when empty. May
+  /// advance the calendar cursor / sort the active bucket (cheap,
+  /// amortized), hence non-const.
+  Ps next_time() {
+    if (size_ == 0) return kPsInfinity;
+    if (kind_ == QueueKind::Heap) return heap_.front().t;
+    const std::size_t idx = min_index();  // may move cur_; index first
+    return buckets_[cur_][idx].t;
+  }
 
   /// Current virtual time (time of the most recently popped event).
   Ps now() const { return now_; }
@@ -55,10 +116,10 @@ class EventQueue {
   /// constructed per event.
   template <class RunWarp>
   bool step(RunWarp&& run_warp) {
-    if (heap_.empty()) return false;
-    Event e = pop();
+    Event e;
+    if (!pop_min(e)) return false;
     now_ = e.t;
-    if (e.kind == Kind::WarpRun) {
+    if (e.obj != nullptr) {
       run_warp(static_cast<Warp*>(e.obj));
     } else {
       Callback cb = std::move(callbacks_[e.slot]);
@@ -70,12 +131,11 @@ class EventQueue {
   }
 
  private:
-  enum class Kind : std::uint8_t { WarpRun, Func };
-
+  /// 32 bytes; `obj` doubles as the discriminator (non-null = warp event,
+  /// null = callback slab slot).
   struct Event {
     Ps t;
     std::uint64_t seq;  // FIFO tie-break keeps the simulation deterministic
-    Kind kind;
     void* obj;
     std::size_t slot;
     bool operator>(const Event& o) const {
@@ -84,7 +144,127 @@ class EventQueue {
     }
   };
 
+  // ---- calendar geometry --------------------------------------------------
+  // Bucket width ~2.7 V100 cycles: dependent-issue deltas (1 cycle = 762 ps)
+  // land within a couple of buckets of the cursor, memory latencies a few
+  // hundred buckets out, and only host-scale waits (PCIe ~10 us, nanosleep)
+  // spill into the overflow tier. Near window: 2048 * 2048 ps = 4.2 us.
+  static constexpr Ps kBucketWidth = 2048;
+  static constexpr std::size_t kNumBuckets = 2048;
+  static constexpr std::size_t kBitWords = kNumBuckets / 64;
+  /// Unsorted-tail bound on the active bucket before a full re-sort.
+  static constexpr std::size_t kMaxTail = 32;
+
   void push(Event e) {
+    ++size_;
+    if (kind_ == QueueKind::Heap) {
+      heap_push(e);
+      return;
+    }
+    if (buckets_.empty()) {
+      buckets_.resize(kNumBuckets);
+      occupied_.assign(kBitWords, 0);
+    }
+    if (size_ == 1) {
+      // Queue was empty: re-anchor the window at this event so sparse
+      // timelines never funnel through the overflow tier.
+      base_ = align_down(e.t);
+      cur_ = 0;
+      act_sorted_ = 0;
+    }
+    const Ps window_end = base_ + static_cast<Ps>(kNumBuckets) * kBucketWidth;
+    if (e.t >= window_end) {
+      overflow_.push_back(e);
+      overflow_sorted_ = false;
+      return;
+    }
+    std::size_t idx =
+        e.t <= base_ ? 0 : static_cast<std::size_t>((e.t - base_) / kBucketWidth);
+    // Events at or before the cursor (same-time reschedules, rare
+    // past-pushes) join the active bucket's unsorted tail; the (t, seq)
+    // min-scan in pop still delivers them first.
+    if (idx < cur_) idx = cur_;
+    buckets_[idx].push_back(e);
+    ++near_size_;
+    occupied_[idx / 64] |= 1ull << (idx % 64);
+  }
+
+  bool pop_min(Event& out) {
+    if (size_ == 0) return false;
+    --size_;
+    if (kind_ == QueueKind::Heap) {
+      out = heap_pop();
+      return true;
+    }
+    const std::size_t idx = min_index();
+    std::vector<Event>& b = buckets_[cur_];
+    out = b[idx];
+    b[idx] = b.back();
+    b.pop_back();
+    if (idx < act_sorted_) act_sorted_ -= 1;
+    --near_size_;
+    if (b.empty()) occupied_[cur_ / 64] &= ~(1ull << (cur_ % 64));
+    return true;
+  }
+
+  /// Positions the cursor on the non-empty bucket holding the earliest event
+  /// and returns the index of the (t, seq)-minimum within it. The bucket is
+  /// kept as a descending-sorted prefix (min at its back) plus a small
+  /// unsorted tail of events pushed after the sort.
+  std::size_t min_index() {
+    if (near_size_ == 0) advance_window();
+    std::vector<Event>* b = &buckets_[cur_];
+    if (b->empty()) {
+      cur_ = next_occupied(cur_ + 1);
+      act_sorted_ = 0;
+      b = &buckets_[cur_];
+    }
+    if (act_sorted_ == 0 || b->size() - act_sorted_ > kMaxTail) {
+      std::sort(b->begin(), b->end(), std::greater<Event>());
+      act_sorted_ = b->size();
+    }
+    std::size_t best = act_sorted_ - 1;
+    for (std::size_t i = act_sorted_; i < b->size(); ++i)
+      if ((*b)[best] > (*b)[i]) best = i;
+    return best;
+  }
+
+  /// The near window is drained: jump it forward to the overflow tier's
+  /// earliest event and sweep everything now inside the window into buckets.
+  void advance_window() {
+    if (!overflow_sorted_) {
+      std::sort(overflow_.begin(), overflow_.end(), std::greater<Event>());
+      overflow_sorted_ = true;
+    }
+    base_ = align_down(overflow_.back().t);
+    cur_ = 0;
+    act_sorted_ = 0;
+    const Ps window_end = base_ + static_cast<Ps>(kNumBuckets) * kBucketWidth;
+    while (!overflow_.empty() && overflow_.back().t < window_end) {
+      const Event& e = overflow_.back();
+      const std::size_t idx = static_cast<std::size_t>((e.t - base_) / kBucketWidth);
+      buckets_[idx].push_back(e);
+      occupied_[idx / 64] |= 1ull << (idx % 64);
+      ++near_size_;
+      overflow_.pop_back();
+    }
+  }
+
+  std::size_t next_occupied(std::size_t from) const {
+    std::size_t word = from / 64;
+    std::uint64_t bits = occupied_[word] & (~0ull << (from % 64));
+    while (bits == 0) bits = occupied_[++word];
+    return word * 64 + static_cast<std::size_t>(countr_zero64(bits));
+  }
+
+  static Ps align_down(Ps t) {
+    return t >= 0 ? t - t % kBucketWidth
+                  : t - ((t % kBucketWidth) + kBucketWidth) % kBucketWidth;
+  }
+
+  // ---- binary-heap oracle -------------------------------------------------
+
+  void heap_push(Event e) {
     heap_.push_back(e);
     std::size_t i = heap_.size() - 1;
     while (i > 0) {
@@ -95,7 +275,7 @@ class EventQueue {
     }
   }
 
-  Event pop() {
+  Event heap_pop() {
     Event top = heap_.front();
     heap_.front() = heap_.back();
     heap_.pop_back();
@@ -111,7 +291,23 @@ class EventQueue {
     return top;
   }
 
+  QueueKind kind_;
+  std::size_t size_ = 0;
+
+  // Heap state.
   std::vector<Event> heap_;
+
+  // Calendar state (buckets allocated lazily on first push).
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<std::uint64_t> occupied_;  // one bit per non-empty bucket
+  std::vector<Event> overflow_;          // events beyond the near window
+  bool overflow_sorted_ = true;          // descending by (t, seq) when set
+  Ps base_ = 0;                          // left edge of bucket 0
+  std::size_t cur_ = 0;                  // cursor bucket (monotone per window)
+  std::size_t act_sorted_ = 0;  // descending-sorted prefix of buckets_[cur_]
+  std::size_t near_size_ = 0;   // events in the bucket array
+
+  // Callback slab (shared by both structures).
   std::vector<Callback> callbacks_;
   std::vector<std::size_t> free_slots_;
   std::uint64_t next_seq_ = 0;

@@ -7,6 +7,7 @@
 // the paper are all expressible — and expressed — in this IR.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -79,6 +80,72 @@ struct Instr {
   std::int32_t reconv = -1;    // BraIf reconvergence pc
   std::int64_t imm = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Decoded form
+// ---------------------------------------------------------------------------
+//
+// Programs are lowered once, at build time, from the assembler-facing `Instr`
+// into `DecodedInstr`: a dense, issue-ready record with the per-instruction
+// control work the interpreter used to redo every issue slot already
+// resolved — the operand-scoreboard read set, the immediate-vs-register
+// flavour, the pre-bit_cast floating immediate, the execution-unit class and
+// the scoreboard-latency class. warp_exec.cpp dispatches over the decoded
+// stream only; the raw `Instr` stream is kept for disassembly and tooling.
+
+/// Register sentinel for "no operand read" in DecodedInstr::src0/src1.
+inline constexpr std::uint8_t kNoReg = 0xff;
+
+/// Which machine unit an instruction occupies (dispatch classification).
+enum class ExecUnit : std::uint8_t {
+  Ctrl,  // branches, nop, exit
+  Alu,   // int/fp ALU, moves, special-register and parameter reads, clock
+  GMem,  // global loads/stores
+  SMem,  // shared loads/stores
+  Atom,  // global atomics
+  Shfl,  // register shuffles
+  Sync,  // warp-level sync (tile / coalesced)
+  Bar,   // block / grid / multi-grid barriers
+  Misc,  // nanosleep
+};
+
+/// Scoreboard-latency class of the register write an instruction produces at
+/// its issue slot. Mapped to a precomputed picosecond delta per device
+/// (Device::LatTable); memory and shuffle writes key off their service time
+/// instead and stay in the per-op path.
+enum class LatKind : std::uint8_t { None, One, Alu };
+inline constexpr std::size_t kNumLatKinds = 3;
+
+struct DecodedInstr {
+  static constexpr std::uint8_t kFlagNegate = 1;    // BraIf: branch on pred==0
+  static constexpr std::uint8_t kFlagBImm = 2;      // second operand is imm
+  static constexpr std::uint8_t kFlagVolatile = 4;  // LdS/StS staleness bypass
+
+  Op op = Op::Nop;
+  ExecUnit cls = ExecUnit::Misc;
+  LatKind lat = LatKind::None;
+  std::uint8_t dst = 0;
+  std::uint8_t a = 0;          // first operand register (BraIf: predicate)
+  std::uint8_t b = 0;          // second operand register (when !b_imm())
+  std::uint8_t src0 = kNoReg;  // operand-scoreboard reads; kNoReg = unused
+  std::uint8_t src1 = kNoReg;
+  std::uint8_t aux = 0;        // SpecialReg / tile width / atomic kind
+  Cmp cmp = Cmp::Eq;
+  std::uint8_t flags = 0;
+  std::int32_t target = -1;  // branch target pc (resolved)
+  std::int32_t reconv = -1;  // BraIf reconvergence pc (resolved)
+  union {
+    std::int64_t imm = 0;  // integer immediate (raw bit patterns included)
+    double fimm;           // FAdd/FMul immediate, pre-bit_cast at decode
+  };
+
+  bool negate() const { return flags & kFlagNegate; }
+  bool b_imm() const { return flags & kFlagBImm; }
+  bool is_volatile() const { return flags & kFlagVolatile; }
+};
+
+/// Lower one raw instruction (targets already resolved) to its decoded form.
+DecodedInstr decode_instr(const Instr& i);
 
 /// Human-readable rendering for traces and test failure messages.
 std::string to_string(const Instr& i);

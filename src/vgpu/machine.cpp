@@ -30,6 +30,7 @@ MachineConfig MachineConfig::single(const ArchSpec& arch) {
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(std::move(cfg)),
+      queue_(cfg_.queue),
       fabric_(cfg_.topology),
       noise_(cfg_.noise_seed, cfg_.noise_amplitude) {
   if (cfg_.num_devices < 1) throw SimError("machine needs at least one device");

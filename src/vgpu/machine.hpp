@@ -23,6 +23,9 @@ struct MachineConfig {
   /// Abort with DeadlockError once virtual time passes this bound (0 = off).
   /// Catches livelocks (spinning kernels) that quiescence detection cannot.
   Ps virtual_time_limit = 0;
+  /// Event-queue implementation; Auto resolves VGPU_QUEUE (default calendar).
+  /// Both kinds produce bit-identical timelines (pinned by test_determinism).
+  QueueKind queue = QueueKind::Auto;
 
   /// The paper's platforms.
   static MachineConfig dgx1_v100(int num_devices = 8);
@@ -39,6 +42,7 @@ class Machine {
   Machine& operator=(const Machine&) = delete;
 
   EventQueue& queue() { return queue_; }
+  QueueKind queue_kind() const { return queue_.kind(); }
   Fabric& fabric() { return fabric_; }
   NoiseModel& noise() { return noise_; }
   const ArchSpec& arch() const { return cfg_.arch; }

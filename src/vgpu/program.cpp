@@ -12,6 +12,122 @@ constexpr std::int32_t kLabelSentinel = -1000000;  // label id encoded in target
 // Program
 // ---------------------------------------------------------------------------
 
+DecodedInstr decode_instr(const Instr& i) {
+  DecodedInstr d;
+  d.op = i.op;
+  d.dst = i.dst;
+  d.a = i.a;
+  d.b = i.b;
+  d.aux = i.aux;
+  d.cmp = i.cmp;
+  d.target = i.target;
+  d.reconv = i.reconv;
+  d.imm = i.imm;
+  if (i.negate) d.flags |= DecodedInstr::kFlagNegate;
+  if (i.b_is_imm) d.flags |= DecodedInstr::kFlagBImm;
+  if (i.is_volatile) d.flags |= DecodedInstr::kFlagVolatile;
+
+  switch (i.op) {
+    case Op::Nop:
+    case Op::Exit:
+    case Op::Bra:
+      d.cls = ExecUnit::Ctrl;
+      break;
+
+    case Op::BraIf:
+      d.cls = ExecUnit::Ctrl;
+      d.a = i.pred;  // the predicate is the sole operand read
+      d.src0 = i.pred;
+      break;
+
+    case Op::MovI:
+    case Op::SReg:
+    case Op::LdParam:
+    case Op::RClock:
+      d.cls = ExecUnit::Alu;
+      d.lat = LatKind::One;
+      break;
+
+    case Op::Mov:
+      d.cls = ExecUnit::Alu;
+      d.lat = LatKind::One;
+      d.src0 = i.a;
+      break;
+
+    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IMin: case Op::IMax:
+    case Op::IAnd: case Op::IOr: case Op::IXor: case Op::IShl: case Op::IShr:
+    case Op::SetP:
+      d.cls = ExecUnit::Alu;
+      d.lat = LatKind::Alu;
+      d.src0 = i.a;
+      if (!i.b_is_imm) d.src1 = i.b;
+      break;
+
+    case Op::FAdd: case Op::FMul:
+      d.cls = ExecUnit::Alu;
+      d.lat = LatKind::Alu;
+      d.src0 = i.a;
+      if (i.b_is_imm) {
+        d.fimm = vgpu::bit_cast<double>(i.imm);  // hoisted out of the lane loop
+      } else {
+        d.src1 = i.b;
+      }
+      break;
+
+    case Op::LdG:
+      d.cls = ExecUnit::GMem;
+      d.src0 = i.a;
+      break;
+    case Op::StG:
+      d.cls = ExecUnit::GMem;
+      d.src0 = i.a;
+      d.src1 = i.b;
+      break;
+    case Op::LdS:
+      d.cls = ExecUnit::SMem;
+      d.src0 = i.a;
+      break;
+    case Op::StS:
+      d.cls = ExecUnit::SMem;
+      d.src0 = i.a;
+      d.src1 = i.b;
+      break;
+    case Op::AtomAddG:
+      d.cls = ExecUnit::Atom;
+      d.src0 = i.a;
+      d.src1 = i.b;
+      break;
+
+    case Op::ShflDown: case Op::ShflDownCoa:
+      d.cls = ExecUnit::Shfl;
+      d.src0 = i.b;
+      break;
+    case Op::ShflIdx:
+      d.cls = ExecUnit::Shfl;
+      d.src0 = i.a;
+      d.src1 = i.b;
+      break;
+
+    case Op::TileSync: case Op::CoaSync:
+      d.cls = ExecUnit::Sync;
+      break;
+    case Op::BarSync: case Op::GridSync: case Op::MGridSync:
+      d.cls = ExecUnit::Bar;
+      break;
+
+    case Op::Nanosleep:
+      d.cls = ExecUnit::Misc;
+      break;
+  }
+  return d;
+}
+
+Program::Program(std::string name, std::vector<Instr> code, int num_regs)
+    : name_(std::move(name)), code_(std::move(code)), num_regs_(num_regs) {
+  decoded_.reserve(code_.size());
+  for (const Instr& i : code_) decoded_.push_back(decode_instr(i));
+}
+
 std::string Program::disassemble() const {
   std::ostringstream os;
   os << "kernel " << name_ << " (regs=" << num_regs_ << ")\n";

@@ -20,14 +20,20 @@ namespace vgpu {
 
 inline constexpr int kMaxRegs = 128;
 
-/// An immutable, validated kernel.
+/// An immutable, validated kernel. Construction runs the decode step: the
+/// raw `Instr` stream is lowered once into the dense `DecodedInstr` form the
+/// interpreter executes; the raw stream stays for disassembly and tooling.
 class Program {
  public:
-  Program(std::string name, std::vector<Instr> code, int num_regs)
-      : name_(std::move(name)), code_(std::move(code)), num_regs_(num_regs) {}
+  Program(std::string name, std::vector<Instr> code, int num_regs);
 
   const std::string& name() const { return name_; }
   const Instr& at(std::int32_t pc) const { return code_[static_cast<std::size_t>(pc)]; }
+  /// The issue-ready decoded instruction at `pc` (the interpreter hot path).
+  const DecodedInstr& decoded(std::int32_t pc) const {
+    return decoded_[static_cast<std::size_t>(pc)];
+  }
+  const std::vector<DecodedInstr>& decoded_stream() const { return decoded_; }
   std::int32_t size() const { return static_cast<std::int32_t>(code_.size()); }
   int num_regs() const { return num_regs_; }
   std::string disassemble() const;
@@ -35,6 +41,7 @@ class Program {
  private:
   std::string name_;
   std::vector<Instr> code_;
+  std::vector<DecodedInstr> decoded_;
   int num_regs_;
 };
 

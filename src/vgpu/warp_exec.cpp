@@ -1,6 +1,13 @@
 // The instruction interpreter: functional semantics plus the timing model
 // (operand scoreboard, in-order issue, unit regulators, SIMT divergence,
 // Pascal lock-step vs Volta join semantics at warp-level sync points).
+//
+// The inner loop dispatches over the *decoded* instruction stream
+// (Program::decoded): operand read sets, immediate flavours, branch targets
+// and latency classes are resolved once at program build time, and every
+// fixed cycles→ps conversion is precomputed per device (Device::LatTable).
+// The timing produced is bit-identical to interpreting the raw stream — the
+// decode step only moves work out of the issue path.
 #include <algorithm>
 #include <array>
 
@@ -9,22 +16,31 @@
 
 namespace vgpu {
 
-namespace {
-
-/// Distinct 128-byte lines touched by the active lanes of a global access.
-int count_lines(const std::array<std::int64_t, kWarpSize>& addr, std::uint32_t active) {
-  std::array<std::int64_t, kWarpSize> lines{};
+int count_lines(const std::array<std::int64_t, kWarpSize>& addr,
+                std::uint32_t active) {
+  // Open-addressed table of 64 slots (load factor <= 1/2 for a full warp);
+  // `used` marks live slots so the table itself needs no initialization.
+  std::array<std::int64_t, 64> table;
+  std::uint64_t used = 0;
   int n = 0;
   for (int l = 0; l < kWarpSize; ++l) {
     if (!lane_in(active, l)) continue;
     const std::int64_t line = addr[static_cast<std::size_t>(l)] >> 7;
-    bool seen = false;
-    for (int k = 0; k < n; ++k)
-      if (lines[static_cast<std::size_t>(k)] == line) { seen = true; break; }
-    if (!seen) lines[static_cast<std::size_t>(n++)] = line;
+    std::uint64_t h =
+        (static_cast<std::uint64_t>(line) * 0x9E3779B97F4A7C15ull) >> 58;
+    while ((used >> h) & 1u) {
+      if (table[static_cast<std::size_t>(h)] == line) break;
+      h = (h + 1) & 63u;
+    }
+    if ((used >> h) & 1u) continue;  // duplicate line
+    used |= 1ull << h;
+    table[static_cast<std::size_t>(h)] = line;
+    ++n;
   }
   return n;
 }
+
+namespace {
 
 std::int64_t alu_eval(Op op, std::int64_t a, std::int64_t b) {
   switch (op) {
@@ -57,7 +73,7 @@ bool cmp_eval(Cmp c, std::int64_t a, std::int64_t b) {
 /// Register exchange for all shuffle flavours. `participants` defines rank
 /// order for the coalesced flavour. Values are snapshotted first so
 /// in-place shuffles (dst == src) read pre-exchange values.
-void do_shuffle(Warp& w, const Instr& I, std::uint32_t lanes,
+void do_shuffle(Warp& w, const DecodedInstr& I, std::uint32_t lanes,
                 std::uint32_t participants) {
   std::array<Value, kWarpSize> snap;
   for (int l = 0; l < kWarpSize; ++l) snap[static_cast<std::size_t>(l)] = w.r(I.b, l);
@@ -128,31 +144,14 @@ void Device::step_warp(Warp& w) {
   ExecContext& c = w.top();
   if (c.pc < 0 || c.pc >= prog.size())
     throw SimError("pc out of range in kernel '" + prog.name() + "'");
-  const Instr& I = prog.at(c.pc);
+  const DecodedInstr& I = prog.decoded(c.pc);
   const std::uint32_t active = c.mask & w.alive;
 
   // ---- operand readiness + issue -----------------------------------------
+  // The read set was resolved at decode time; no per-op switch here.
   Ps ready = c.t;
-  auto use = [&](std::uint8_t r) { ready = std::max(ready, w.reg_ready[r]); };
-  switch (I.op) {
-    case Op::Mov: use(I.a); break;
-    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IMin: case Op::IMax:
-    case Op::IAnd: case Op::IOr: case Op::IXor: case Op::IShl: case Op::IShr:
-    case Op::FAdd: case Op::FMul:
-      use(I.a);
-      if (!I.b_is_imm) use(I.b);
-      break;
-    case Op::SetP:
-      use(I.a);
-      if (!I.b_is_imm) use(I.b);
-      break;
-    case Op::BraIf: use(I.pred); break;
-    case Op::LdG: case Op::LdS: use(I.a); break;
-    case Op::StG: case Op::StS: case Op::AtomAddG: use(I.a); use(I.b); break;
-    case Op::ShflDown: case Op::ShflDownCoa: use(I.b); break;
-    case Op::ShflIdx: use(I.a); use(I.b); break;
-    default: break;
-  }
+  if (I.src0 != kNoReg && w.reg_ready[I.src0] > ready) ready = w.reg_ready[I.src0];
+  if (I.src1 != kNoReg && w.reg_ready[I.src1] > ready) ready = w.reg_ready[I.src1];
   // Causality guard: if the operands only become ready beyond the event
   // horizon, stall to that time instead of acquiring unit slots "from the
   // future" (which would make shared regulators jump past idle time and
@@ -162,8 +161,8 @@ void Device::step_warp(Warp& w) {
     return;
   }
   const Ps slot =
-      sm.sched[static_cast<std::size_t>(w.sched_slot)].acquire(ready, cyc(arch_.alu_ii));
-  c.t = slot + cyc(1.0);
+      sm.sched[static_cast<std::size_t>(w.sched_slot)].acquire(ready, lat_.alu_ii);
+  c.t = slot + lat_.one;
 
   switch (I.op) {
     case Op::Nop:
@@ -172,13 +171,13 @@ void Device::step_warp(Warp& w) {
     case Op::MovI:
       for (int l = 0; l < kWarpSize; ++l)
         if (lane_in(active, l)) w.r(I.dst, l).i = I.imm;
-      w.reg_ready[I.dst] = slot + cyc(1.0);
+      w.reg_ready[I.dst] = slot + lat_.scoreboard[static_cast<std::size_t>(I.lat)];
       break;
 
     case Op::Mov:
       for (int l = 0; l < kWarpSize; ++l)
         if (lane_in(active, l)) w.r(I.dst, l) = w.r(I.a, l);
-      w.reg_ready[I.dst] = slot + cyc(1.0);
+      w.reg_ready[I.dst] = slot + lat_.scoreboard[static_cast<std::size_t>(I.lat)];
       break;
 
     case Op::SReg: {
@@ -208,7 +207,7 @@ void Device::step_warp(Warp& w) {
         }
         w.r(I.dst, l).i = v;
       }
-      w.reg_ready[I.dst] = slot + cyc(1.0);
+      w.reg_ready[I.dst] = slot + lat_.scoreboard[static_cast<std::size_t>(I.lat)];
       break;
     }
 
@@ -218,37 +217,44 @@ void Device::step_warp(Warp& w) {
       const std::int64_t v = g.desc.params[static_cast<std::size_t>(I.imm)];
       for (int l = 0; l < kWarpSize; ++l)
         if (lane_in(active, l)) w.r(I.dst, l).i = v;
-      w.reg_ready[I.dst] = slot + cyc(1.0);
+      w.reg_ready[I.dst] = slot + lat_.scoreboard[static_cast<std::size_t>(I.lat)];
       break;
     }
 
     case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IMin: case Op::IMax:
     case Op::IAnd: case Op::IOr: case Op::IXor: case Op::IShl: case Op::IShr:
-      for (int l = 0; l < kWarpSize; ++l) {
-        if (!lane_in(active, l)) continue;
-        const std::int64_t bv = I.b_is_imm ? I.imm : w.r(I.b, l).i;
-        w.r(I.dst, l).i = alu_eval(I.op, w.r(I.a, l).i, bv);
+      if (I.b_imm()) {
+        const std::int64_t bv = I.imm;
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (!lane_in(active, l)) continue;
+          w.r(I.dst, l).i = alu_eval(I.op, w.r(I.a, l).i, bv);
+        }
+      } else {
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (!lane_in(active, l)) continue;
+          w.r(I.dst, l).i = alu_eval(I.op, w.r(I.a, l).i, w.r(I.b, l).i);
+        }
       }
-      w.reg_ready[I.dst] = slot + cyc(arch_.alu_latency);
+      w.reg_ready[I.dst] = slot + lat_.scoreboard[static_cast<std::size_t>(I.lat)];
       break;
 
     case Op::FAdd: case Op::FMul:
       for (int l = 0; l < kWarpSize; ++l) {
         if (!lane_in(active, l)) continue;
         const double av = w.r(I.a, l).f();
-        const double bv = I.b_is_imm ? vgpu::bit_cast<double>(I.imm) : w.r(I.b, l).f();
+        const double bv = I.b_imm() ? I.fimm : w.r(I.b, l).f();
         w.r(I.dst, l) = Value::from_f(I.op == Op::FAdd ? av + bv : av * bv);
       }
-      w.reg_ready[I.dst] = slot + cyc(arch_.alu_latency);
+      w.reg_ready[I.dst] = slot + lat_.scoreboard[static_cast<std::size_t>(I.lat)];
       break;
 
     case Op::SetP:
       for (int l = 0; l < kWarpSize; ++l) {
         if (!lane_in(active, l)) continue;
-        const std::int64_t bv = I.b_is_imm ? I.imm : w.r(I.b, l).i;
+        const std::int64_t bv = I.b_imm() ? I.imm : w.r(I.b, l).i;
         w.r(I.dst, l).i = cmp_eval(I.cmp, w.r(I.a, l).i, bv) ? 1 : 0;
       }
-      w.reg_ready[I.dst] = slot + cyc(arch_.alu_latency);
+      w.reg_ready[I.dst] = slot + lat_.scoreboard[static_cast<std::size_t>(I.lat)];
       break;
 
     case Op::Bra:
@@ -259,14 +265,14 @@ void Device::step_warp(Warp& w) {
       std::uint32_t taken = 0;
       for (int l = 0; l < kWarpSize; ++l) {
         if (!lane_in(active, l)) continue;
-        const bool p = w.r(I.pred, l).i != 0;
-        if (p != I.negate) taken |= 1u << l;
+        const bool p = w.r(I.a, l).i != 0;  // decoded: a = predicate register
+        if (p != I.negate()) taken |= 1u << l;
       }
       if (taken == active) { c.pc = I.target; return; }
       if (taken == 0) { c.pc += 1; return; }
       // Divergence: the current context becomes the reconvergence
       // continuation; both arms are pushed above it.
-      const Ps tsplit = slot + cyc(2.0);
+      const Ps tsplit = slot + lat_.two;
       const std::int32_t fall_pc = c.pc + 1;
       const std::uint32_t parent = c.id;
       c.pc = I.reconv;
@@ -294,7 +300,7 @@ void Device::step_warp(Warp& w) {
       }
       const int lines = count_lines(addr, active);
       const std::int64_t bytes = static_cast<std::int64_t>(lines) * 128;
-      const Ps port = w.gmem_port.acquire(slot, cyc(arch_.gmem_warp_ii));
+      const Ps port = w.gmem_port.acquire(slot, lat_.gmem_warp_ii);
       Ps svc;
       Ps extra = 0;
       const double eff_bw = arch_.dram_bytes_per_cycle * arch_.dram_efficiency;
@@ -311,7 +317,7 @@ void Device::step_warp(Warp& w) {
         for (int l = 0; l < kWarpSize; ++l)
           if (lane_in(active, l))
             w.r(I.dst, l).i = m.load_i64(DevPtr{addr[static_cast<std::size_t>(l)]});
-        w.reg_ready[I.dst] = svc + cyc(arch_.gmem_latency) + extra;
+        w.reg_ready[I.dst] = svc + lat_.gmem_lat + extra;
       } else {
         for (int l = 0; l < kWarpSize; ++l)
           if (lane_in(active, l))
@@ -333,12 +339,12 @@ void Device::step_warp(Warp& w) {
         } else {
           m.store_i64(p, m.load_i64(p) + w.r(I.b, l).i);
         }
-        prev = atom_unit.acquire(prev, cyc(arch_.atom_ii));
+        prev = atom_unit.acquire(prev, lat_.atom_ii);
       }
-      Ps done = prev + cyc(arch_.atom_latency);
+      Ps done = prev + lat_.atom_lat;
       if (target_dev != -1 && target_dev != id_)
         done += machine_.fabric().remote_latency(id_, target_dev);
-      c.t = std::max(c.t, slot + cyc(1.0));
+      c.t = std::max(c.t, slot + lat_.one);
       // Atomics without return value do not stall the pipeline; the unit
       // regulator alone throttles the rate. `done` is kept for future
       // returning-atomic support.
@@ -349,7 +355,7 @@ void Device::step_warp(Warp& w) {
     case Op::LdS: case Op::StS: {
       const std::int64_t smem_size = static_cast<std::int64_t>(b.smem.size());
       const std::int64_t bytes = popcount(active) * 8;
-      const Ps port = w.smem_port.acquire(slot, cyc(arch_.smem_warp_ii));
+      const Ps port = w.smem_port.acquire(slot, lat_.smem_warp_ii);
       const Ps svc = sm.lsu.acquire(
           port, cyc(static_cast<double>(bytes) / arch_.smem_sm_bytes_per_cycle));
       for (int l = 0; l < kWarpSize; ++l) {
@@ -363,7 +369,7 @@ void Device::step_warp(Warp& w) {
         SmemWordMeta& meta = b.smem_meta[static_cast<std::size_t>(off / 8)];
         if (I.op == Op::LdS) {
           std::int64_t v = *word;
-          if (!I.is_volatile && meta.writer_warp >= 0) {
+          if (!I.is_volatile() && meta.writer_warp >= 0) {
             const bool same_warp = meta.writer_warp == w.warp_in_block;
             const bool stale =
                 same_warp
@@ -373,7 +379,7 @@ void Device::step_warp(Warp& w) {
           }
           w.r(I.dst, l).i = v;
         } else {
-          if (I.is_volatile) {
+          if (I.is_volatile()) {
             meta.writer_warp = -1;  // immediately visible to everyone
           } else {
             meta.prev = *word;
@@ -385,23 +391,23 @@ void Device::step_warp(Warp& w) {
           *word = w.r(I.b, l).i;
         }
       }
-      if (I.op == Op::LdS) w.reg_ready[I.dst] = svc + cyc(arch_.smem_latency);
+      if (I.op == Op::LdS) w.reg_ready[I.dst] = svc + lat_.smem_lat;
       break;
     }
 
     case Op::ShflDown: case Op::ShflIdx: case Op::ShflDownCoa: {
       const bool coa = I.op == Op::ShflDownCoa;
-      const double lat = coa ? arch_.shfl_coalesced_latency : arch_.shfl_tile_latency;
-      const double ii = coa ? arch_.shfl_coalesced_ii : arch_.shfl_tile_ii;
-      const Ps pipe = sm.shfl_pipe.acquire(slot, cyc(ii));
+      const Ps lat = coa ? lat_.shfl_coa_lat : lat_.shfl_tile_lat;
+      const Ps ii = coa ? lat_.shfl_coa_ii : lat_.shfl_tile_ii;
+      const Ps pipe = sm.shfl_pipe.acquire(slot, ii);
       const bool converged = active == w.alive && w.sync_waiters.empty();
       if (!arch_.independent_thread_scheduling || converged) {
         // Pascal always exchanges immediately (lock-step illusion): in
         // divergent code this reads whatever the other lanes last wrote,
         // which is exactly the paper's "shuffle does not work correctly".
         do_shuffle(w, I, active, active);
-        w.reg_ready[I.dst] = pipe + cyc(lat);
-        c.t = pipe + cyc(1.0);  // the shuffle queue backpressures issue
+        w.reg_ready[I.dst] = pipe + lat;
+        c.t = pipe + lat_.one;  // the shuffle queue backpressures issue
         c.pc += 1;
         return;
       }
@@ -417,21 +423,21 @@ void Device::step_warp(Warp& w) {
     }
 
     case Op::TileSync: case Op::CoaSync: {
-      double lat, ii;
+      Ps lat, ii;
       if (I.op == Op::TileSync) {
-        lat = arch_.tile_sync_latency;
-        ii = arch_.tile_sync_ii;
+        lat = lat_.tile_sync_lat;
+        ii = lat_.tile_sync_ii;
       } else if (popcount(active) == kWarpSize) {
-        lat = arch_.coalesced_sync_latency_full;
-        ii = arch_.coalesced_sync_ii_full;
+        lat = lat_.coa_sync_full_lat;
+        ii = lat_.coa_sync_full_ii;
       } else {
-        lat = arch_.coalesced_sync_latency_partial;
-        ii = arch_.coalesced_sync_ii_partial;
+        lat = lat_.coa_sync_part_lat;
+        ii = lat_.coa_sync_part_ii;
       }
-      const Ps pipe = sm.sync_pipe.acquire(slot, cyc(ii));
+      const Ps pipe = sm.sync_pipe.acquire(slot, ii);
       const bool converged = active == w.alive && w.sync_waiters.empty();
       if (!arch_.independent_thread_scheduling || converged) {
-        c.t = pipe + cyc(lat);
+        c.t = pipe + lat;
         w.sync_epoch += 1;  // visibility fence
         c.pc += 1;
         return;
@@ -454,7 +460,7 @@ void Device::step_warp(Warp& w) {
         throw SimError("grid.sync() requires a cooperative launch");
       if (I.op == Op::MGridSync && !g.desc.mgrid)
         throw SimError("multi_grid.sync() requires a multi-device cooperative launch");
-      const Ps arrive = sm.bar_unit.acquire(slot, cyc(arch_.bar_arrive_ii));
+      const Ps arrive = sm.bar_unit.acquire(slot, lat_.bar_arrive_ii);
       w.sync_epoch += 1;
       c.pc += 1;  // resume after the barrier
       const BlockBarKind kind = I.op == Op::BarSync ? BlockBarKind::Block
@@ -472,7 +478,7 @@ void Device::step_warp(Warp& w) {
       for (int l = 0; l < kWarpSize; ++l)
         if (lane_in(active, l))
           w.r(I.dst, l).i = static_cast<std::int64_t>(cycles_of(slot));
-      w.reg_ready[I.dst] = slot + cyc(1.0);
+      w.reg_ready[I.dst] = slot + lat_.scoreboard[static_cast<std::size_t>(I.lat)];
       break;
 
     case Op::Exit:

@@ -59,10 +59,12 @@ struct Capture {
   Ps event_time = 0;     // stream-event completion time
 };
 
-Capture run_cooperative_once(std::uint64_t noise_seed, double noise_amplitude) {
+Capture run_cooperative_once(std::uint64_t noise_seed, double noise_amplitude,
+                             vgpu::QueueKind queue = vgpu::QueueKind::Auto) {
   MachineConfig cfg = MachineConfig::single(vgpu::v100());
   cfg.noise_seed = noise_seed;
   cfg.noise_amplitude = noise_amplitude;
+  cfg.queue = queue;
   System sys(cfg);
   const std::int64_t slots = 1 + kBlocks * kThreads;
   DevPtr out = sys.malloc(0, slots * 8);
@@ -109,9 +111,23 @@ TEST(Determinism, SeededNoiseIsReproducibleAndSeedSensitive) {
   EXPECT_NE(a.end_now, c.end_now);  // a different seed moves the timeline
 }
 
+TEST(Determinism, HeapAndCalendarQueuesProduceIdenticalTimelines) {
+  // The two event-queue implementations must agree bit-for-bit — host
+  // clocks, stream-event times, every per-thread SM clock read — including
+  // under seeded noise. The heap is the oracle for the calendar queue.
+  const Capture heap = run_cooperative_once(0, 0.0, vgpu::QueueKind::Heap);
+  const Capture cal = run_cooperative_once(0, 0.0, vgpu::QueueKind::Calendar);
+  expect_identical(heap, cal);
+  const Capture heap_noise = run_cooperative_once(7, 0.03, vgpu::QueueKind::Heap);
+  const Capture cal_noise = run_cooperative_once(7, 0.03, vgpu::QueueKind::Calendar);
+  expect_identical(heap_noise, cal_noise);
+}
+
 TEST(Determinism, MultiDeviceCooperativeLaunchIsBitIdentical) {
-  auto run_once = [] {
-    System sys(MachineConfig::dgx1_v100(2));
+  auto run_once = [](vgpu::QueueKind queue = vgpu::QueueKind::Auto) {
+    MachineConfig mcfg = MachineConfig::dgx1_v100(2);
+    mcfg.queue = queue;
+    System sys(mcfg);
     Capture cap;
     sys.run([&](HostThread& h) {
       std::vector<LaunchParams> per_dev(
@@ -129,6 +145,13 @@ TEST(Determinism, MultiDeviceCooperativeLaunchIsBitIdentical) {
   EXPECT_EQ(a.launch_done, b.launch_done);
   EXPECT_EQ(a.end_now, b.end_now);
   EXPECT_GT(a.end_now, a.launch_done);
+  // And across queue implementations: the multi-device fabric barrier
+  // timeline is identical under the heap oracle and the calendar queue.
+  const Capture h = run_once(vgpu::QueueKind::Heap);
+  const Capture c = run_once(vgpu::QueueKind::Calendar);
+  EXPECT_EQ(h.launch_done, c.launch_done);
+  EXPECT_EQ(h.end_now, c.end_now);
+  EXPECT_EQ(a.end_now, c.end_now);
 }
 
 }  // namespace

@@ -1,16 +1,40 @@
 // Unit tests for the discrete-event core: ordering, FIFO tie-breaking,
-// callback dispatch, and the throughput-regulator primitive.
+// callback dispatch and slot recycling, the throughput-regulator primitive —
+// run against BOTH queue implementations (binary-heap oracle and two-level
+// calendar queue) — plus a differential fuzz that drives random
+// push/pop sequences through the two structures and requires bit-identical
+// pop order.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "vgpu/event_queue.hpp"
 
 using vgpu::EventQueue;
 using vgpu::kPsInfinity;
 using vgpu::Ps;
+using vgpu::QueueKind;
 using vgpu::Regulator;
 
-TEST(EventQueue, DispatchesInTimeOrder) {
-  EventQueue q;
+namespace {
+
+class EventQueueBothKinds : public ::testing::TestWithParam<QueueKind> {
+ protected:
+  EventQueue make() { return EventQueue(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EventQueueBothKinds,
+                         ::testing::Values(QueueKind::Heap, QueueKind::Calendar),
+                         [](const ::testing::TestParamInfo<QueueKind>& info) {
+                           return std::string(vgpu::to_string(info.param));
+                         });
+
+TEST_P(EventQueueBothKinds, DispatchesInTimeOrder) {
+  EventQueue q = make();
   std::vector<int> order;
   q.push_callback(30, [&](Ps) { order.push_back(3); });
   q.push_callback(10, [&](Ps) { order.push_back(1); });
@@ -21,8 +45,8 @@ TEST(EventQueue, DispatchesInTimeOrder) {
   EXPECT_EQ(q.now(), 30);
 }
 
-TEST(EventQueue, TiesBreakInInsertionOrder) {
-  EventQueue q;
+TEST_P(EventQueueBothKinds, TiesBreakInInsertionOrder) {
+  EventQueue q = make();
   std::vector<int> order;
   for (int i = 0; i < 16; ++i)
     q.push_callback(42, [&order, i](Ps) { order.push_back(i); });
@@ -31,8 +55,8 @@ TEST(EventQueue, TiesBreakInInsertionOrder) {
   for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(EventQueue, NextTimeTracksHead) {
-  EventQueue q;
+TEST_P(EventQueueBothKinds, NextTimeTracksHead) {
+  EventQueue q = make();
   EXPECT_EQ(q.next_time(), kPsInfinity);
   q.push_callback(100, [](Ps) {});
   q.push_callback(50, [](Ps) {});
@@ -41,8 +65,8 @@ TEST(EventQueue, NextTimeTracksHead) {
   EXPECT_EQ(q.next_time(), 100);
 }
 
-TEST(EventQueue, CallbacksMayScheduleMore) {
-  EventQueue q;
+TEST_P(EventQueueBothKinds, CallbacksMayScheduleMore) {
+  EventQueue q = make();
   int fired = 0;
   std::function<void(Ps)> chain = [&](Ps t) {
     ++fired;
@@ -55,15 +79,178 @@ TEST(EventQueue, CallbacksMayScheduleMore) {
   EXPECT_EQ(q.now(), 40);
 }
 
-TEST(EventQueue, CallbackSlotsAreRecycled) {
-  EventQueue q;
+TEST_P(EventQueueBothKinds, CallbackSlotsAreRecycled) {
+  EventQueue q = make();
   for (int round = 0; round < 3; ++round) {
     for (int i = 0; i < 100; ++i) q.push_callback(i, [](Ps) {});
     while (q.step([](vgpu::Warp*) {})) {
     }
   }
   EXPECT_TRUE(q.empty());
+  // Freed slots are reused: three rounds of 100 in-flight callbacks never
+  // grow the slab beyond one round's worth.
+  EXPECT_EQ(q.callback_slab_size(), 100u);
 }
+
+TEST_P(EventQueueBothKinds, SlotFreedBeforeCallbackRuns) {
+  // A callback that schedules another callback reuses the slot it is
+  // running out of (the slot is released before dispatch).
+  EventQueue q = make();
+  int fired = 0;
+  q.push_callback(0, [&](Ps t) {
+    q.push_callback(t + 1, [&](Ps) { ++fired; });
+  });
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.callback_slab_size(), 1u);
+}
+
+TEST_P(EventQueueBothKinds, FarFutureEventsCrossTheOverflowTier) {
+  // Spans far beyond the calendar's near window: ns, ms and 10 s scales in
+  // one queue, pushed out of order.
+  EventQueue q = make();
+  std::vector<Ps> times;
+  const std::vector<Ps> scheduled = {vgpu::us(10'000'000.0), 5, vgpu::us(3.0),
+                                     vgpu::us(12'000.0), vgpu::us(12'000.0) + 1,
+                                     0, vgpu::us(9'000'000.0)};
+  for (Ps t : scheduled) q.push_callback(t, [&times](Ps when) { times.push_back(when); });
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  std::vector<Ps> expect = scheduled;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(times, expect);
+}
+
+TEST_P(EventQueueBothKinds, PushesAtOrBeforeNowDispatchNext) {
+  // Simulators occasionally schedule at the current instant (completion
+  // callbacks) — and the queue must also tolerate a push slightly behind
+  // `now` without losing order against later events.
+  EventQueue q = make();
+  std::vector<int> order;
+  q.push_callback(1000, [&](Ps) {
+    order.push_back(0);
+    q.push_callback(1000, [&](Ps) { order.push_back(1); });  // tie with now
+    q.push_callback(900, [&](Ps) { order.push_back(2); });   // behind now
+    q.push_callback(1001, [&](Ps) { order.push_back(3); });
+  });
+  q.push_callback(2000, [&](Ps) { order.push_back(4); });
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  // 900 pops before the 1000-tie because time dominates the seq tie-break.
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1, 3, 4}));
+}
+
+TEST_P(EventQueueBothKinds, EmptiesAndReanchorsAcrossIdleGaps) {
+  // Drain to empty, then push a far-later burst: the calendar re-anchors its
+  // window instead of scanning the dead gap. Ordering must be unaffected.
+  EventQueue q = make();
+  std::vector<Ps> times;
+  auto rec = [&times](Ps t) { times.push_back(t); };
+  q.push_callback(10, rec);
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  ASSERT_TRUE(q.empty());
+  q.push_callback(vgpu::us(500.0) + 7, rec);
+  q.push_callback(vgpu::us(500.0) + 3, rec);
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  EXPECT_EQ(times, (std::vector<Ps>{10, vgpu::us(500.0) + 3, vgpu::us(500.0) + 7}));
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: heap vs calendar
+// ---------------------------------------------------------------------------
+
+/// xorshift64* — deterministic across platforms, no <random> variance.
+struct Rng {
+  std::uint64_t s = 0x9E3779B97F4A7C15ull;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s * 0x2545F4914F6CDD1Dull;
+  }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+TEST(EventQueueDifferential, RandomPushPopSequencesPopIdentically) {
+  // Drives the same random mix of warp events and callbacks, at time scales
+  // spanning in-bucket ties through overflow-tier jumps, through both
+  // structures. Every pop must agree on (time, payload).
+  Rng rng;
+  // Fake warp identities: never dereferenced, only compared.
+  alignas(8) static char warp_storage[64];
+  for (int round = 0; round < 6; ++round) {
+    EventQueue heap{QueueKind::Heap};
+    EventQueue cal{QueueKind::Calendar};
+    std::vector<std::pair<Ps, std::int64_t>> seen_heap, seen_cal;
+    auto record_h = [&](Ps t, std::int64_t id) { seen_heap.emplace_back(t, id); };
+    auto record_c = [&](Ps t, std::int64_t id) { seen_cal.emplace_back(t, id); };
+    auto pop_h = [&](vgpu::Warp* w) {
+      seen_heap.emplace_back(heap.now(), -(reinterpret_cast<char*>(w) - warp_storage) - 1000);
+    };
+    auto pop_c = [&](vgpu::Warp* w) {
+      seen_cal.emplace_back(cal.now(), -(reinterpret_cast<char*>(w) - warp_storage) - 1000);
+    };
+    std::int64_t id = 0;
+    for (int op = 0; op < 4000; ++op) {
+      const std::uint64_t what = rng.below(100);
+      if (what < 55 || heap.empty()) {
+        // Push at a randomly chosen scale relative to current virtual time.
+        Ps t = heap.now();
+        const std::uint64_t scale = rng.below(100);
+        if (scale < 40) {
+          t += static_cast<Ps>(rng.below(4096));  // dense: in/near bucket
+        } else if (scale < 55) {
+          t += 1000;  // deliberate tie cluster (seq order must decide)
+        } else if (scale < 80) {
+          t += static_cast<Ps>(rng.below(1'000'000));  // across the window
+        } else if (scale < 92) {
+          t += static_cast<Ps>(rng.below(1'000'000'000));  // overflow tier
+        } else {
+          const Ps back = static_cast<Ps>(rng.below(2048));  // behind now
+          t = t > back ? t - back : 0;
+        }
+        if (rng.below(4) == 0) {
+          vgpu::Warp* w = reinterpret_cast<vgpu::Warp*>(
+              warp_storage + rng.below(8) * 8);
+          heap.push_warp(t, w);
+          cal.push_warp(t, w);
+        } else {
+          const std::int64_t this_id = id++;
+          heap.push_callback(t, [&record_h, this_id](Ps when) { record_h(when, this_id); });
+          cal.push_callback(t, [&record_c, this_id](Ps when) { record_c(when, this_id); });
+        }
+      } else {
+        ASSERT_TRUE(heap.step(pop_h));
+        ASSERT_TRUE(cal.step(pop_c));
+        ASSERT_EQ(heap.now(), cal.now()) << "diverged at op " << op;
+        ASSERT_EQ(heap.next_time(), cal.next_time());
+      }
+    }
+    while (heap.step(pop_h)) {
+    }
+    while (cal.step(pop_c)) {
+    }
+    EXPECT_TRUE(cal.empty());
+    ASSERT_EQ(seen_heap.size(), seen_cal.size());
+    EXPECT_EQ(seen_heap, seen_cal) << "pop orders diverged in round " << round;
+  }
+}
+
+TEST(EventQueueDifferential, EnvironmentSelectsImplementation) {
+  EXPECT_EQ(EventQueue(QueueKind::Heap).kind(), QueueKind::Heap);
+  EXPECT_EQ(EventQueue(QueueKind::Calendar).kind(), QueueKind::Calendar);
+  // Auto resolves consistently for the whole process (VGPU_QUEUE or the
+  // calendar default) — both Auto-constructed queues agree.
+  EXPECT_EQ(EventQueue().kind(), EventQueue(QueueKind::Auto).kind());
+  EXPECT_NE(EventQueue().kind(), QueueKind::Auto);
+}
+
+// ---------------------------------------------------------------------------
+// Regulator
+// ---------------------------------------------------------------------------
 
 TEST(Regulator, SerializesAtTheInterval) {
   Regulator r;
@@ -73,8 +260,17 @@ TEST(Regulator, SerializesAtTheInterval) {
   EXPECT_EQ(r.acquire(500, 10), 500);  // idle gap: serves at ready time
 }
 
+TEST(Regulator, BackToBackRequestsSlotAtExactMultiples) {
+  // A burst of requests all ready at t=0 drains at one slot per interval —
+  // the property every unit contention model in the simulator leans on.
+  Regulator r;
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(r.acquire(0, 7), 7 * i);
+}
+
 TEST(Regulator, ZeroIntervalIsPassThrough) {
   Regulator r;
   EXPECT_EQ(r.acquire(5, 0), 5);
   EXPECT_EQ(r.acquire(5, 0), 5);
 }
+
+}  // namespace
