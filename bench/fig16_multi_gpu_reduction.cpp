@@ -13,7 +13,10 @@
 int main(int argc, char** argv) {
   using namespace reduction;
   using syncbench::fmt;
-  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
+  // --jobs N (0 = all cores) parallelizes GPU-count points; --shard-jobs M
+  // additionally shards each point's 8-GPU machine across M workers
+  // (VGPU_EXEC=sharded), with --jobs split between the two levels.
+  sweep::init_jobs_from_cli(argc, argv);
 
   // Fixed overheads (multi-device launch coordination, fabric barriers,
   // host barriers) amortize with shard size; the paper's near-unity

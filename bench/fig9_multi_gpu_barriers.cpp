@@ -10,7 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace syncbench;
-  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
+  // --jobs N (0 = all cores) across barrier points; --shard-jobs M shards
+  // each multi-GPU machine (VGPU_EXEC=sharded).
+  sweep::init_jobs_from_cli(argc, argv);
   std::cout
       << "Figure 9 — multi-GPU barriers on DGX-1 (V100)\n"
          "paper anchors: multi-device launch overhead 1.26 us @1 GPU,\n"

@@ -240,6 +240,39 @@ void BM_ProgramDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ProgramDecode);
 
+void BM_ShardedMachineDrain(benchmark::State& state) {
+  // The conservative-window executor on a fig16-style workload: an 8-GPU
+  // DGX-1 multi-grid reduction, one independent simulation point. Arg 0 is
+  // the serial oracle; Args 1/2/4 shard the machine's devices across that
+  // many workers. Timelines are bit-identical across all four (pinned by
+  // test_determinism); only wall-clock changes, and only on multi-core
+  // hosts — the scaling curve in BENCH_simperf.json is the point.
+  const int shard_jobs = static_cast<int>(state.range(0));
+  const std::int64_t n_per = (4 << 20) / 8;  // 4 MB per GPU
+  for (auto _ : state) {
+    MachineConfig cfg = MachineConfig::dgx1_v100(8);
+    cfg.exec = shard_jobs == 0 ? ExecMode::Serial : ExecMode::Sharded;
+    cfg.shard_jobs = shard_jobs;
+    scuda::System sys(cfg);
+    std::vector<DevPtr> shards;
+    for (int g = 0; g < 8; ++g) {
+      DevPtr p = sys.malloc(g, n_per * 8);
+      reduction::fill_pattern(sys, p, n_per);
+      shards.push_back(p);
+    }
+    auto r = reduction::reduce_multi(sys, reduction::MultiGpuAlgo::MGridSync,
+                                     shards, n_per);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetBytesProcessed(state.iterations() * n_per * 8 * 8);
+}
+BENCHMARK(BM_ShardedMachineDrain)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GridSyncRound(benchmark::State& state) {
   scuda::System sys(MachineConfig::single(v100()));
   auto prog = syncbench::grid_sync_kernel(8);

@@ -4,14 +4,20 @@
 // latency and throughput plus the programmability story in numbers.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "reduction/reduce.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace reduction;
 using namespace vgpu;
 
 int main(int argc, char** argv) {
-  const std::int64_t mb = argc > 1 ? std::atoll(argv[1]) : 32;
+  // `--shard-jobs M` executes each simulated machine's devices on M worker
+  // threads (VGPU_EXEC=sharded) — same timeline, less wall-clock.
+  sweep::init_jobs_from_cli(argc, argv);
+  std::int64_t mb = 32;
+  if (argc > 1 && std::strncmp(argv[1], "--", 2) != 0) mb = std::atoll(argv[1]);
   const std::int64_t n_per = (mb << 20) / 8;
 
   std::printf("multi-GPU sum of %lld MB per GPU on a simulated DGX-1\n\n",

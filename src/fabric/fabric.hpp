@@ -1,8 +1,17 @@
 // Runtime state of the multi-GPU interconnect: per-pair DMA/traffic
 // regulators on top of the static Topology, plus cost helpers for peer
 // memory accesses issued from kernels.
+//
+// Shard safety — the single-writer-per-link invariant: the regulator row
+// links_[src][*] is only ever advanced by device `src`'s shard (kernel-side
+// peer traffic originates at the source device) or by the host while every
+// shard is quiescent (memcpy_peer runs between event-pump batches). Two
+// shards therefore never race on one Regulator, and acquisition order per
+// link equals the source shard's deterministic (t, seq) event order.
+// Debug builds assert the invariant against the executing-shard marker.
 #pragma once
 
+#include <cassert>
 #include <vector>
 
 #include "fabric/topology.hpp"
@@ -23,6 +32,7 @@ class Fabric {
   /// Completion time of a bulk DMA of `bytes` from src to dst starting when
   /// the link is free after `ready`. bytes/(gbs GB/s) seconds -> ps.
   Ps transfer_done(int src, int dst, std::int64_t bytes, Ps ready) {
+    assert_link_writer(src);
     const double gbs = topo_.pair_bandwidth_gbs(src, dst);
     const Ps wire_ps = gbs > 0
         ? static_cast<Ps>(static_cast<double>(bytes) / (gbs * 1e9) * 1e12)
@@ -37,6 +47,7 @@ class Fabric {
   /// Service slot for one remote cache-line access (kernel-side peer
   /// load/store). `bytes` is the line footprint.
   Ps remote_line_slot(int src, int dst, std::int64_t bytes, Ps ready) {
+    assert_link_writer(src);
     const double gbs = topo_.pair_bandwidth_gbs(src, dst);
     const Ps service = gbs > 0
         ? static_cast<Ps>(static_cast<double>(bytes) / (gbs * 1e9) * 1e12)
@@ -52,6 +63,19 @@ class Fabric {
   }
 
  private:
+  /// Debug check of the single-writer invariant: link row `src` may only be
+  /// driven by shard `src` (a device event executing on its own shard) or
+  /// from the host/coordinator context (-1), when shards are quiescent.
+  static void assert_link_writer(int src) {
+#ifndef NDEBUG
+    const int exec = EventQueue::exec_shard();
+    assert((exec < 0 || exec == src) &&
+           "fabric link regulator driven by a foreign shard");
+#else
+    (void)src;
+#endif
+  }
+
   Topology topo_;
   std::vector<std::vector<Regulator>> links_;
 };

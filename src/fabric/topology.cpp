@@ -17,6 +17,13 @@ Ps Topology::fabric_barrier_cost(int n) const {
   return base + static_cast<Ps>(n) * barrier_per_gpu;
 }
 
+Ps Topology::min_fabric_barrier_cost(int max_n) const {
+  Ps best = kPsInfinity;
+  for (int n = 2; n <= max_n; ++n)
+    best = std::min(best, fabric_barrier_cost(n));
+  return best;
+}
+
 Topology Topology::single() {
   Topology t;
   t.num_devices = 1;

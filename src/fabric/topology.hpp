@@ -37,6 +37,12 @@ struct Topology {
   /// Returns 0 for n <= 1 (a single grid needs no fabric round).
   Ps fabric_barrier_cost(int n) const;
 
+  /// Cheapest possible fabric barrier round over any participant count in
+  /// [2, max_n] — one ingredient of the conservative cross-device lookahead
+  /// (Machine::lookahead): a multi-grid release can reach a remote device no
+  /// sooner than this plus the release broadcast base.
+  Ps min_fabric_barrier_cost(int max_n) const;
+
   int max_leader_hops(int n) const;
 
   double pair_bandwidth_gbs(int a, int b) const { return link_gbs[a][b]; }

@@ -12,8 +12,14 @@ using vgpu::SimError;
 System::System(vgpu::MachineConfig cfg)
     : machine_(std::make_unique<vgpu::Machine>(std::move(cfg))) {
   streams_.resize(static_cast<std::size_t>(machine_->num_devices()));
-  for (int d = 0; d < machine_->num_devices(); ++d)
+  for (int d = 0; d < machine_->num_devices(); ++d) {
     streams_[static_cast<std::size_t>(d)].device = d;
+    // Substream keys are namespaced by a high-bit consumer-class tag
+    // (devices 1<<32, streams 2<<32, mgrid groups 3<<32) so no amount of
+    // launches can collide one class's keys with another's.
+    streams_[static_cast<std::size_t>(d)].noise =
+        machine_->noise().fork((2ull << 32) + static_cast<std::uint64_t>(d));
+  }
 }
 
 System::~System() = default;
@@ -61,13 +67,16 @@ void System::block_until_runnable(HostThread& h, std::unique_lock<std::mutex>& l
     // Nobody runnable: this thread drives the event queue. Batch the
     // pop-dispatch loop — a host thread can only become runnable through
     // wake(), so there is no point re-scanning the thread list per event.
-    // The batch runs entirely inside Machine::step's direct dispatch, so the
-    // queue's calendar cursor stays hot across the whole pump.
+    // pump_round() honors the executor mode: the serial path is one fused
+    // pop-dispatch per round (calendar cursor stays hot across the pump);
+    // the sharded path runs conservative parallel windows and executes
+    // wake-capable callbacks serially, one per round, so wake_pending_ is
+    // observed with per-event granularity either way.
     wake_pending_ = false;
     while (!wake_pending_) {
       bool progressed;
       try {
-        progressed = machine_->step();
+        progressed = machine_->pump_round() > 0;
       } catch (const std::exception& e) {
         // step() threw (virtual-time-limit livelock, guest error). Route it
         // through the abort protocol so threads parked in a parallel region
@@ -200,7 +209,7 @@ void System::parallel(HostThread& h, int n,
         while (!wake_pending_) {
           bool progressed = false;
           try {
-            progressed = machine_->step();
+            progressed = machine_->pump_round() > 0;
           } catch (const std::exception& e) {
             // An OS thread's stack cannot carry the error out; abort the
             // region so the waiting threads rethrow it as DeadlockError.
@@ -371,7 +380,7 @@ void System::pump_stream(Stream& s) {
   if (s.busy || s.queue.empty()) return;
   PendingKernel k = std::move(s.queue.front());
   s.queue.pop_front();
-  const Ps gap = machine_->noise().jitter(k.lm.gap_total + k.extra_gap);
+  const Ps gap = s.noise.jitter(k.lm.gap_total + k.extra_gap);
   const Ps chain = s.last_end + std::max(k.lm.issue_cost, gap - s.last_exec);
   const Ps fresh = k.host_issue + k.lm.first_dispatch;
   const Ps start = std::max(chain, fresh);
@@ -452,6 +461,8 @@ void System::launch_cooperative_multi(HostThread& h, const std::vector<int>& dev
   auto mgrid = std::make_shared<vgpu::MGridState>();
   mgrid->num_devices = n;
   mgrid->fabric_cost = machine_->fabric().topology().fabric_barrier_cost(n);
+  mgrid->id = ++mgrid_seq_;
+  mgrid->noise = machine_->noise().fork((3ull << 32) + mgrid->id);
 
   auto group = std::make_shared<LaunchGroup>();
   group->waiting = n;

@@ -116,6 +116,8 @@ class System {
   /// Which event-queue implementation this system's machine dispatches
   /// through (heap oracle or the default two-level calendar queue).
   vgpu::QueueKind queue_kind() const { return machine_->queue_kind(); }
+  /// Which executor drives it (serial oracle or sharded windows).
+  vgpu::ExecMode exec_mode() const { return machine_->exec_mode(); }
 
   /// Run `fn` as host thread 0 in virtual time. Rethrows guest errors
   /// (SimError) and hangs (DeadlockError).
@@ -183,6 +185,7 @@ class System {
     Ps current_start = 0;
     std::vector<HostThread*> sync_waiters;
     std::vector<PendingEvent> pending_events;
+    vgpu::NoiseStream noise;  // launch-gap jitter substream (keyed by device)
   };
 
   struct LaunchGroup {
@@ -217,6 +220,7 @@ class System {
   bool aborting_ = false;
   std::string abort_reason_;
   int next_tid_ = 1;
+  std::uint64_t mgrid_seq_ = 0;  // creation order of multi-grid groups
 };
 
 }  // namespace scuda

@@ -1,9 +1,11 @@
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 
 namespace sweep {
@@ -28,6 +30,11 @@ std::atomic<int>& default_jobs_slot() {
   return jobs;
 }
 
+std::atomic<int>& shard_jobs_slot() {
+  static std::atomic<int> jobs{0};
+  return jobs;
+}
+
 }  // namespace
 
 int default_jobs() { return default_jobs_slot().load(std::memory_order_relaxed); }
@@ -35,6 +42,31 @@ int default_jobs() { return default_jobs_slot().load(std::memory_order_relaxed);
 void set_default_jobs(int jobs) {
   default_jobs_slot().store(jobs <= 0 ? hardware_jobs() : jobs,
                             std::memory_order_relaxed);
+}
+
+int shard_jobs() { return shard_jobs_slot().load(std::memory_order_relaxed); }
+
+void set_shard_jobs(int jobs) {
+  const int j = jobs <= 0 ? 0 : jobs;
+  shard_jobs_slot().store(j, std::memory_order_relaxed);
+#if !defined(_WIN32)
+  if (j > 0) {
+    // Machines resolve these lazily at first construction; installing them
+    // here (single-threaded, before any System exists) switches every
+    // subsequent point's machine to the sharded executor with j workers. An
+    // explicit VGPU_EXEC in the environment wins — the user may be forcing
+    // the serial oracle under a shard-jobs budget.
+    setenv("VGPU_EXEC", "sharded", /*overwrite=*/0);
+    const std::string n = std::to_string(j);
+    setenv("VGPU_SHARD_JOBS", n.c_str(), /*overwrite=*/1);
+  }
+#endif
+}
+
+int point_jobs() {
+  const int shards = shard_jobs();
+  const int jobs = default_jobs();
+  return shards <= 1 ? jobs : std::max(1, jobs / shards);
 }
 
 namespace {
@@ -58,11 +90,14 @@ int init_jobs_from_cli(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
       set_default_jobs(parse_jobs_or_die(argv[i + 1]));
-      break;
-    }
-    if (std::strncmp(a, "--jobs=", 7) == 0) {
+      ++i;
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
       set_default_jobs(parse_jobs_or_die(a + 7));
-      break;
+    } else if (std::strcmp(a, "--shard-jobs") == 0 && i + 1 < argc) {
+      set_shard_jobs(parse_jobs_or_die(argv[i + 1]));
+      ++i;
+    } else if (std::strncmp(a, "--shard-jobs=", 13) == 0) {
+      set_shard_jobs(parse_jobs_or_die(a + 13));
     }
   }
   return default_jobs();

@@ -26,9 +26,28 @@ int default_jobs();
 /// Set the default. jobs <= 0 means "all hardware threads".
 void set_default_jobs(int jobs);
 
-/// Parse `--jobs N` (or `--jobs=N`) from argv and install it as the default;
-/// `N <= 0` selects all hardware threads. Returns the resulting job count.
-/// Unrecognized arguments are ignored (the bench binaries take no others).
+/// Shard workers each simulation point may use (--shard-jobs): intra-point
+/// parallelism via the machine's sharded executor. 0 (the default) leaves
+/// the serial executor in place.
+int shard_jobs();
+
+/// Install the shard-job budget. jobs >= 1 also exports VGPU_EXEC=sharded
+/// and VGPU_SHARD_JOBS into the environment (unless VGPU_EXEC is already
+/// set) so every Machine built afterwards runs the sharded executor with
+/// that many workers; call before constructing any System/Machine. jobs <= 0
+/// disables sharding.
+void set_shard_jobs(int jobs);
+
+/// Point-level parallelism once each point reserves shard_jobs() workers:
+/// max(1, default_jobs() / max(1, shard_jobs())). This is how `--jobs`
+/// splits between points and shards — `--jobs 8 --shard-jobs 4` runs two
+/// points at a time, each simulating its machine on four workers.
+int point_jobs();
+
+/// Parse `--jobs N` and `--shard-jobs N` (or `--jobs=N` forms) from argv and
+/// install them; `--jobs 0` selects all hardware threads. Returns the
+/// resulting total job count. Unrecognized arguments are ignored (the bench
+/// binaries take no others).
 int init_jobs_from_cli(int argc, char** argv);
 
 /// Map `fn` over `points` with `jobs`-way parallelism, preserving order:
@@ -52,7 +71,7 @@ auto map(const std::vector<Point>& points, Fn&& fn, int jobs)
 template <class Point, class Fn>
 auto map(const std::vector<Point>& points, Fn&& fn)
     -> std::vector<decltype(fn(points[std::size_t{0}]))> {
-  return map(points, std::forward<Fn>(fn), default_jobs());
+  return map(points, std::forward<Fn>(fn), point_jobs());
 }
 
 }  // namespace sweep

@@ -12,7 +12,8 @@
 namespace vgpu {
 
 Device::Device(Machine& m, const ArchSpec& arch, int id)
-    : machine_(m), arch_(arch), id_(id), clock_(arch.core_mhz), mem_(id) {
+    : machine_(m), arch_(arch), id_(id), clock_(arch.core_mhz), mem_(id),
+      noise_(m.noise().fork((1ull << 32) + static_cast<std::uint64_t>(id))) {
   sms_.resize(static_cast<std::size_t>(arch_.num_sms));
   horizon_slack_ = cyc(16);
 
@@ -140,7 +141,10 @@ void Device::dispatch_block(GridExec* g, int sm_index, Ps t) {
 void Device::schedule_warp(Warp& w, Ps t) {
   if (w.queued || !w.runnable()) return;
   w.queued = true;
-  machine_.queue().push_warp(std::max(t, w.top().t), &w);
+  // Destination shard = this device. When another shard (a deferred
+  // multi-grid release executes on the coordinator) schedules our warp, the
+  // queue routes the push through this shard's mailbox.
+  machine_.queue().push_warp(std::max(t, w.top().t), &w, id_);
 }
 
 // ---------------------------------------------------------------------------
@@ -160,7 +164,7 @@ void Device::run_warp(Warp* wp) {
     if (--quantum < 0) {
       if (!w.stack.empty() && w.runnable()) {
         w.queued = true;
-        q.push_warp(w.top().t, &w);
+        q.push_warp(w.top().t, &w, id_);
         return;
       }
       quantum = 8192;
@@ -190,9 +194,13 @@ void Device::run_warp(Warp* wp) {
       pop_context(w);
       continue;
     }
-    if (c.t > q.next_time() + horizon_slack()) {
+    // Batch against this shard's own horizon (its next pending event,
+    // clamped by the conservative window bound in sharded execution).
+    // Cross-device causality is carried by the lookahead windows, not by
+    // this yield, so other shards' event times never cut a batch short.
+    if (c.t > q.horizon(id_) + horizon_slack()) {
       w.queued = true;
-      q.push_warp(c.t, &w);
+      q.push_warp(c.t, &w, id_);
       return;
     }
     step_warp(w);
@@ -325,12 +333,14 @@ void Device::block_finished(Block* b, Ps t) {
 void Device::grid_maybe_complete(GridExec* g, Ps t) {
   if (g->completed || g->blocks_done < g->desc.grid_blocks) return;
   g->completed = true;
-  // Defer teardown: we may be inside the last warp's run loop.
+  // Defer teardown: we may be inside the last warp's run loop. The callback
+  // lands on this device's shard but is always executed by the serial
+  // coordinator (callbacks reach stream and host state).
   machine_.queue().push_callback(t, [g](Ps when) {
     auto cb = std::move(g->on_complete);
     g->blocks.clear();
     if (cb) cb(when);
-  });
+  }, id_);
 }
 
 // ---------------------------------------------------------------------------
@@ -389,7 +399,7 @@ void Device::grid_bar_arrive(Block& b, Ps t) {
   if (mgrid && g->desc.mgrid) {
     mgrid_arrive(g, g->gbar_last_slot);
   } else {
-    const Ps base = machine_.noise().jitter(cyc(arch_.grid_release_base));
+    const Ps base = noise_.jitter(cyc(arch_.grid_release_base));
     grid_bar_release(g, g->gbar_last_slot + base);
   }
 }
@@ -424,14 +434,29 @@ void Device::grid_bar_release(GridExec* g, Ps release) {
 
 void Device::mgrid_arrive(GridExec* g, Ps t) {
   MGridState& st = *g->desc.mgrid;
+  // Final arrivals of different devices can share one conservative window,
+  // so the counters are guarded; the jitter draw stays deterministic because
+  // the group's substream is only sampled here, once per barrier generation,
+  // in virtual-time order.
+  std::lock_guard<std::mutex> lk(machine_.mgrid_mu());
   st.arrived += 1;
   st.last_arrive = std::max(st.last_arrive, t);
   if (st.arrived < st.num_devices) return;
   const Ps release =
-      st.last_arrive + machine_.noise().jitter(st.fabric_cost +
-                                               cyc(arch_.mgrid_release_base));
+      st.last_arrive + st.noise.jitter(st.fabric_cost +
+                                       cyc(arch_.mgrid_release_base));
   st.arrived = 0;
   st.last_arrive = 0;
+  if (machine_.exec_sharded()) {
+    // Parallel window: remote grids' blocks and warps belong to shards that
+    // may be executing right now. Park the release; the machine applies it
+    // at the window join, while every shard is quiescent. The release time
+    // exceeds the window bound by construction (it includes the fabric
+    // barrier round, which the lookahead is derived from), so no event in
+    // this window can observe the delay.
+    machine_.defer_mgrid_release(PendingMGridRelease{st.grids, release, st.id});
+    return;
+  }
   for (GridExec* grid : st.grids) grid->dev->grid_bar_release(grid, release);
 }
 

@@ -14,6 +14,7 @@
 #include "vgpu/event_queue.hpp"
 #include "vgpu/isa.hpp"
 #include "vgpu/memory.hpp"
+#include "vgpu/noise.hpp"
 #include "vgpu/program.hpp"
 
 namespace vgpu {
@@ -139,12 +140,20 @@ struct SMState {
 };
 
 /// Shared state of a cudaLaunchCooperativeKernelMultiDevice launch.
+/// Arrival counters are guarded by Machine::mgrid_mu(): the final arrivals
+/// of different devices may land in the same conservative window and bump
+/// them from concurrent shards.
 struct MGridState {
   std::vector<GridExec*> grids;  // one per participating device
   int num_devices = 0;
   int arrived = 0;
   Ps last_arrive = 0;
   Ps fabric_cost = 0;  // from Topology::fabric_barrier_cost
+  /// Release jitter substream owned by this group. Keyed per group so the
+  /// draw sequence is independent of cross-device event interleaving —
+  /// a prerequisite for serial-vs-sharded bit-identical timelines.
+  NoiseStream noise;
+  std::uint64_t id = 0;  // creation order; sorts deferred releases
 };
 
 /// Launch descriptor handed from the runtime to the device.
@@ -236,6 +245,7 @@ class Device {
 
  private:
   friend struct WarpExecutor;
+  friend class Machine;  // applies deferred multi-grid releases at window joins
 
   // Dispatch machinery.
   bool sm_can_host(const SMState& s, const KernelLaunch& d) const;
@@ -269,6 +279,7 @@ class Device {
   ClockDomain clock_;
   GlobalMemory mem_;
   LatTable lat_;  // precomputed cyc() constants for the interpreter
+  NoiseStream noise_;  // this device's jitter substream (keyed by id)
   std::vector<SMState> sms_;
   std::vector<std::unique_ptr<GridExec>> grids_;
   Ps horizon_slack_ = 0;

@@ -1,6 +1,15 @@
-// Discrete-event core. A single global event queue in picoseconds drives
-// every device, warp, fabric transaction and host wake-up, which keeps
-// cross-domain interactions (unit contention, barriers, streams) causal.
+// Discrete-event core. Virtual time in picoseconds drives every device,
+// warp, fabric transaction and host wake-up, which keeps cross-domain
+// interactions (unit contention, barriers, streams) causal.
+//
+// Since PR 4 the queue has a *sharded front*: one scheduling structure per
+// device shard (a single-device machine has exactly one shard — the classic
+// global queue). Each shard pops its own events in strict (time, sequence)
+// order; the machine composes them either serially (global (t, shard, seq)
+// order — the oracle) or as conservative parallel windows (Machine::
+// pump_round, VGPU_EXEC=sharded), where cross-shard pushes are routed
+// through per-shard *mailboxes* and merged at window boundaries in a
+// deterministic (t, source shard, source tag) order.
 //
 // Two interchangeable scheduling structures live behind one API:
 //
@@ -13,21 +22,25 @@
 //    beyond the horizon land in a sorted overflow tier that is swept into
 //    the bucket array when the window advances.
 //
-// Both structures pop in strict (time, sequence-number) order, so every
-// simulated timeline is bit-identical regardless of the implementation
+// Both structures pop in strict (time, sequence-number) order per shard, so
+// every simulated timeline is bit-identical regardless of the implementation
 // (pinned by test_determinism and the differential fuzz in
 // test_event_queue). Select with VGPU_QUEUE=heap|calendar or per
 // MachineConfig.
 //
 // The hot path — "this warp is runnable at time t" — is a POD event; generic
-// callbacks go through a slab of std::function so the queue itself stays a
-// flat array of 32-byte records.
+// callbacks go through a per-shard slab of std::function so the queue itself
+// stays a flat array of 32-byte records. Peeking caches the located minimum,
+// so the pop + virtual-time-limit check costs a single cursor probe per
+// event (step_limited).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -68,66 +81,263 @@ class EventQueue {
  public:
   using Callback = std::function<void(Ps)>;
 
-  EventQueue() : EventQueue(QueueKind::Auto) {}
-  explicit EventQueue(QueueKind kind) : kind_(resolve_queue_kind(kind)) {}
+  /// Outcome of a fused peek + limit check + pop (Machine::step).
+  enum class StepResult : std::uint8_t { Empty, Dispatched, PastLimit };
+
+  /// Globally earliest pending event, shard tie-break by lowest index.
+  struct GlobalPeek {
+    int shard = -1;  // -1: queue empty
+    Ps t = kPsInfinity;
+    bool is_callback = false;
+  };
+
+  EventQueue() : EventQueue(QueueKind::Auto, 1) {}
+  explicit EventQueue(QueueKind kind, int num_shards = 1)
+      : kind_(resolve_queue_kind(kind)) {
+    if (num_shards < 1) throw SimError("EventQueue needs at least one shard");
+    shards_.resize(static_cast<std::size_t>(num_shards));
+    mail_mu_.reserve(static_cast<std::size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s)
+      mail_mu_.push_back(std::make_unique<std::mutex>());
+  }
 
   QueueKind kind() const { return kind_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // ---- shard execution context --------------------------------------------
+  // During a parallel window each worker thread marks which shard it is
+  // executing; pushes route locally when source == destination and through
+  // the destination's mailbox otherwise. -1 (the default) is the
+  // host/coordinator context: shards are quiescent, pushes go in directly.
+
+  static int exec_shard() { return tls_exec_shard_; }
+
+  /// RAII marker: "this thread is executing shard `s`'s events".
+  class ScopedExecShard {
+   public:
+    explicit ScopedExecShard(int s) : prev_(tls_exec_shard_) { tls_exec_shard_ = s; }
+    ~ScopedExecShard() { tls_exec_shard_ = prev_; }
+    ScopedExecShard(const ScopedExecShard&) = delete;
+    ScopedExecShard& operator=(const ScopedExecShard&) = delete;
+
+   private:
+    int prev_;
+  };
+
+  // ---- producers ----------------------------------------------------------
 
   /// Schedule a warp-run event (hot path, no allocation beyond the queue).
-  void push_warp(Ps t, Warp* w) { push(Event{t, next_seq_++, w, 0}); }
-
-  /// Schedule a generic callback.
-  void push_callback(Ps t, Callback cb) {
-    std::size_t slot;
-    if (free_slots_.empty()) {
-      slot = callbacks_.size();
-      callbacks_.push_back(std::move(cb));
-    } else {
-      slot = free_slots_.back();
-      free_slots_.pop_back();
-      callbacks_[slot] = std::move(cb);
+  /// `shard` is the device shard that will execute the event.
+  void push_warp(Ps t, Warp* w, int shard = 0) {
+    const int src = tls_exec_shard_;
+    if (src < 0 || src == shard) {
+      Shard& sh = shards_[static_cast<std::size_t>(shard)];
+      push(sh, Event{t, sh.next_seq++, w, 0});
+      return;
     }
-    push(Event{t, next_seq_++, nullptr, slot});
+    push_remote(shard, t, w, Callback{});
   }
 
-  bool empty() const { return size_ == 0; }
-  std::size_t size() const { return size_; }
+  /// Schedule a generic callback on `shard`. Callbacks are executed only by
+  /// the serial/coordinator path (never inside a parallel window) because
+  /// they reach host- and stream-level state.
+  void push_callback(Ps t, Callback cb, int shard = 0) {
+    const int src = tls_exec_shard_;
+    if (src < 0 || src == shard) {
+      Shard& sh = shards_[static_cast<std::size_t>(shard)];
+      push(sh, Event{t, sh.next_seq++, nullptr, alloc_slot(sh, std::move(cb))});
+      return;
+    }
+    push_remote(shard, t, nullptr, std::move(cb));
+  }
+
+  // ---- introspection (coordinator context) --------------------------------
+
+  bool empty() const { return size() == 0; }
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& sh : shards_) n += sh.size;
+    return n;
+  }
+  std::size_t shard_size(int s) const {
+    return shards_[static_cast<std::size_t>(s)].size;
+  }
 
   /// Callback slab capacity — exposed so tests can pin slot recycling.
-  std::size_t callback_slab_size() const { return callbacks_.size(); }
-
-  /// Time of the earliest pending event, or kPsInfinity when empty. May
-  /// advance the calendar cursor / sort the active bucket (cheap,
-  /// amortized), hence non-const.
-  Ps next_time() {
-    if (size_ == 0) return kPsInfinity;
-    if (kind_ == QueueKind::Heap) return heap_.front().t;
-    const std::size_t idx = min_index();  // may move cur_; index first
-    return buckets_[cur_][idx].t;
+  std::size_t callback_slab_size() const {
+    std::size_t n = 0;
+    for (const Shard& sh : shards_) n += sh.callbacks.size();
+    return n;
   }
 
-  /// Current virtual time (time of the most recently popped event).
-  Ps now() const { return now_; }
+  /// Time of the earliest pending event across all shards, or kPsInfinity
+  /// when empty. May advance a calendar cursor / sort an active bucket
+  /// (cheap, amortized), hence non-const.
+  Ps next_time() {
+    Ps best = kPsInfinity;
+    for (int s = 0; s < num_shards(); ++s) best = std::min(best, next_time(s));
+    return best;
+  }
 
-  /// Pop and dispatch one event. run_warp is the warp execution entry point
-  /// (supplied by the machine to avoid a dependency cycle). Returns false if
-  /// the queue was empty. Templated on the callable so the hot WarpRun branch
-  /// dispatches through a direct (inlinable) call instead of a std::function
-  /// constructed per event.
+  /// Earliest pending time on one shard. Safe to call from that shard's
+  /// worker during a window (it only touches shard-local state).
+  Ps next_time(int s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.size == 0) return kPsInfinity;
+    return peek_event(sh).t;
+  }
+
+  /// What a warp executing on shard `s` may run ahead to: the shard's next
+  /// pending event, clamped by the current conservative window bound and by
+  /// one cross-device lookahead past the shard's current time. The last
+  /// clamp is what makes the *serial* executor honor the same causality
+  /// contract as the windows: even with an empty shard queue, a batch can
+  /// never sample another device's memory more than one lookahead ahead of
+  /// events that other device has yet to run.
+  Ps horizon(int s) {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    const Ps batch_end = batch_lookahead_ >= kPsInfinity - sh.now
+                             ? kPsInfinity
+                             : sh.now + batch_lookahead_;
+    return std::min(std::min(next_time(s), drain_bound_), batch_end);
+  }
+
+  /// Installed once by the machine: its cross-device lookahead (kPsInfinity
+  /// for single-device machines, leaving batches unbounded as before).
+  void set_batch_lookahead(Ps l) { batch_lookahead_ = l; }
+
+  GlobalPeek peek_global() {
+    GlobalPeek p;
+    for (int s = 0; s < num_shards(); ++s) {
+      Shard& sh = shards_[static_cast<std::size_t>(s)];
+      if (sh.size == 0) continue;
+      const Event& e = peek_event(sh);
+      if (e.t < p.t) {
+        p.t = e.t;
+        p.shard = s;
+        p.is_callback = e.obj == nullptr;
+      }
+    }
+    return p;
+  }
+
+  /// Current virtual time: the latest popped event time across shards.
+  Ps now() const {
+    Ps m = shards_[0].now;
+    for (const Shard& sh : shards_) m = std::max(m, sh.now);
+    return m;
+  }
+  Ps now(int s) const { return shards_[static_cast<std::size_t>(s)].now; }
+
+  // ---- consumers ----------------------------------------------------------
+
+  /// Pop and dispatch the globally earliest event (ties: lowest shard).
+  /// run_warp is the warp execution entry point (supplied by the machine to
+  /// avoid a dependency cycle); the hot WarpRun branch dispatches through a
+  /// direct (inlinable) call instead of a std::function per event. Returns
+  /// false if the queue was empty.
   template <class RunWarp>
   bool step(RunWarp&& run_warp) {
-    Event e;
-    if (!pop_min(e)) return false;
-    now_ = e.t;
-    if (e.obj != nullptr) {
-      run_warp(static_cast<Warp*>(e.obj));
-    } else {
-      Callback cb = std::move(callbacks_[e.slot]);
-      callbacks_[e.slot] = nullptr;
-      free_slots_.push_back(e.slot);
-      cb(e.t);
+    return step_limited(0, std::forward<RunWarp>(run_warp)) ==
+           StepResult::Dispatched;
+  }
+
+  /// step() fused with the virtual-time-limit check: a single cursor probe
+  /// locates the minimum, the limit is tested against it, and the pop reuses
+  /// the cached position. `limit` 0 disables the check. Returns PastLimit
+  /// *without popping* when the earliest event lies beyond the limit.
+  /// Multi-shard machines scan every shard per event, but each shard's peek
+  /// is cached and only invalidated by a push/pop on *that* shard — so one
+  /// event costs one real cursor walk (on the popped shard) plus cheap
+  /// cached reads, not num_shards walks.
+  template <class RunWarp>
+  StepResult step_limited(Ps limit, RunWarp&& run_warp) {
+    int best = -1;
+    Ps bt = kPsInfinity;
+    for (int s = 0; s < num_shards(); ++s) {
+      const Ps t = next_time(s);
+      if (t < bt) {
+        bt = t;
+        best = s;
+      }
     }
+    if (best < 0) return StepResult::Empty;
+    if (limit > 0 && bt > limit) return StepResult::PastLimit;
+    dispatch_min(shards_[static_cast<std::size_t>(best)],
+                 std::forward<RunWarp>(run_warp));
+    return StepResult::Dispatched;
+  }
+
+  /// Pop and dispatch one event from shard `s`; false when that shard is
+  /// empty.
+  template <class RunWarp>
+  bool step_shard(int s, RunWarp&& run_warp) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.size == 0) return false;
+    dispatch_min(sh, std::forward<RunWarp>(run_warp));
     return true;
+  }
+
+  /// Conservative-window drain of one shard: dispatch warp events with
+  /// t < bound in (t, seq) order, stopping early at the first callback
+  /// (callbacks only run on the serial path). Must be called with
+  /// ScopedExecShard(s) active when other shards run concurrently. Returns
+  /// the number of events dispatched.
+  template <class RunWarp>
+  std::size_t drain_shard_window(int s, Ps bound, RunWarp&& run_warp) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    std::size_t n = 0;
+    while (sh.size != 0) {
+      const Event& e = peek_event(sh);
+      if (e.t >= bound || e.obj == nullptr) break;
+      dispatch_min(sh, run_warp);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Publish the window bound warps may batch up to (horizon()); reset to
+  /// kPsInfinity outside windows. Coordinator context only.
+  void set_drain_bound(Ps b) { drain_bound_ = b; }
+
+  /// Merge every shard's mailbox into its local structure (coordinator
+  /// context, shards quiescent). Entries are ordered by (t, source shard,
+  /// source tag) — deterministic regardless of wall-clock arrival order —
+  /// and every entry must lie at or beyond `window_end`: an earlier one
+  /// means a cross-shard interaction undercut the conservative lookahead.
+  void merge_mailboxes(Ps window_end) {
+    for (int s = 0; s < num_shards(); ++s) {
+      Shard& sh = shards_[static_cast<std::size_t>(s)];
+      std::vector<MailEntry> mail;
+      {
+        std::lock_guard<std::mutex> lk(*mail_mu_[static_cast<std::size_t>(s)]);
+        mail.swap(sh.mailbox);
+      }
+      std::stable_sort(mail.begin(), mail.end(),
+                       [](const MailEntry& a, const MailEntry& b) {
+                         if (a.t != b.t) return a.t < b.t;
+                         if (a.src != b.src) return a.src < b.src;
+                         return a.tag < b.tag;
+                       });
+      for (MailEntry& e : mail) {
+        if (e.t < window_end)
+          throw SimError(
+              "cross-shard event scheduled inside the conservative window "
+              "(lookahead violated)");
+        if (e.w != nullptr) {
+          push(sh, Event{e.t, sh.next_seq++, e.w, 0});
+        } else {
+          push(sh, Event{e.t, sh.next_seq++, nullptr,
+                         alloc_slot(sh, std::move(e.cb))});
+        }
+      }
+    }
+  }
+
+  /// Pending cross-shard messages (tests / diagnostics).
+  std::size_t mailbox_size(int s) const {
+    std::lock_guard<std::mutex> lk(*mail_mu_[static_cast<std::size_t>(s)]);
+    return shards_[static_cast<std::size_t>(s)].mailbox.size();
   }
 
  private:
@@ -144,6 +354,16 @@ class EventQueue {
     }
   };
 
+  /// A cross-shard push parked until the window boundary. (src, tag) makes
+  /// the merge order independent of wall-clock interleaving.
+  struct MailEntry {
+    Ps t = 0;
+    Warp* w = nullptr;
+    Callback cb;
+    int src = -1;
+    std::uint64_t tag = 0;
+  };
+
   // ---- calendar geometry --------------------------------------------------
   // Bucket width ~2.7 V100 cycles: dependent-issue deltas (1 cycle = 762 ps)
   // land within a couple of buckets of the cursor, memory latencies a few
@@ -155,105 +375,196 @@ class EventQueue {
   /// Unsorted-tail bound on the active bucket before a full re-sort.
   static constexpr std::size_t kMaxTail = 32;
 
-  void push(Event e) {
-    ++size_;
+  /// One per-device scheduling structure: calendar + heap state, sequence
+  /// counter, callback slab and the inbound mailbox. Only its owning worker
+  /// (or the quiescent coordinator) touches anything but the mailbox.
+  struct Shard {
+    std::size_t size = 0;
+    std::uint64_t next_seq = 0;
+    Ps now = 0;
+
+    // Heap state.
+    std::vector<Event> heap;
+
+    // Calendar state (buckets allocated lazily on first push).
+    std::vector<std::vector<Event>> buckets;
+    std::vector<std::uint64_t> occupied;  // one bit per non-empty bucket
+    std::vector<Event> overflow;          // events beyond the near window
+    bool overflow_sorted = true;          // descending by (t, seq) when set
+    Ps base = 0;                          // left edge of bucket 0
+    std::size_t cur = 0;                  // cursor bucket (monotone per window)
+    std::size_t act_sorted = 0;  // descending-sorted prefix of buckets[cur]
+    std::size_t near_size = 0;   // events in the bucket array
+
+    // Peek cache: min_index() result, valid until the next push/pop. This is
+    // what makes a peek-check-pop sequence a single cursor probe.
+    bool peeked = false;
+    std::size_t peek_idx = 0;
+
+    // Callback slab.
+    std::vector<Callback> callbacks;
+    std::vector<std::size_t> free_slots;
+
+    // Inbound mailbox (guarded by the matching mail_mu_ entry) and the
+    // outbound tag counter (owned by this shard's executing thread).
+    std::vector<MailEntry> mailbox;
+    std::uint64_t mail_tag = 0;
+  };
+
+  std::size_t alloc_slot(Shard& sh, Callback cb) {
+    std::size_t slot;
+    if (sh.free_slots.empty()) {
+      slot = sh.callbacks.size();
+      sh.callbacks.push_back(std::move(cb));
+    } else {
+      slot = sh.free_slots.back();
+      sh.free_slots.pop_back();
+      sh.callbacks[slot] = std::move(cb);
+    }
+    return slot;
+  }
+
+  void push_remote(int dst, Ps t, Warp* w, Callback cb) {
+    const int src = tls_exec_shard_;
+    Shard& from = shards_[static_cast<std::size_t>(src)];
+    MailEntry e;
+    e.t = t;
+    e.w = w;
+    e.cb = std::move(cb);
+    e.src = src;
+    e.tag = from.mail_tag++;
+    std::lock_guard<std::mutex> lk(*mail_mu_[static_cast<std::size_t>(dst)]);
+    shards_[static_cast<std::size_t>(dst)].mailbox.push_back(std::move(e));
+  }
+
+  void push(Shard& sh, Event e) {
+    ++sh.size;
+    sh.peeked = false;
     if (kind_ == QueueKind::Heap) {
-      heap_push(e);
+      heap_push(sh, e);
       return;
     }
-    if (buckets_.empty()) {
-      buckets_.resize(kNumBuckets);
-      occupied_.assign(kBitWords, 0);
+    if (sh.buckets.empty()) {
+      sh.buckets.resize(kNumBuckets);
+      sh.occupied.assign(kBitWords, 0);
     }
-    if (size_ == 1) {
-      // Queue was empty: re-anchor the window at this event so sparse
+    if (sh.size == 1) {
+      // Shard was empty: re-anchor the window at this event so sparse
       // timelines never funnel through the overflow tier.
-      base_ = align_down(e.t);
-      cur_ = 0;
-      act_sorted_ = 0;
+      sh.base = align_down(e.t);
+      sh.cur = 0;
+      sh.act_sorted = 0;
     }
-    const Ps window_end = base_ + static_cast<Ps>(kNumBuckets) * kBucketWidth;
+    const Ps window_end = sh.base + static_cast<Ps>(kNumBuckets) * kBucketWidth;
     if (e.t >= window_end) {
-      overflow_.push_back(e);
-      overflow_sorted_ = false;
+      sh.overflow.push_back(e);
+      sh.overflow_sorted = false;
       return;
     }
     std::size_t idx =
-        e.t <= base_ ? 0 : static_cast<std::size_t>((e.t - base_) / kBucketWidth);
+        e.t <= sh.base ? 0 : static_cast<std::size_t>((e.t - sh.base) / kBucketWidth);
     // Events at or before the cursor (same-time reschedules, rare
     // past-pushes) join the active bucket's unsorted tail; the (t, seq)
     // min-scan in pop still delivers them first.
-    if (idx < cur_) idx = cur_;
-    buckets_[idx].push_back(e);
-    ++near_size_;
-    occupied_[idx / 64] |= 1ull << (idx % 64);
+    if (idx < sh.cur) idx = sh.cur;
+    sh.buckets[idx].push_back(e);
+    ++sh.near_size;
+    sh.occupied[idx / 64] |= 1ull << (idx % 64);
   }
 
-  bool pop_min(Event& out) {
-    if (size_ == 0) return false;
-    --size_;
+  /// The (t, seq)-minimum event of a non-empty shard, without removing it.
+  /// Caches the located position so the following pop is free.
+  const Event& peek_event(Shard& sh) {
+    if (kind_ == QueueKind::Heap) return sh.heap.front();
+    if (!sh.peeked) {
+      sh.peek_idx = min_index(sh);
+      sh.peeked = true;
+    }
+    return sh.buckets[sh.cur][sh.peek_idx];
+  }
+
+  bool pop_min(Shard& sh, Event& out) {
+    if (sh.size == 0) return false;
+    --sh.size;
     if (kind_ == QueueKind::Heap) {
-      out = heap_pop();
+      sh.peeked = false;
+      out = heap_pop(sh);
       return true;
     }
-    const std::size_t idx = min_index();
-    std::vector<Event>& b = buckets_[cur_];
+    const std::size_t idx = sh.peeked ? sh.peek_idx : min_index(sh);
+    sh.peeked = false;
+    std::vector<Event>& b = sh.buckets[sh.cur];
     out = b[idx];
     b[idx] = b.back();
     b.pop_back();
-    if (idx < act_sorted_) act_sorted_ -= 1;
-    --near_size_;
-    if (b.empty()) occupied_[cur_ / 64] &= ~(1ull << (cur_ % 64));
+    if (idx < sh.act_sorted) sh.act_sorted -= 1;
+    --sh.near_size;
+    if (b.empty()) sh.occupied[sh.cur / 64] &= ~(1ull << (sh.cur % 64));
     return true;
+  }
+
+  template <class RunWarp>
+  void dispatch_min(Shard& sh, RunWarp&& run_warp) {
+    Event e{0, 0, nullptr, 0};
+    pop_min(sh, e);
+    sh.now = e.t;
+    if (e.obj != nullptr) {
+      run_warp(static_cast<Warp*>(e.obj));
+    } else {
+      Callback cb = std::move(sh.callbacks[e.slot]);
+      sh.callbacks[e.slot] = nullptr;
+      sh.free_slots.push_back(e.slot);
+      cb(e.t);
+    }
   }
 
   /// Positions the cursor on the non-empty bucket holding the earliest event
   /// and returns the index of the (t, seq)-minimum within it. The bucket is
   /// kept as a descending-sorted prefix (min at its back) plus a small
   /// unsorted tail of events pushed after the sort.
-  std::size_t min_index() {
-    if (near_size_ == 0) advance_window();
-    std::vector<Event>* b = &buckets_[cur_];
+  std::size_t min_index(Shard& sh) {
+    if (sh.near_size == 0) advance_window(sh);
+    std::vector<Event>* b = &sh.buckets[sh.cur];
     if (b->empty()) {
-      cur_ = next_occupied(cur_ + 1);
-      act_sorted_ = 0;
-      b = &buckets_[cur_];
+      sh.cur = next_occupied(sh, sh.cur + 1);
+      sh.act_sorted = 0;
+      b = &sh.buckets[sh.cur];
     }
-    if (act_sorted_ == 0 || b->size() - act_sorted_ > kMaxTail) {
+    if (sh.act_sorted == 0 || b->size() - sh.act_sorted > kMaxTail) {
       std::sort(b->begin(), b->end(), std::greater<Event>());
-      act_sorted_ = b->size();
+      sh.act_sorted = b->size();
     }
-    std::size_t best = act_sorted_ - 1;
-    for (std::size_t i = act_sorted_; i < b->size(); ++i)
+    std::size_t best = sh.act_sorted - 1;
+    for (std::size_t i = sh.act_sorted; i < b->size(); ++i)
       if ((*b)[best] > (*b)[i]) best = i;
     return best;
   }
 
   /// The near window is drained: jump it forward to the overflow tier's
   /// earliest event and sweep everything now inside the window into buckets.
-  void advance_window() {
-    if (!overflow_sorted_) {
-      std::sort(overflow_.begin(), overflow_.end(), std::greater<Event>());
-      overflow_sorted_ = true;
+  void advance_window(Shard& sh) {
+    if (!sh.overflow_sorted) {
+      std::sort(sh.overflow.begin(), sh.overflow.end(), std::greater<Event>());
+      sh.overflow_sorted = true;
     }
-    base_ = align_down(overflow_.back().t);
-    cur_ = 0;
-    act_sorted_ = 0;
-    const Ps window_end = base_ + static_cast<Ps>(kNumBuckets) * kBucketWidth;
-    while (!overflow_.empty() && overflow_.back().t < window_end) {
-      const Event& e = overflow_.back();
-      const std::size_t idx = static_cast<std::size_t>((e.t - base_) / kBucketWidth);
-      buckets_[idx].push_back(e);
-      occupied_[idx / 64] |= 1ull << (idx % 64);
-      ++near_size_;
-      overflow_.pop_back();
+    sh.base = align_down(sh.overflow.back().t);
+    sh.cur = 0;
+    sh.act_sorted = 0;
+    const Ps window_end = sh.base + static_cast<Ps>(kNumBuckets) * kBucketWidth;
+    while (!sh.overflow.empty() && sh.overflow.back().t < window_end) {
+      const Event& e = sh.overflow.back();
+      const std::size_t idx = static_cast<std::size_t>((e.t - sh.base) / kBucketWidth);
+      sh.buckets[idx].push_back(e);
+      sh.occupied[idx / 64] |= 1ull << (idx % 64);
+      ++sh.near_size;
+      sh.overflow.pop_back();
     }
   }
 
-  std::size_t next_occupied(std::size_t from) const {
+  std::size_t next_occupied(const Shard& sh, std::size_t from) const {
     std::size_t word = from / 64;
-    std::uint64_t bits = occupied_[word] & (~0ull << (from % 64));
-    while (bits == 0) bits = occupied_[++word];
+    std::uint64_t bits = sh.occupied[word] & (~0ull << (from % 64));
+    while (bits == 0) bits = sh.occupied[++word];
     return word * 64 + static_cast<std::size_t>(countr_zero64(bits));
   }
 
@@ -264,59 +575,51 @@ class EventQueue {
 
   // ---- binary-heap oracle -------------------------------------------------
 
-  void heap_push(Event e) {
-    heap_.push_back(e);
-    std::size_t i = heap_.size() - 1;
+  void heap_push(Shard& sh, Event e) {
+    sh.heap.push_back(e);
+    std::size_t i = sh.heap.size() - 1;
     while (i > 0) {
       std::size_t p = (i - 1) / 2;
-      if (!(heap_[p] > heap_[i])) break;
-      std::swap(heap_[p], heap_[i]);
+      if (!(sh.heap[p] > sh.heap[i])) break;
+      std::swap(sh.heap[p], sh.heap[i]);
       i = p;
     }
   }
 
-  Event heap_pop() {
-    Event top = heap_.front();
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    std::size_t i = 0, n = heap_.size();
+  Event heap_pop(Shard& sh) {
+    Event top = sh.heap.front();
+    sh.heap.front() = sh.heap.back();
+    sh.heap.pop_back();
+    std::size_t i = 0, n = sh.heap.size();
     while (true) {
       std::size_t l = 2 * i + 1, r = 2 * i + 2, m = i;
-      if (l < n && heap_[m] > heap_[l]) m = l;
-      if (r < n && heap_[m] > heap_[r]) m = r;
+      if (l < n && sh.heap[m] > sh.heap[l]) m = l;
+      if (r < n && sh.heap[m] > sh.heap[r]) m = r;
       if (m == i) break;
-      std::swap(heap_[i], heap_[m]);
+      std::swap(sh.heap[i], sh.heap[m]);
       i = m;
     }
     return top;
   }
 
+  static inline thread_local int tls_exec_shard_ = -1;
+
   QueueKind kind_;
-  std::size_t size_ = 0;
-
-  // Heap state.
-  std::vector<Event> heap_;
-
-  // Calendar state (buckets allocated lazily on first push).
-  std::vector<std::vector<Event>> buckets_;
-  std::vector<std::uint64_t> occupied_;  // one bit per non-empty bucket
-  std::vector<Event> overflow_;          // events beyond the near window
-  bool overflow_sorted_ = true;          // descending by (t, seq) when set
-  Ps base_ = 0;                          // left edge of bucket 0
-  std::size_t cur_ = 0;                  // cursor bucket (monotone per window)
-  std::size_t act_sorted_ = 0;  // descending-sorted prefix of buckets_[cur_]
-  std::size_t near_size_ = 0;   // events in the bucket array
-
-  // Callback slab (shared by both structures).
-  std::vector<Callback> callbacks_;
-  std::vector<std::size_t> free_slots_;
-  std::uint64_t next_seq_ = 0;
-  Ps now_ = 0;
+  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<std::mutex>> mail_mu_;  // one per shard
+  Ps drain_bound_ = kPsInfinity;  // conservative window end during a window
+  Ps batch_lookahead_ = kPsInfinity;  // machine's cross-device lookahead
 };
 
 /// A throughput regulator: a unit that can accept one operation every
 /// `ii` picoseconds. acquire() returns the service slot for a request that
 /// becomes ready at `ready`.
+///
+/// Regulators are deliberately unsynchronized: every regulator has exactly
+/// one writer domain. Device-internal units belong to their device's shard;
+/// each fabric link row links_[src][*] belongs to shard `src` (asserted by
+/// Fabric in debug builds); host-side acquisitions happen only while the
+/// shards are quiescent.
 struct Regulator {
   Ps next_free = 0;
   Ps acquire(Ps ready, Ps ii) {

@@ -1,6 +1,10 @@
 #include "vgpu/machine.hpp"
 
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
 #include <sstream>
+#include <thread>
 
 namespace vgpu {
 
@@ -28,14 +32,47 @@ MachineConfig MachineConfig::single(const ArchSpec& arch) {
   return c;
 }
 
+namespace {
+
+int resolve_shard_jobs(int configured, int num_shards) {
+  int jobs = configured;
+  if (jobs <= 0) {
+    static const int from_env = [] {
+      const char* v = std::getenv("VGPU_SHARD_JOBS");
+      return v && *v ? std::atoi(v) : 0;
+    }();
+    jobs = from_env;
+  }
+  if (jobs <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::max(1, std::min(jobs, num_shards));
+}
+
+}  // namespace
+
 Machine::Machine(MachineConfig cfg)
     : cfg_(std::move(cfg)),
-      queue_(cfg_.queue),
+      exec_(resolve_exec_mode(cfg_.exec)),
+      queue_(cfg_.queue, std::max(1, cfg_.num_devices)),
       fabric_(cfg_.topology),
       noise_(cfg_.noise_seed, cfg_.noise_amplitude) {
   if (cfg_.num_devices < 1) throw SimError("machine needs at least one device");
   if (cfg_.topology.num_devices < cfg_.num_devices)
     throw SimError("topology smaller than device count");
+  lookahead_ = compute_lookahead();
+  if (lookahead_ < 1) {
+    exec_ = ExecMode::Serial;  // no window fits: oracle path, unbounded batches
+  } else {
+    // Both executors batch warps against the same causality bound: at most
+    // one lookahead past the shard's current time. This is what keeps the
+    // serial oracle and the windows bit-identical even for cross-device
+    // accesses that no barrier mediates, provided they sit >= one lookahead
+    // apart in virtual time (the documented contract).
+    queue_.set_batch_lookahead(lookahead_);
+  }
+  shard_jobs_ = resolve_shard_jobs(cfg_.shard_jobs, cfg_.num_devices);
   devices_.reserve(static_cast<std::size_t>(cfg_.num_devices));
   for (int i = 0; i < cfg_.num_devices; ++i)
     devices_.push_back(std::make_unique<Device>(*this, cfg_.arch, i));
@@ -43,38 +80,225 @@ Machine::Machine(MachineConfig cfg)
 
 Machine::~Machine() = default;
 
+/// The minimum virtual-time distance at which one device shard can affect
+/// another — the conservative window width.
+///
+/// Channels and their floors:
+///  * Remote memory traffic rides the fabric: one hop of latency plus the
+///    link regulator's service floor (>= 0) before anything lands on a peer.
+///  * A multi-grid barrier release reaches remote grids no sooner than the
+///    cheapest fabric barrier round (2 participants) plus the release-base
+///    broadcast, deflated by the worst-case downward noise jitter.
+Ps Machine::compute_lookahead() const {
+  if (cfg_.num_devices <= 1) return kPsInfinity;
+  const Topology& topo = cfg_.topology;
+  const Ps barrier = topo.min_fabric_barrier_cost(cfg_.num_devices);
+  const ClockDomain clock(cfg_.arch.core_mhz);
+  Ps mgrid_gap = barrier + clock.cycles_to_ps(cfg_.arch.mgrid_release_base);
+  if (cfg_.noise_amplitude > 0.0) {
+    mgrid_gap = static_cast<Ps>(static_cast<double>(mgrid_gap) *
+                                (1.0 - cfg_.noise_amplitude)) -
+                1;
+  }
+  const Ps remote_gap = topo.hop_latency;  // + link regulator floor (>= 0)
+  return std::max<Ps>(0, std::min(remote_gap, mgrid_gap));
+}
+
 namespace {
 
-/// The warp execution entry point handed to EventQueue::step. A free
+/// The warp execution entry point handed to the event queue. A free
 /// function (not a std::function) so the queue's hot branch is one direct
 /// call; the template instantiation inlines it.
 inline void run_warp_entry(Warp* w) { w->block->dev->run_warp(w); }
 
+[[noreturn]] void throw_time_limit(const Machine& m) {
+  throw DeadlockError(
+      "virtual time limit exceeded (livelock? a kernel may be spinning):\n" +
+      m.blocked_report());
+}
+
 }  // namespace
 
-bool Machine::step() {
-  const Ps next = queue_.next_time();
-  if (next == kPsInfinity) return false;
-  if (cfg_.virtual_time_limit > 0 && next > cfg_.virtual_time_limit) {
-    throw DeadlockError(
-        "virtual time limit exceeded (livelock? a kernel may be spinning):\n" +
-        blocked_report());
+// ---------------------------------------------------------------------------
+// Shard pool: persistent workers executing conservative windows
+// ---------------------------------------------------------------------------
+
+/// Worker k owns shards k, k + jobs, k + 2*jobs, ... for the machine's
+/// lifetime; the coordinator (the thread calling run()) participates as
+/// worker 0. A window is one generation: publish the bound, drain every
+/// shard group, join. The static shard->worker map plus per-shard (t, seq)
+/// order makes the execution schedule — not just the result — reproducible.
+struct Machine::ShardPool {
+  ShardPool(Machine& m, int jobs) : m_(m), jobs_(jobs) {
+    counts_.resize(static_cast<std::size_t>(jobs));
+    errors_.resize(static_cast<std::size_t>(m.num_devices()));
+    threads_.reserve(static_cast<std::size_t>(jobs - 1));
+    for (int k = 1; k < jobs; ++k)
+      threads_.emplace_back([this, k] { worker(k); });
   }
-  return queue_.step(run_warp_entry);
+
+  ~ShardPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Execute one window: every shard drains its warp events below `bound`.
+  /// Returns the number of events dispatched; rethrows the error of the
+  /// lowest-index failing shard.
+  std::size_t run(Ps bound) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      bound_ = bound;
+      pending_ = jobs_ - 1;
+      std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+      std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
+      ++gen_;
+    }
+    cv_work_.notify_all();
+    counts_[0] = drain_group(0, bound);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return pending_ == 0; });
+    std::size_t total = 0;
+    for (std::size_t c : counts_) total += c;
+    for (const std::exception_ptr& e : errors_)
+      if (e) std::rethrow_exception(e);
+    return total;
+  }
+
+ private:
+  void worker(int k) {
+    std::uint64_t seen = 0;
+    while (true) {
+      Ps bound;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
+        if (stop_) return;
+        seen = gen_;
+        bound = bound_;
+      }
+      counts_[static_cast<std::size_t>(k)] = drain_group(k, bound);
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  std::size_t drain_group(int k, Ps bound) {
+    std::size_t n = 0;
+    for (int s = k; s < m_.num_devices(); s += jobs_) {
+      EventQueue::ScopedExecShard scope(s);
+      try {
+        n += m_.queue_.drain_shard_window(s, bound, run_warp_entry);
+      } catch (...) {
+        errors_[static_cast<std::size_t>(s)] = std::current_exception();
+      }
+    }
+    return n;
+  }
+
+  Machine& m_;
+  int jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_work_, cv_done_;
+  std::uint64_t gen_ = 0;
+  int pending_ = 0;
+  Ps bound_ = 0;
+  bool stop_ = false;
+  std::vector<std::size_t> counts_;        // per worker
+  std::vector<std::exception_ptr> errors_; // per shard
+  std::vector<std::thread> threads_;
+};
+
+// ---------------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------------
+
+bool Machine::step() {
+  const auto r = queue_.step_limited(cfg_.virtual_time_limit, run_warp_entry);
+  if (r == EventQueue::StepResult::PastLimit) throw_time_limit(*this);
+  if (r == EventQueue::StepResult::Empty) return false;
+  if (exec_sharded()) apply_pending_releases();
+  return true;
+}
+
+std::size_t Machine::pump_round() {
+  if (!exec_sharded()) return step() ? 1 : 0;
+  const EventQueue::GlobalPeek p = queue_.peek_global();
+  if (p.shard < 0) return 0;
+  if (cfg_.virtual_time_limit > 0 && p.t > cfg_.virtual_time_limit)
+    throw_time_limit(*this);
+  if (p.is_callback) {
+    // Callbacks reach stream/host state: always serial, in global order.
+    queue_.step_shard(p.shard, run_warp_entry);
+    apply_pending_releases();
+    return 1;
+  }
+  Ps bound = lookahead_ >= kPsInfinity - p.t ? kPsInfinity : p.t + lookahead_;
+  if (cfg_.virtual_time_limit > 0)
+    bound = std::min(bound, cfg_.virtual_time_limit + 1);
+  return run_window(bound);
+}
+
+std::size_t Machine::run_window(Ps bound) {
+  if (!pool_) pool_ = std::make_unique<ShardPool>(*this, shard_jobs_);
+  queue_.set_drain_bound(bound);
+  std::size_t n = 0;
+  std::exception_ptr err;
+  try {
+    n = pool_->run(bound);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  queue_.set_drain_bound(kPsInfinity);
+  // Window joins commit cross-shard effects even when a shard failed, so
+  // the deadlock reporter sees a consistent machine.
+  apply_pending_releases();
+  queue_.merge_mailboxes(bound);
+  if (err) std::rethrow_exception(err);
+  return n;
+}
+
+void Machine::defer_mgrid_release(PendingMGridRelease r) {
+  // Caller already holds mgrid_mu() (the arrival bookkeeping lock).
+  pending_releases_.push_back(std::move(r));
+}
+
+void Machine::apply_pending_releases() {
+  std::vector<PendingMGridRelease> todo;
+  {
+    std::lock_guard<std::mutex> lk(mgrid_mu_);
+    if (pending_releases_.empty()) return;
+    todo.swap(pending_releases_);
+  }
+  std::stable_sort(todo.begin(), todo.end(),
+                   [](const PendingMGridRelease& a, const PendingMGridRelease& b) {
+                     if (a.release != b.release) return a.release < b.release;
+                     return a.group_id < b.group_id;
+                   });
+  for (PendingMGridRelease& r : todo)
+    for (GridExec* g : r.grids) g->dev->grid_bar_release(g, r.release);
 }
 
 std::size_t Machine::drain() {
-  // step() already keeps the limit handling off the dispatch fast path;
-  // forcing the whole queue machinery inline here measures *slower* at -O3,
-  // so the batch loop deliberately stays a call per event.
   std::size_t n = 0;
-  while (step()) ++n;
+  if (!exec_sharded()) {
+    // step() already keeps the limit handling off the dispatch fast path;
+    // forcing the whole queue machinery inline here measures *slower* at
+    // -O3, so the batch loop deliberately stays a call per event.
+    while (step()) ++n;
+    return n;
+  }
+  for (std::size_t k; (k = pump_round()) > 0;) n += k;
   return n;
 }
 
 std::string Machine::blocked_report() const {
   std::ostringstream os;
-  os << "virtual time " << to_us(queue_.now()) << " us; " << blocked_entities_
+  os << "virtual time " << to_us(queue_.now()) << " us; " << blocked_entities()
      << " blocked device entities\n";
   for (const auto& d : devices_) os << d->blocked_summary();
   return os.str();

@@ -1,8 +1,31 @@
-// The Machine: devices + fabric + the global event queue + deadlock
+// The Machine: devices + fabric + the sharded event queue + deadlock
 // accounting. This is the whole simulated node (e.g. a DGX-1).
+//
+// Two executors drive the same per-device event-queue shards:
+//
+//  - Serial (default, the oracle): pop the globally earliest event
+//    (t, shard, seq) one at a time — exactly the classic event loop.
+//  - Sharded (VGPU_EXEC=sharded / MachineConfig::exec): conservative
+//    parallel discrete-event execution. Warp events run concurrently across
+//    device shards inside bounded windows [T, T + lookahead); callbacks
+//    (kernel completion, host wake-ups) always run serially between windows
+//    in global order. The lookahead is the minimum virtual-time distance at
+//    which one device can affect another, derived from the Fabric/Topology:
+//    min(hop latency + link regulator floor, the smallest possible
+//    multi-grid barrier release gap, deflated by the noise amplitude).
+//    Cross-shard event pushes land in per-shard mailboxes and merge at
+//    window joins; multi-grid barrier releases are deferred to the join so
+//    remote block/warp state is only touched while shards are quiescent.
+//    Timelines are bit-identical to the serial executor (pinned by
+//    test_determinism) for every fabric- or barrier-mediated sharing
+//    pattern, i.e. whenever conflicting cross-device accesses are at least
+//    one lookahead apart in virtual time.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +36,31 @@
 #include "vgpu/noise.hpp"
 
 namespace vgpu {
+
+/// Which executor drives the machine. Auto resolves the VGPU_EXEC
+/// environment variable ("serial" or "sharded"), defaulting to serial.
+enum class ExecMode : std::uint8_t { Auto, Serial, Sharded };
+
+inline ExecMode resolve_exec_mode(ExecMode m) {
+  if (m != ExecMode::Auto) return m;
+  static const ExecMode from_env = [] {
+    const char* v = std::getenv("VGPU_EXEC");
+    if (!v || !*v || std::string_view(v) == "serial") return ExecMode::Serial;
+    if (std::string_view(v) == "sharded") return ExecMode::Sharded;
+    throw SimError(std::string("VGPU_EXEC must be 'serial' or 'sharded', got '") +
+                   v + "'");
+  }();
+  return from_env;
+}
+
+inline const char* to_string(ExecMode m) {
+  switch (m) {
+    case ExecMode::Auto: return "auto";
+    case ExecMode::Serial: return "serial";
+    case ExecMode::Sharded: return "sharded";
+  }
+  return "?";
+}
 
 struct MachineConfig {
   ArchSpec arch;
@@ -26,11 +74,28 @@ struct MachineConfig {
   /// Event-queue implementation; Auto resolves VGPU_QUEUE (default calendar).
   /// Both kinds produce bit-identical timelines (pinned by test_determinism).
   QueueKind queue = QueueKind::Auto;
+  /// Executor; Auto resolves VGPU_EXEC (default serial). Serial and sharded
+  /// produce bit-identical timelines (pinned by test_determinism).
+  ExecMode exec = ExecMode::Auto;
+  /// Worker threads for the sharded executor. 0 = auto: VGPU_SHARD_JOBS if
+  /// set, else one per device clamped to the hardware thread count. Any
+  /// value is clamped to [1, num_devices]. The timeline never depends on it.
+  int shard_jobs = 0;
 
   /// The paper's platforms.
   static MachineConfig dgx1_v100(int num_devices = 8);
   static MachineConfig p100_pcie(int num_devices = 2);
   static MachineConfig single(const ArchSpec& arch);
+};
+
+/// A multi-grid barrier release captured during a parallel window and
+/// applied at the join, while every shard is quiescent. Sorted by
+/// (release, group id) so the apply order never depends on wall-clock
+/// scheduling.
+struct PendingMGridRelease {
+  std::vector<GridExec*> grids;
+  Ps release = 0;
+  std::uint64_t group_id = 0;
 };
 
 class Machine {
@@ -43,6 +108,14 @@ class Machine {
 
   EventQueue& queue() { return queue_; }
   QueueKind queue_kind() const { return queue_.kind(); }
+  /// Resolved executor (never Auto). Sharded may fall back to serial when
+  /// the topology admits no positive cross-device lookahead.
+  ExecMode exec_mode() const { return exec_; }
+  bool exec_sharded() const { return exec_ == ExecMode::Sharded; }
+  /// Conservative window width: the minimum virtual-time distance at which
+  /// one device can affect another. kPsInfinity for single-device machines.
+  Ps lookahead() const { return lookahead_; }
+  int shard_jobs() const { return shard_jobs_; }
   Fabric& fabric() { return fabric_; }
   NoiseModel& noise() { return noise_; }
   const ArchSpec& arch() const { return cfg_.arch; }
@@ -50,30 +123,66 @@ class Machine {
   int num_devices() const { return static_cast<int>(devices_.size()); }
   Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
 
-  /// Pop and dispatch one event; false when the queue is empty. Throws
-  /// DeadlockError *before* dispatching an event whose time is past
-  /// `virtual_time_limit`, so nothing executes beyond the bound.
+  /// Pop and dispatch the globally earliest event; false when the queue is
+  /// empty. Throws DeadlockError *before* dispatching an event whose time is
+  /// past `virtual_time_limit`, so nothing executes beyond the bound. The
+  /// peek, limit check and pop share a single cursor probe.
   bool step();
 
+  /// One pump round, honoring the executor mode: serial = step(); sharded =
+  /// either one serially-executed callback event or one conservative
+  /// parallel window of warp events. Returns the number of events
+  /// dispatched; 0 means the queue is empty. Host wake-ups only originate in
+  /// callbacks, so a dispatcher looping on pump_round observes them with the
+  /// same per-event granularity as the serial loop.
+  std::size_t pump_round();
+
   /// Pop and dispatch events until the queue is empty, honoring the
-  /// virtual-time limit per event exactly like step(). Returns the number
-  /// of events dispatched.
+  /// virtual-time limit exactly like step(). Returns the number of events
+  /// dispatched.
   std::size_t drain();
 
-  /// Deadlock accounting: warps parked at barriers / joins.
-  void note_blocked(int delta) { blocked_entities_ += delta; }
-  int blocked_entities() const { return blocked_entities_; }
+  /// Deadlock accounting: warps parked at barriers / joins. Atomic — shards
+  /// update it concurrently during parallel windows.
+  void note_blocked(int delta) {
+    blocked_entities_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int blocked_entities() const {
+    return blocked_entities_.load(std::memory_order_relaxed);
+  }
+
+  /// Multi-grid arrival bookkeeping lock (shared MGridState counters may be
+  /// bumped from concurrent shards).
+  std::mutex& mgrid_mu() { return mgrid_mu_; }
+
+  /// Park a multi-grid release for the end of the current window (sharded
+  /// executor only; the serial path releases inline).
+  void defer_mgrid_release(PendingMGridRelease r);
 
   /// Human-readable dump of everything currently blocked, for DeadlockError.
   std::string blocked_report() const;
 
  private:
+  struct ShardPool;
+
+  Ps compute_lookahead() const;
+  std::size_t run_window(Ps bound);
+  void apply_pending_releases();
+
   MachineConfig cfg_;
+  ExecMode exec_;
   EventQueue queue_;
   Fabric fabric_;
   NoiseModel noise_;
   std::vector<std::unique_ptr<Device>> devices_;
-  int blocked_entities_ = 0;
+  std::atomic<int> blocked_entities_{0};
+
+  Ps lookahead_ = kPsInfinity;
+  int shard_jobs_ = 1;
+  std::unique_ptr<ShardPool> pool_;  // spawned on first parallel window
+
+  std::mutex mgrid_mu_;
+  std::vector<PendingMGridRelease> pending_releases_;  // under mgrid_mu_
 };
 
 }  // namespace vgpu

@@ -6,6 +6,15 @@
 // machine can optionally perturb launch gaps and barrier bases with a small
 // reproducible jitter. Two machines built with the same seed produce
 // identical timelines (pinned by tests).
+//
+// Noise is organised as *keyed substreams* rather than one global sequential
+// stream: NoiseModel holds the seed and forks an independent NoiseStream per
+// consumer (one per device, one per scuda stream, one per multi-grid group).
+// Each owner draws from its own stream in its own virtual-time order, so the
+// draws are independent of how events interleave *across* devices. That is
+// what makes timelines bit-identical between the serial executor and the
+// sharded conservative-window executor (VGPU_EXEC), where cross-device
+// interleaving is intentionally unordered.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +23,14 @@
 
 namespace vgpu {
 
-class NoiseModel {
+/// One independent jitter stream. Owned by exactly one consumer (device,
+/// stream, mgrid group); never shared across shards without external
+/// ordering.
+class NoiseStream {
  public:
-  NoiseModel() = default;
-  NoiseModel(std::uint64_t seed, double amplitude)
-      : state_(seed ? seed : 0x9e3779b97f4a7c15ull), amplitude_(amplitude),
+  NoiseStream() = default;
+  NoiseStream(std::uint64_t state, double amplitude)
+      : state_(state ? state : 0x9e3779b97f4a7c15ull), amplitude_(amplitude),
         enabled_(amplitude > 0.0) {}
 
   bool enabled() const { return enabled_; }
@@ -42,6 +54,33 @@ class NoiseModel {
 
  private:
   std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+  double amplitude_ = 0.0;
+  bool enabled_ = false;
+};
+
+/// Seed + amplitude; a factory of per-owner substreams.
+class NoiseModel {
+ public:
+  NoiseModel() = default;
+  NoiseModel(std::uint64_t seed, double amplitude)
+      : seed_(seed ? seed : 0x9e3779b97f4a7c15ull), amplitude_(amplitude),
+        enabled_(amplitude > 0.0) {}
+
+  bool enabled() const { return enabled_; }
+  double amplitude() const { return amplitude_; }
+
+  /// Derive the substream for `key` (splitmix64 over seed ^ key). The same
+  /// (seed, key) always yields the same stream; distinct keys decorrelate.
+  NoiseStream fork(std::uint64_t key) const {
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ull * (key + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return NoiseStream(z, amplitude_);
+  }
+
+ private:
+  std::uint64_t seed_ = 0x9e3779b97f4a7c15ull;
   double amplitude_ = 0.0;
   bool enabled_ = false;
 };

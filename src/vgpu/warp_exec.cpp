@@ -153,10 +153,11 @@ void Device::step_warp(Warp& w) {
   if (I.src0 != kNoReg && w.reg_ready[I.src0] > ready) ready = w.reg_ready[I.src0];
   if (I.src1 != kNoReg && w.reg_ready[I.src1] > ready) ready = w.reg_ready[I.src1];
   // Causality guard: if the operands only become ready beyond the event
-  // horizon, stall to that time instead of acquiring unit slots "from the
-  // future" (which would make shared regulators jump past idle time and
+  // horizon (this shard's next pending event, clamped by the conservative
+  // window bound), stall to that time instead of acquiring unit slots "from
+  // the future" (which would make shared regulators jump past idle time and
   // starve sibling warps).
-  if (ready > machine_.queue().next_time() + horizon_slack()) {
+  if (ready > machine_.queue().horizon(id_) + horizon_slack()) {
     c.t = ready;
     return;
   }

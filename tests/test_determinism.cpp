@@ -1,13 +1,16 @@
 // The repo's core invariant: the simulation is bit-deterministic. Two fresh
 // System instances driving the same workload must produce identical virtual
 // timelines (host clocks, event times, per-thread SM clock reads) and
-// identical outputs — including under seeded measurement noise and across
-// multi-device cooperative launches.
+// identical outputs — including under seeded measurement noise, across
+// multi-device cooperative launches, across both event-queue
+// implementations (heap oracle vs calendar), and across both executors
+// (serial oracle vs sharded conservative windows, at any shard-job count).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <vector>
 
+#include "reduction/reduce.hpp"
 #include "syncbench/kernels.hpp"
 #include "test_util.hpp"
 #include "vgpu/arch.hpp"
@@ -19,6 +22,7 @@ using scuda::HostThread;
 using scuda::LaunchParams;
 using scuda::System;
 using vgpu::DevPtr;
+using vgpu::ExecMode;
 using vgpu::KernelBuilder;
 using vgpu::MachineConfig;
 using vgpu::Ps;
@@ -60,11 +64,15 @@ struct Capture {
 };
 
 Capture run_cooperative_once(std::uint64_t noise_seed, double noise_amplitude,
-                             vgpu::QueueKind queue = vgpu::QueueKind::Auto) {
+                             vgpu::QueueKind queue = vgpu::QueueKind::Auto,
+                             ExecMode exec = ExecMode::Auto,
+                             int shard_jobs = 0) {
   MachineConfig cfg = MachineConfig::single(vgpu::v100());
   cfg.noise_seed = noise_seed;
   cfg.noise_amplitude = noise_amplitude;
   cfg.queue = queue;
+  cfg.exec = exec;
+  cfg.shard_jobs = shard_jobs;
   System sys(cfg);
   const std::int64_t slots = 1 + kBlocks * kThreads;
   DevPtr out = sys.malloc(0, slots * 8);
@@ -121,6 +129,103 @@ TEST(Determinism, HeapAndCalendarQueuesProduceIdenticalTimelines) {
   const Capture heap_noise = run_cooperative_once(7, 0.03, vgpu::QueueKind::Heap);
   const Capture cal_noise = run_cooperative_once(7, 0.03, vgpu::QueueKind::Calendar);
   expect_identical(heap_noise, cal_noise);
+}
+
+TEST(Determinism, SerialAndShardedExecutorsProduceIdenticalTimelines) {
+  // The sharded conservative-window executor against the serial oracle on a
+  // single device (one shard, window machinery still engaged), both queue
+  // kinds, with and without seeded noise.
+  for (vgpu::QueueKind q : {vgpu::QueueKind::Heap, vgpu::QueueKind::Calendar}) {
+    const Capture serial = run_cooperative_once(0, 0.0, q, ExecMode::Serial);
+    const Capture sharded = run_cooperative_once(0, 0.0, q, ExecMode::Sharded);
+    expect_identical(serial, sharded);
+    const Capture sn = run_cooperative_once(11, 0.03, q, ExecMode::Serial);
+    const Capture pn = run_cooperative_once(11, 0.03, q, ExecMode::Sharded);
+    expect_identical(sn, pn);
+  }
+}
+
+/// Everything observable about one multi-device reduction run: the final
+/// value, the measured virtual-time latency, and the end-of-run clock.
+struct MultiCapture {
+  double value = 0;
+  double micros = 0;
+  Ps end_now = 0;
+};
+
+MultiCapture run_multi_reduce_once(int gpus, std::uint64_t noise_seed,
+                                   double noise_amplitude, vgpu::QueueKind queue,
+                                   ExecMode exec, int shard_jobs = 0) {
+  MachineConfig cfg = MachineConfig::dgx1_v100(gpus);
+  cfg.noise_seed = noise_seed;
+  cfg.noise_amplitude = noise_amplitude;
+  cfg.queue = queue;
+  cfg.exec = exec;
+  cfg.shard_jobs = shard_jobs;
+  System sys(cfg);
+  const std::int64_t n_per = 64 * 1024;
+  std::vector<DevPtr> shards;
+  for (int g = 0; g < gpus; ++g) {
+    DevPtr p = sys.malloc(g, n_per * 8);
+    reduction::fill_pattern(sys, p, n_per);
+    shards.push_back(p);
+  }
+  const reduction::ReduceRun r =
+      reduction::reduce_multi(sys, reduction::MultiGpuAlgo::MGridSync, shards, n_per);
+  MultiCapture cap;
+  cap.value = r.value;
+  cap.micros = r.micros;
+  cap.end_now = sys.machine().queue().now();
+  return cap;
+}
+
+TEST(Determinism, MultiDeviceSerialVsShardedIsBitIdentical) {
+  // The full multi-grid reduction — cross-device barriers, peer stores and
+  // loads, stream pipelining — must produce bit-identical virtual timelines
+  // under the serial oracle and the sharded executor, for both queue kinds,
+  // with and without seeded noise.
+  for (vgpu::QueueKind q : {vgpu::QueueKind::Heap, vgpu::QueueKind::Calendar}) {
+    for (double amp : {0.0, 0.03}) {
+      const std::uint64_t seed = amp > 0 ? 23u : 0u;
+      const MultiCapture serial =
+          run_multi_reduce_once(4, seed, amp, q, ExecMode::Serial);
+      const MultiCapture sharded =
+          run_multi_reduce_once(4, seed, amp, q, ExecMode::Sharded);
+      EXPECT_EQ(serial.value, sharded.value) << vgpu::to_string(q) << " amp " << amp;
+      EXPECT_EQ(serial.micros, sharded.micros) << vgpu::to_string(q) << " amp " << amp;
+      EXPECT_EQ(serial.end_now, sharded.end_now) << vgpu::to_string(q) << " amp " << amp;
+      EXPECT_GT(sharded.micros, 0.0);
+    }
+  }
+}
+
+TEST(Determinism, ShardJobCountNeverMovesTheTimeline) {
+  // Wall-clock parallelism must be invisible in virtual time: 1, 2 and 4
+  // shard workers (and repeated runs at the same count) agree bit-for-bit.
+  const MultiCapture one =
+      run_multi_reduce_once(4, 7, 0.02, vgpu::QueueKind::Calendar,
+                            ExecMode::Sharded, 1);
+  for (int jobs : {1, 2, 4}) {
+    const MultiCapture j =
+        run_multi_reduce_once(4, 7, 0.02, vgpu::QueueKind::Calendar,
+                              ExecMode::Sharded, jobs);
+    EXPECT_EQ(one.value, j.value) << jobs << " shard jobs";
+    EXPECT_EQ(one.micros, j.micros) << jobs << " shard jobs";
+    EXPECT_EQ(one.end_now, j.end_now) << jobs << " shard jobs";
+  }
+}
+
+TEST(Determinism, ShardedMachineExposesItsLookahead) {
+  // The conservative window width is the published cross-device guarantee:
+  // positive, at most one fabric hop, and infinite without a fabric.
+  MachineConfig cfg = MachineConfig::dgx1_v100(8);
+  cfg.exec = ExecMode::Sharded;
+  System sys(cfg);
+  EXPECT_EQ(sys.exec_mode(), ExecMode::Sharded);
+  EXPECT_GT(sys.machine().lookahead(), 0);
+  EXPECT_LE(sys.machine().lookahead(), cfg.topology.hop_latency);
+  System single(MachineConfig::single(vgpu::v100()));
+  EXPECT_EQ(single.machine().lookahead(), vgpu::kPsInfinity);
 }
 
 TEST(Determinism, MultiDeviceCooperativeLaunchIsBitIdentical) {

@@ -5,11 +5,14 @@
 // simulates its own System.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "scuda/system.hpp"
 #include "sweep/sweep.hpp"
+#include "syncbench/kernels.hpp"
 #include "syncbench/suite.hpp"
 #include "vgpu/arch.hpp"
 
@@ -116,6 +119,79 @@ TEST(SweepMap, DefaultJobsRoundTrip) {
   sweep::set_default_jobs(0);  // 0 = all hardware threads
   EXPECT_EQ(sweep::default_jobs(), sweep::hardware_jobs());
   EXPECT_GE(sweep::hardware_jobs(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Nested-parallelism budgeting: --jobs splits between points and shards
+// ---------------------------------------------------------------------------
+
+/// Restores the shard-job budget on scope exit.
+struct ShardJobsGuard {
+  int saved = sweep::shard_jobs();
+  ~ShardJobsGuard() { sweep::set_shard_jobs(saved); }
+};
+
+TEST(SweepBudget, JobsSplitBetweenPointsAndShards) {
+  JobsGuard guard;
+  ShardJobsGuard shard_guard;
+  sweep::set_default_jobs(8);
+  sweep::set_shard_jobs(0);
+  EXPECT_EQ(sweep::point_jobs(), 8);  // no sharding: all jobs go to points
+  sweep::set_shard_jobs(4);
+  EXPECT_EQ(sweep::shard_jobs(), 4);
+  EXPECT_EQ(sweep::point_jobs(), 2);  // 8 total = 2 points x 4 shard workers
+  sweep::set_shard_jobs(16);
+  EXPECT_EQ(sweep::point_jobs(), 1);  // shards oversubscribe: serial points
+  sweep::set_shard_jobs(1);
+  EXPECT_EQ(sweep::point_jobs(), 8);  // one shard worker adds no division
+}
+
+TEST(SweepBudget, ShardJobsExportTheShardedExecutor) {
+  ShardJobsGuard shard_guard;
+  sweep::set_shard_jobs(2);
+  // The budget reaches future machines through the environment (resolved
+  // lazily at machine construction). VGPU_EXEC may have been pinned by the
+  // harness; VGPU_SHARD_JOBS always reflects the budget.
+  const char* sj = std::getenv("VGPU_SHARD_JOBS");
+  ASSERT_NE(sj, nullptr);
+  EXPECT_STREQ(sj, "2");
+  const char* exec = std::getenv("VGPU_EXEC");
+  ASSERT_NE(exec, nullptr);  // installed by set_shard_jobs unless pre-set
+}
+
+TEST(SweepDeterminism, ShardedPointsAreBitIdenticalToSerialPoints) {
+  // The two parallelism levels composed: a grid of multi-device points
+  // where each point's machine runs the sharded executor. Results must
+  // equal the all-serial sweep bit-for-bit.
+  std::vector<int> gpu_counts{2, 3, 4};
+  auto run_point = [](vgpu::ExecMode exec) {
+    return [exec](int gpus) {
+      MachineConfig cfg = MachineConfig::dgx1_v100(gpus);
+      cfg.exec = exec;
+      cfg.shard_jobs = 2;
+      scuda::System sys(cfg);
+      double us = 0;
+      sys.run([&](scuda::HostThread& h) {
+        std::vector<scuda::LaunchParams> per_dev(
+            static_cast<std::size_t>(gpus),
+            scuda::LaunchParams{syncbench::mgrid_sync_kernel(3), 4, 64, 0, {}});
+        std::vector<int> devs;
+        for (int g = 0; g < gpus; ++g) devs.push_back(g);
+        const double t0 = h.now_us();
+        sys.launch_cooperative_multi(h, devs, per_dev);
+        for (int g = 0; g < gpus; ++g) sys.device_synchronize(h, g);
+        us = h.now_us() - t0;
+      });
+      return us;
+    };
+  };
+  const auto serial =
+      sweep::map(gpu_counts, run_point(vgpu::ExecMode::Serial), 1);
+  const auto sharded =
+      sweep::map(gpu_counts, run_point(vgpu::ExecMode::Sharded), 3);
+  ASSERT_EQ(serial.size(), sharded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], sharded[i]) << gpu_counts[i] << " GPUs";
 }
 
 // ---------------------------------------------------------------------------

@@ -2,8 +2,12 @@
 // hybrid cube-mesh explains the paper's 5->6 GPU latency step.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "fabric/fabric.hpp"
 #include "fabric/topology.hpp"
+#include "vgpu/machine.hpp"
 
 using namespace vgpu;
 
@@ -79,4 +83,66 @@ TEST(Fabric, TwoHopPairsAreSlower) {
   Fabric f(Topology::dgx1_nvlink(8));
   EXPECT_GT(f.remote_latency(0, 5), f.remote_latency(0, 4));
   EXPECT_GT(f.transfer_done(0, 5, 8 << 20, 0), f.transfer_done(0, 4, 8 << 20, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-device lookahead (the conservative window width) and the
+// single-writer-per-link invariant the sharded executor relies on.
+// ---------------------------------------------------------------------------
+
+TEST(Topology, MinFabricBarrierCostIsTheTwoGpuRound) {
+  Topology t = Topology::dgx1_nvlink(8);
+  // Cost grows with participant count, so the cheapest round has 2 GPUs.
+  EXPECT_EQ(t.min_fabric_barrier_cost(8), t.fabric_barrier_cost(2));
+  EXPECT_EQ(t.min_fabric_barrier_cost(2), t.fabric_barrier_cost(2));
+}
+
+TEST(Lookahead, DerivesFromHopLatencyAndBarrierFloor) {
+  // On the DGX-1 the one-way hop (1.8 us) is well under the cheapest
+  // barrier release gap (~5.9 us), so it bounds the window.
+  Machine m(MachineConfig::dgx1_v100(8));
+  EXPECT_EQ(m.lookahead(), m.fabric().topology().hop_latency);
+  // Noise deflates only the barrier term; the hop still dominates.
+  MachineConfig noisy = MachineConfig::dgx1_v100(8);
+  noisy.noise_seed = 5;
+  noisy.noise_amplitude = 0.05;
+  Machine mn(std::move(noisy));
+  EXPECT_EQ(mn.lookahead(), mn.fabric().topology().hop_latency);
+  // A single device has no cross-device channel at all.
+  Machine ms(MachineConfig::single(v100()));
+  EXPECT_EQ(ms.lookahead(), kPsInfinity);
+}
+
+TEST(Fabric, ConcurrentWindowLinkAcquisitionIsPerLinkOrdered) {
+  // Two source shards drive disjoint link regulators: however their windows
+  // interleave in wall-clock, each link's slot sequence depends only on its
+  // own source's deterministic (t, seq) order. Emulate both interleavings.
+  auto run = [](bool src1_first) {
+    Fabric f(Topology::dgx1_nvlink(8));
+    std::vector<Ps> slots;
+    auto drive = [&](int src) {
+      vgpu::EventQueue::ScopedExecShard scope(src);  // single-writer marker
+      for (int i = 0; i < 3; ++i)
+        slots.push_back(f.remote_line_slot(src, 0, 128, vgpu::us(1.0) * i));
+    };
+    if (src1_first) {
+      drive(1);
+      drive(2);
+    } else {
+      drive(2);
+      drive(1);
+    }
+    std::sort(slots.begin(), slots.end());
+    return slots;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Fabric, HostContextMayDriveAnyLink) {
+  // Outside a window (executing shard -1: host memcpy_peer, coordinator),
+  // any link may be driven — the shards are quiescent then.
+  Fabric f(Topology::dgx1_nvlink(8));
+  EXPECT_EQ(vgpu::EventQueue::exec_shard(), -1);
+  EXPECT_GE(f.transfer_done(3, 1, 4096, 0), 0);
+  EXPECT_GE(f.remote_line_slot(2, 7, 128, 0), 0);
 }
