@@ -4,9 +4,11 @@
 //   Paper Table VI: V100 865/856/849/853 vs 898 GB/s theory;
 //                   P100 592/591/544/591 vs 732 GB/s theory.
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "reduction/reduce.hpp"
+#include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
 
 namespace {
@@ -55,11 +57,23 @@ void run(const vgpu::ArchSpec& arch, std::int64_t max_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --shard-jobs N shards each machine's event queue across N workers
+  // (VGPU_EXEC=sharded); --sm-clusters K splits every device into K SM
+  // clusters so even this single-GPU point drains in parallel. Cluster
+  // count is a model parameter: results are comparable at equal K only.
+  sweep::init_jobs_from_cli(argc, argv);
+
+  // 512 MB establishes the bandwidth plateau (the paper sweeps on to
+  // multi-GB sizes); override with GSB_FIG15_MB for quick smokes — the
+  // sanitizer legs run GSB_FIG15_MB=8 under VGPU_SM_CLUSTERS=4.
+  std::int64_t max_mb = 512;
+  if (const char* e = std::getenv("GSB_FIG15_MB")) max_mb = std::atoll(e);
+  if (max_mb < 1) max_mb = 1;
+
   std::cout << "Figure 15 / Table VI — single-GPU reduction\n"
-               "(sizes capped at 512 MB: the bandwidth plateau is fully\n"
-               " established; the paper sweeps on to multi-GB sizes)\n\n";
-  run(vgpu::v100(), 512 * kMB);
-  run(vgpu::p100(), 512 * kMB);
+               "(sizes capped at " << max_mb << " MB)\n\n";
+  run(vgpu::v100(), max_mb * kMB);
+  run(vgpu::p100(), max_mb * kMB);
   return 0;
 }

@@ -26,7 +26,10 @@ void run(const vgpu::ArchSpec& arch) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
+  // --jobs N (0 = all cores) parallelizes points; --shard-jobs /
+  // --sm-clusters shard each point's machine (cluster count is a model
+  // parameter — compare runs at equal K only).
+  sweep::init_jobs_from_cli(argc, argv);
   std::cout << "Figure 4 — block sync vs active warps per SM\n"
                "paper: latency grows linearly with warps/SM; throughput\n"
                "saturates at ~0.475/cy (V100) and ~0.091/cy (P100)\n\n";

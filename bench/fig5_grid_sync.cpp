@@ -9,7 +9,10 @@
 
 int main(int argc, char** argv) {
   using namespace syncbench;
-  sweep::init_jobs_from_cli(argc, argv);  // --jobs N (0 = all cores)
+  // --jobs N (0 = all cores) parallelizes points; --shard-jobs /
+  // --sm-clusters shard each point's machine (cluster count is a model
+  // parameter — compare runs at equal K only).
+  sweep::init_jobs_from_cli(argc, argv);
   std::cout << "Figure 5 — grid sync latency (us)\n\n";
   print_heatmap(std::cout, grid_sync_heatmap(vgpu::v100()));
   print_heatmap(std::cout, grid_sync_heatmap(vgpu::p100()));

@@ -273,6 +273,38 @@ BENCHMARK(BM_ShardedMachineDrain)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+void BM_ShardedMachineDrainSingleGpu(benchmark::State& state) {
+  // The single-GPU counterpart (PR 5): a fig15-style grid-sync reduction on
+  // one V100 modeled with 4 SM clusters, one independent simulation point.
+  // Arg 0 is the serial oracle at the same cluster count; Args 1/2/4 drain
+  // the clusters across that many workers. Timelines are bit-identical
+  // across all four (pinned by test_cluster_shards); only wall-clock
+  // changes — the cluster-count scaling curve in BENCH_simperf.json is the
+  // point. Adaptive window widening is what keeps the single-block final
+  // phase from paying a join per lookahead.
+  const int cluster_jobs = static_cast<int>(state.range(0));
+  const std::int64_t n = (16 << 20) / 8;  // 16 MB
+  for (auto _ : state) {
+    MachineConfig cfg = MachineConfig::single(v100());
+    cfg.sm_clusters = 4;
+    cfg.exec = cluster_jobs == 0 ? ExecMode::Serial : ExecMode::Sharded;
+    cfg.shard_jobs = cluster_jobs;
+    scuda::System sys(cfg);
+    DevPtr src = sys.malloc(0, n * 8);
+    reduction::fill_pattern(sys, src, n);
+    auto r = reduction::reduce_single(sys, reduction::SingleGpuAlgo::GridSync,
+                                      0, src, n);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8);
+}
+BENCHMARK(BM_ShardedMachineDrainSingleGpu)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_GridSyncRound(benchmark::State& state) {
   scuda::System sys(MachineConfig::single(v100()));
   auto prog = syncbench::grid_sync_kernel(8);

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a fresh BENCH_simperf.json against the committed
+baseline and fail on wall-time regressions.
+
+Usage:
+    check_bench.py --baseline bench/baseline/BENCH_simperf.json \
+                   --current build/BENCH_simperf.json [--threshold 1.25]
+
+Comparison model
+----------------
+google-benchmark wall times are only comparable across hosts up to a
+machine-speed factor, so the gate is *self-normalizing*: for every BM_* case
+present in both files it forms the ratio current/baseline, takes the median
+ratio across all cases as the host-speed factor, and fails when any single
+case exceeds  threshold * median_ratio  — i.e. when one benchmark regressed
+>25% (default) beyond whatever uniform shift the whole suite saw on this
+runner. A uniformly slower CI machine moves the median, not the verdict; a
+real regression moves one case against the fleet.
+
+Pass --absolute to compare raw wall times instead (useful on the machine the
+baseline was recorded on).
+
+Override
+--------
+Set BENCH_ALLOW_REGRESSION=1 (the CI workflow wires this to the
+`allow-bench-regression` PR label) to demote failures to warnings — for
+commits that knowingly trade simulator speed for features. The report is
+printed either way.
+
+Exit codes: 0 ok / 1 regression / 2 bad input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_wall_times(path):
+    """benchmark name -> per-iteration real_time in ns (aggregates skipped)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # mean/median/stddev aggregate rows
+        name = b.get("name")
+        t = b.get("real_time")
+        if not name or not isinstance(t, (int, float)) or t <= 0:
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"check_bench: unknown time unit '{unit}' for {name}",
+                  file=sys.stderr)
+            sys.exit(2)
+        times[name] = t * scale
+    if not times:
+        print(f"check_bench: no benchmark iterations in {path}", file=sys.stderr)
+        sys.exit(2)
+    return times
+
+
+def median(xs):
+    s = sorted(xs)
+    n = len(s)
+    return s[n // 2] if n % 2 else 0.5 * (s[n // 2 - 1] + s[n // 2])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="per-benchmark regression factor beyond the "
+                         "suite-wide median shift (default 1.25 = +25%%)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="gate on raw wall-time ratios (no host-speed "
+                         "normalization)")
+    args = ap.parse_args()
+
+    base = load_wall_times(args.baseline)
+    cur = load_wall_times(args.current)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        print("check_bench: no common benchmarks between baseline and current",
+              file=sys.stderr)
+        sys.exit(2)
+
+    ratios = {name: cur[name] / base[name] for name in common}
+    host_factor = 1.0 if args.absolute else median(ratios.values())
+    limit = args.threshold * host_factor
+
+    regressed = []
+    print(f"perf gate: {len(common)} benchmarks, host-speed factor "
+          f"{host_factor:.3f}, per-case limit {limit:.3f}x baseline")
+    print(f"{'benchmark':<44} {'base':>10} {'current':>10} {'ratio':>7}")
+    for name in common:
+        r = ratios[name]
+        flag = " <-- REGRESSION" if r > limit else ""
+        print(f"{name:<44} {base[name]:>10.0f} {cur[name]:>10.0f} {r:>7.3f}{flag}")
+        if r > limit:
+            regressed.append((name, r))
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"note: {len(missing)} baseline benchmarks missing from the "
+              f"current run: {', '.join(missing)}")
+
+    if not regressed:
+        print("perf gate: OK")
+        return 0
+
+    print(f"perf gate: {len(regressed)} benchmark(s) regressed more than "
+          f"{(args.threshold - 1) * 100:.0f}% beyond the suite-wide shift:")
+    for name, r in regressed:
+        print(f"  {name}: {r / host_factor:.2f}x the normalized baseline")
+    if os.environ.get("BENCH_ALLOW_REGRESSION") == "1":
+        print("perf gate: BENCH_ALLOW_REGRESSION=1 set "
+              "(allow-bench-regression label) — reporting only, not failing")
+        return 0
+    print("perf gate: FAILED — if this trade-off is intentional, apply the "
+          "'allow-bench-regression' PR label (or set BENCH_ALLOW_REGRESSION=1) "
+          "and/or refresh bench/baseline/BENCH_simperf.json")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,13 +2,17 @@
 // regulators on top of the static Topology, plus cost helpers for peer
 // memory accesses issued from kernels.
 //
-// Shard safety — the single-writer-per-link invariant: the regulator row
-// links_[src][*] is only ever advanced by device `src`'s shard (kernel-side
-// peer traffic originates at the source device) or by the host while every
-// shard is quiescent (memcpy_peer runs between event-pump batches). Two
-// shards therefore never race on one Regulator, and acquisition order per
-// link equals the source shard's deterministic (t, seq) event order.
-// Debug builds assert the invariant against the executing-shard marker.
+// Shard safety — the single-writer-per-link invariant: kernel-side peer
+// traffic originates at a source (device, SM cluster) shard, so the
+// regulator rows are kept per source *shard*: links_[src_shard][dst] is only
+// ever advanced by that shard (each cluster owns its own egress queue onto
+// the fabric) or by the host while every shard is quiescent (memcpy_peer
+// runs between event-pump batches; host DMA uses the device's cluster-0
+// row). Two shards therefore never race on one Regulator, and acquisition
+// order per link equals the source shard's deterministic (t, seq) event
+// order. With the default single cluster per device this is exactly PR 4's
+// one-row-per-device layout. Debug builds assert the invariant against the
+// executing-shard marker.
 #pragma once
 
 #include <cassert>
@@ -21,8 +25,10 @@ namespace vgpu {
 
 class Fabric {
  public:
-  explicit Fabric(Topology topo) : topo_(std::move(topo)) {
-    links_.resize(static_cast<std::size_t>(topo_.num_devices));
+  explicit Fabric(Topology topo, int sm_clusters = 1)
+      : topo_(std::move(topo)),
+        sm_clusters_(sm_clusters < 1 ? 1 : sm_clusters) {
+    links_.resize(static_cast<std::size_t>(topo_.num_devices * sm_clusters_));
     for (auto& row : links_)
       row.resize(static_cast<std::size_t>(topo_.num_devices));
   }
@@ -31,13 +37,14 @@ class Fabric {
 
   /// Completion time of a bulk DMA of `bytes` from src to dst starting when
   /// the link is free after `ready`. bytes/(gbs GB/s) seconds -> ps.
+  /// Host-side only (shards quiescent); rides the source's cluster-0 row.
   Ps transfer_done(int src, int dst, std::int64_t bytes, Ps ready) {
-    assert_link_writer(src);
+    assert_link_writer(src, 0);
     const double gbs = topo_.pair_bandwidth_gbs(src, dst);
     const Ps wire_ps = gbs > 0
         ? static_cast<Ps>(static_cast<double>(bytes) / (gbs * 1e9) * 1e12)
         : 0;
-    Regulator& link = links_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+    Regulator& link = link_for(src, 0, dst);
     const Ps start = link.acquire(ready, wire_ps);
     return start + wire_ps +
            topo_.hop_latency * topo_.hops[static_cast<std::size_t>(src)]
@@ -45,14 +52,20 @@ class Fabric {
   }
 
   /// Service slot for one remote cache-line access (kernel-side peer
-  /// load/store). `bytes` is the line footprint.
-  Ps remote_line_slot(int src, int dst, std::int64_t bytes, Ps ready) {
-    assert_link_writer(src);
+  /// load/store) issued from `src_cluster` of device `src`. `bytes` is the
+  /// line footprint. Each cluster's egress row serves at 1/k of the pair
+  /// bandwidth (service interval scaled by the cluster count), so the
+  /// device's clusters collectively model exactly the calibrated link rate
+  /// — mirroring the DRAM/atomic/grid-arrive unit slicing.
+  Ps remote_line_slot(int src, int src_cluster, int dst, std::int64_t bytes,
+                      Ps ready) {
+    assert_link_writer(src, src_cluster);
     const double gbs = topo_.pair_bandwidth_gbs(src, dst);
     const Ps service = gbs > 0
-        ? static_cast<Ps>(static_cast<double>(bytes) / (gbs * 1e9) * 1e12)
+        ? static_cast<Ps>(static_cast<double>(bytes) / (gbs * 1e9) * 1e12) *
+              sm_clusters_
         : 0;
-    Regulator& link = links_[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+    Regulator& link = link_for(src, src_cluster, dst);
     return link.acquire(ready, service);
   }
 
@@ -63,20 +76,28 @@ class Fabric {
   }
 
  private:
-  /// Debug check of the single-writer invariant: link row `src` may only be
-  /// driven by shard `src` (a device event executing on its own shard) or
-  /// from the host/coordinator context (-1), when shards are quiescent.
-  static void assert_link_writer(int src) {
+  Regulator& link_for(int src, int src_cluster, int dst) {
+    return links_[static_cast<std::size_t>(src * sm_clusters_ + src_cluster)]
+                 [static_cast<std::size_t>(dst)];
+  }
+
+  /// Debug check of the single-writer invariant: link row (src, cluster) may
+  /// only be driven by the matching shard (a device event executing on its
+  /// own cluster's shard) or from the host/coordinator context (-1), when
+  /// shards are quiescent.
+  void assert_link_writer(int src, int src_cluster) const {
 #ifndef NDEBUG
     const int exec = EventQueue::exec_shard();
-    assert((exec < 0 || exec == src) &&
+    assert((exec < 0 || exec == src * sm_clusters_ + src_cluster) &&
            "fabric link regulator driven by a foreign shard");
 #else
     (void)src;
+    (void)src_cluster;
 #endif
   }
 
   Topology topo_;
+  int sm_clusters_ = 1;
   std::vector<std::vector<Regulator>> links_;
 };
 

@@ -70,6 +70,33 @@ int point_jobs() {
 }
 
 namespace {
+std::atomic<int>& sm_clusters_slot() {
+  static std::atomic<int> clusters{0};
+  return clusters;
+}
+}  // namespace
+
+int sm_clusters() { return sm_clusters_slot().load(std::memory_order_relaxed); }
+
+void set_sm_clusters(int clusters) {
+  const int c = clusters <= 0 ? 0 : clusters;
+  sm_clusters_slot().store(c, std::memory_order_relaxed);
+#if !defined(_WIN32)
+  if (c > 0) {
+    // Same lazy-resolution contract as set_shard_jobs: every Machine built
+    // after this models c SM clusters per device (MachineConfig::sm_clusters
+    // left at auto resolves VGPU_SM_CLUSTERS).
+    const std::string n = std::to_string(c);
+    setenv("VGPU_SM_CLUSTERS", n.c_str(), /*overwrite=*/1);
+  } else {
+    // Reset to auto must also clear the exported variable, or machines
+    // built afterwards would keep resolving the stale cluster count.
+    unsetenv("VGPU_SM_CLUSTERS");
+  }
+#endif
+}
+
+namespace {
 
 /// Whole-string integer parse; a typo must not silently select maximum
 /// parallelism (atoi("four") == 0 would mean "all cores").
@@ -98,6 +125,11 @@ int init_jobs_from_cli(int argc, char** argv) {
       ++i;
     } else if (std::strncmp(a, "--shard-jobs=", 13) == 0) {
       set_shard_jobs(parse_jobs_or_die(a + 13));
+    } else if (std::strcmp(a, "--sm-clusters") == 0 && i + 1 < argc) {
+      set_sm_clusters(parse_jobs_or_die(argv[i + 1]));
+      ++i;
+    } else if (std::strncmp(a, "--sm-clusters=", 14) == 0) {
+      set_sm_clusters(parse_jobs_or_die(a + 14));
     }
   }
   return default_jobs();

@@ -44,10 +44,22 @@ void set_shard_jobs(int jobs);
 /// points at a time, each simulating its machine on four workers.
 int point_jobs();
 
-/// Parse `--jobs N` and `--shard-jobs N` (or `--jobs=N` forms) from argv and
-/// install them; `--jobs 0` selects all hardware threads. Returns the
-/// resulting total job count. Unrecognized arguments are ignored (the bench
-/// binaries take no others).
+/// SM clusters per device each point's machine models (--sm-clusters):
+/// intra-device shards for the sharded executor. 0 (the default) leaves the
+/// machine's own resolution in place (VGPU_SM_CLUSTERS, else 1).
+int sm_clusters();
+
+/// Install the cluster count. clusters >= 1 exports VGPU_SM_CLUSTERS so
+/// every Machine built afterwards (with sm_clusters at auto) models that
+/// many clusters; call before constructing any System/Machine. Note this is
+/// a *model* parameter — virtual-time results are comparable only between
+/// runs at equal cluster counts. clusters <= 0 resets to auto.
+void set_sm_clusters(int clusters);
+
+/// Parse `--jobs N`, `--shard-jobs N` and `--sm-clusters N` (or the
+/// `--flag=N` forms) from argv and install them; `--jobs 0` selects all
+/// hardware threads. Returns the resulting total job count. Unrecognized
+/// arguments are ignored (the bench binaries take no others).
 int init_jobs_from_cli(int argc, char** argv);
 
 /// Map `fn` over `points` with `jobs`-way parallelism, preserving order:

@@ -37,6 +37,7 @@ ArchSpec make_v100() {
   a.shared_mem_per_sm = 96 * 1024;
   a.shared_mem_per_block = 48 * 1024;
   a.num_schedulers = 4;
+  a.num_gpcs = 6;  // GV100: 6 GPCs of 14 SMs (80 of 84 enabled)
 
   a.alu_latency = 4;  // paper Section IX-D: float add = 4 cycles on V100
   a.alu_ii = 1;
@@ -138,6 +139,7 @@ ArchSpec make_p100() {
   a.shared_mem_per_sm = 64 * 1024;
   a.shared_mem_per_block = 48 * 1024;
   a.num_schedulers = 2;
+  a.num_gpcs = 6;  // GP100: 6 GPCs of 10 SMs (56 of 60 enabled)
 
   a.alu_latency = 6;  // paper: float add = 6 cycles on P100
   a.alu_ii = 1;

@@ -53,6 +53,12 @@ struct ArchSpec {
   int shared_mem_per_sm = 96 * 1024;
   int shared_mem_per_block = 48 * 1024;
   int num_schedulers = 4;
+  /// GPCs on the die — the natural SM-cluster granularity. This is what
+  /// `VGPU_SM_CLUSTERS=auto` resolves to when a machine is asked to model
+  /// (and the sharded executor to exploit) intra-device SM clusters; the
+  /// default cluster count stays 1 so the single-cluster timing model is
+  /// exactly the calibrated one.
+  int num_gpcs = 6;
 
   // ---- ALU pipeline ----------------------------------------------------
   double alu_latency = 4;  // dependent int/fp32-class add chain, cycles

@@ -15,6 +15,9 @@ Device::Device(Machine& m, const ArchSpec& arch, int id)
     : machine_(m), arch_(arch), id_(id), clock_(arch.core_mhz), mem_(id),
       noise_(m.noise().fork((1ull << 32) + static_cast<std::uint64_t>(id))) {
   sms_.resize(static_cast<std::size_t>(arch_.num_sms));
+  sm_clusters_ = m.sm_clusters();
+  sms_per_cluster_ = (arch_.num_sms + sm_clusters_ - 1) / sm_clusters_;
+  clusters_.resize(static_cast<std::size_t>(sm_clusters_));
   horizon_slack_ = cyc(16);
 
   // Hoist every fixed cycles→ps conversion out of the interpreter's issue
@@ -102,6 +105,8 @@ void Device::dispatch_block(GridExec* g, int sm_index, Ps t) {
   b->grid = g;
   b->dev = this;
   b->sm_index = sm_index;
+  b->cluster = cluster_of_sm(sm_index);
+  b->shard = machine_.shard_of(id_, b->cluster);
   b->bid = bid;
   b->live_warps = warps;
   b->smem.assign(static_cast<std::size_t>(d.smem_bytes), std::byte{0});
@@ -141,10 +146,11 @@ void Device::dispatch_block(GridExec* g, int sm_index, Ps t) {
 void Device::schedule_warp(Warp& w, Ps t) {
   if (w.queued || !w.runnable()) return;
   w.queued = true;
-  // Destination shard = this device. When another shard (a deferred
-  // multi-grid release executes on the coordinator) schedules our warp, the
-  // queue routes the push through this shard's mailbox.
-  machine_.queue().push_warp(std::max(t, w.top().t), &w, id_);
+  // Destination shard = the warp's block's (device, cluster) shard. When
+  // another shard schedules our warp, the queue routes the push through
+  // this shard's mailbox; deferred releases and refills execute on the
+  // coordinator (shards quiescent) and push directly.
+  machine_.queue().push_warp(std::max(t, w.top().t), &w, w.block->shard);
 }
 
 // ---------------------------------------------------------------------------
@@ -154,6 +160,7 @@ void Device::schedule_warp(Warp& w, Ps t) {
 void Device::run_warp(Warp* wp) {
   Warp& w = *wp;
   w.queued = false;
+  const int shard = w.block->shard;
   EventQueue& q = machine_.queue();
   // Bound the work done per event so control returns to the machine loop
   // regularly even when this warp is alone in the queue (lets the
@@ -164,7 +171,7 @@ void Device::run_warp(Warp* wp) {
     if (--quantum < 0) {
       if (!w.stack.empty() && w.runnable()) {
         w.queued = true;
-        q.push_warp(w.top().t, &w, id_);
+        q.push_warp(w.top().t, &w, shard);
         return;
       }
       quantum = 8192;
@@ -196,11 +203,11 @@ void Device::run_warp(Warp* wp) {
     }
     // Batch against this shard's own horizon (its next pending event,
     // clamped by the conservative window bound in sharded execution).
-    // Cross-device causality is carried by the lookahead windows, not by
+    // Cross-shard causality is carried by the lookahead windows, not by
     // this yield, so other shards' event times never cut a batch short.
-    if (c.t > q.horizon(id_) + horizon_slack()) {
+    if (c.t > q.horizon(shard) + horizon_slack()) {
       w.queued = true;
-      q.push_warp(c.t, &w, id_);
+      q.push_warp(c.t, &w, shard);
       return;
     }
     step_warp(w);
@@ -317,6 +324,23 @@ void Device::warp_exited(Warp& w, Ps t) {
 void Device::block_finished(Block* b, Ps t) {
   b->finished = true;
   for (auto& w : b->warps) std::vector<Value>().swap(w.regs);  // free early
+  if (EventQueue::exec_shard() >= 0 && sm_clusters_ > 1) {
+    // The bookkeeping tail (residency release, grid refill, completion
+    // check) reads and mutates grid- and device-wide state shared with
+    // other clusters — and which finish *serially* completes the grid
+    // decides the completion callback's time and shard. Park the whole
+    // tail; the machine replays finishes at the window join in serial
+    // trigger order, so the bookkeeping interleaving (and therefore the
+    // timeline) is bit-identical to the oracle. The redispatch delay is one
+    // of the lookahead floors, so nothing in the current window could have
+    // observed the refilled blocks.
+    machine_.defer_finish(b, t);
+    return;
+  }
+  finish_block_tail(b, t);
+}
+
+void Device::finish_block_tail(Block* b, Ps t) {
   GridExec* g = b->grid;
   SMState& s = sms_[static_cast<std::size_t>(b->sm_index)];
   s.resident_blocks -= 1;
@@ -327,20 +351,23 @@ void Device::block_finished(Block* b, Ps t) {
   if (g->next_block < g->desc.grid_blocks) {
     fill_sms(g, t + cyc(arch_.block_dispatch_cycles));
   }
-  grid_maybe_complete(g, t);
+  if (!g->completed && g->blocks_done >= g->desc.grid_blocks) {
+    g->completed = true;
+    grid_complete(g, t, b->shard);
+  }
 }
 
-void Device::grid_maybe_complete(GridExec* g, Ps t) {
-  if (g->completed || g->blocks_done < g->desc.grid_blocks) return;
-  g->completed = true;
+void Device::grid_complete(GridExec* g, Ps t, int shard) {
   // Defer teardown: we may be inside the last warp's run loop. The callback
-  // lands on this device's shard but is always executed by the serial
-  // coordinator (callbacks reach stream and host state).
+  // lands on the finishing block's shard (a local push from its worker; the
+  // serial path pushes to the same shard, keeping sequence tie-breaks
+  // aligned) but is always executed by the serial coordinator (callbacks
+  // reach stream and host state).
   machine_.queue().push_callback(t, [g](Ps when) {
     auto cb = std::move(g->on_complete);
     g->blocks.clear();
     if (cb) cb(when);
-  }, id_);
+  }, shard);
 }
 
 // ---------------------------------------------------------------------------
@@ -390,17 +417,51 @@ void Device::grid_bar_arrive(Block& b, Ps t) {
   double ii = mgrid ? arch_.mgrid_arrive_ii : arch_.grid_arrive_ii;
   if (mgrid && g->desc.mgrid && g->desc.mgrid->num_devices > 1)
     ii += arch_.mgrid_arrive_remote_extra;
-  const Ps slot = grid_arrive_unit.acquire(std::max(b.bar_last_slot, t), cyc(ii));
+  // Arrival tokens drain through this cluster's slice of the arrival unit
+  // (1/k of the device-wide rate), so the token ring's aggregate drain time
+  // matches the calibrated device-serial unit when the grid spans all
+  // clusters — and the unit has a single writer shard.
+  const Ps slot = cluster_units(b.cluster)
+                      .grid_arrive_unit.acquire(std::max(b.bar_last_slot, t),
+                                                cyc(ii) * sm_clusters_);
   b.gbar_parked = true;
-  g->gbar_arrived += 1;
-  g->gbar_last_slot = std::max(g->gbar_last_slot, slot);
-  if (g->gbar_arrived < g->desc.grid_blocks) return;
+  // With multiple clusters the grid's arrival counters are shared across
+  // shards: final arrivals of different clusters may land in the same
+  // conservative window. The counts are commutative (sum / max), so lock
+  // order never moves the timeline; the release below is a pure function of
+  // the full multiset. At a single cluster every arrival executes on the
+  // grid's own shard (PR 4 invariant), so the calibrated configuration
+  // stays lock-free on this hot path.
+  bool full;
+  Ps last;
+  {
+    std::unique_lock<std::mutex> lk(machine_.sync_mu(), std::defer_lock);
+    if (sm_clusters_ > 1) lk.lock();
+    g->gbar_arrived += 1;
+    g->gbar_last_slot = std::max(g->gbar_last_slot, slot);
+    full = g->gbar_arrived >= g->desc.grid_blocks;
+    last = g->gbar_last_slot;
+  }
+  if (!full) return;
 
   if (mgrid && g->desc.mgrid) {
-    mgrid_arrive(g, g->gbar_last_slot);
+    mgrid_arrive(g, last);
   } else {
+    // Sole sampler of this device's jitter substream: one draw per barrier
+    // generation, in virtual-time order (at most one cooperative grid is
+    // resident), so the draw sequence is executor-independent.
     const Ps base = noise_.jitter(cyc(arch_.grid_release_base));
-    grid_bar_release(g, g->gbar_last_slot + base);
+    const Ps release = last + base;
+    if (EventQueue::exec_shard() >= 0 && sm_clusters_ > 1) {
+      // The release broadcast touches blocks and warps on every cluster of
+      // this device; park it for the window join, keyed by (release time,
+      // device, generation) — a pure function of the arrival multiset. The
+      // release time exceeds the window bound by construction:
+      // grid_release_base (noise-deflated) is one of the lookahead floors.
+      machine_.defer_release({g}, release, id_, g->gbar_generation);
+    } else {
+      grid_bar_release(g, release);
+    }
   }
 }
 
@@ -438,23 +499,28 @@ void Device::mgrid_arrive(GridExec* g, Ps t) {
   // so the counters are guarded; the jitter draw stays deterministic because
   // the group's substream is only sampled here, once per barrier generation,
   // in virtual-time order.
-  std::lock_guard<std::mutex> lk(machine_.mgrid_mu());
-  st.arrived += 1;
-  st.last_arrive = std::max(st.last_arrive, t);
-  if (st.arrived < st.num_devices) return;
-  const Ps release =
-      st.last_arrive + st.noise.jitter(st.fabric_cost +
-                                       cyc(arch_.mgrid_release_base));
-  st.arrived = 0;
-  st.last_arrive = 0;
-  if (machine_.exec_sharded()) {
+  Ps release;
+  {
+    std::lock_guard<std::mutex> lk(machine_.sync_mu());
+    st.arrived += 1;
+    st.last_arrive = std::max(st.last_arrive, t);
+    if (st.arrived < st.num_devices) return;
+    release = st.last_arrive + st.noise.jitter(st.fabric_cost +
+                                               cyc(arch_.mgrid_release_base));
+    st.arrived = 0;
+    st.last_arrive = 0;
+  }
+  // After the final arrival nothing else touches this group until the
+  // release, so the lock can drop before parking/applying it.
+  if (EventQueue::exec_shard() >= 0) {
     // Parallel window: remote grids' blocks and warps belong to shards that
-    // may be executing right now. Park the release; the machine applies it
-    // at the window join, while every shard is quiescent. The release time
-    // exceeds the window bound by construction (it includes the fabric
-    // barrier round, which the lookahead is derived from), so no event in
+    // may be executing right now. Park the release, keyed by (release time,
+    // leader device, group id); the machine applies it at the window join,
+    // while every shard is quiescent. The release time exceeds the window
+    // bound by construction (it includes the fabric barrier round and the
+    // release base, which the lookahead is derived from), so no event in
     // this window can observe the delay.
-    machine_.defer_mgrid_release(PendingMGridRelease{st.grids, release, st.id});
+    machine_.defer_release(st.grids, release, st.grids[0]->dev->id(), st.id);
     return;
   }
   for (GridExec* grid : st.grids) grid->dev->grid_bar_release(grid, release);

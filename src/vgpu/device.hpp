@@ -110,6 +110,8 @@ struct Block {
   GridExec* grid = nullptr;
   Device* dev = nullptr;
   int sm_index = -1;
+  int cluster = 0;  // SM cluster holding sm_index
+  int shard = 0;    // global event-queue shard = device * sm_clusters + cluster
   int bid = 0;
   std::vector<Warp> warps;
   int live_warps = 0;
@@ -140,7 +142,7 @@ struct SMState {
 };
 
 /// Shared state of a cudaLaunchCooperativeKernelMultiDevice launch.
-/// Arrival counters are guarded by Machine::mgrid_mu(): the final arrivals
+/// Arrival counters are guarded by Machine::sync_mu(): the final arrivals
 /// of different devices may land in the same conservative window and bump
 /// them from concurrent shards.
 struct MGridState {
@@ -184,6 +186,22 @@ struct GridExec {
 
   std::function<void(Ps)> on_complete;
   bool completed = false;
+};
+
+/// Device units partitioned per SM cluster. Each cluster owns an equal
+/// slice of the device's memory system and sync hardware: its DRAM channel
+/// group (1/k of the streaming bandwidth), its atomic-unit slice and its
+/// grid-barrier arrival-token slice (each serving at 1/k of the device-wide
+/// rate, so a symmetric full-device workload keeps the calibrated aggregate
+/// behavior). With a single cluster these are exactly the PR 4 device-wide
+/// units. Only the owning cluster's shard (or the quiescent coordinator)
+/// ever touches them.
+struct ClusterUnits {
+  Regulator dram;
+  Regulator atom_unit;
+  Regulator grid_arrive_unit;
+  std::int64_t dram_requests = 0;
+  std::int64_t dram_bytes = 0;
 };
 
 /// Every per-instruction cyc() constant of an ArchSpec, converted to integer
@@ -236,12 +254,24 @@ class Device {
 
   SMState& sm(int i) { return sms_[static_cast<std::size_t>(i)]; }
 
-  // Device-wide units.
-  std::int64_t dram_requests = 0;
-  std::int64_t dram_bytes = 0;
-  Regulator dram;
-  Regulator atom_unit;
-  Regulator grid_arrive_unit;
+  // SM-cluster partition (contiguous SM ranges; the last cluster may be
+  // short when num_sms % sm_clusters != 0).
+  int sm_clusters() const { return sm_clusters_; }
+  int cluster_of_sm(int sm) const { return sm / sms_per_cluster_; }
+  ClusterUnits& cluster_units(int c) {
+    return clusters_[static_cast<std::size_t>(c)];
+  }
+  /// Total DRAM traffic across clusters (diagnostics).
+  std::int64_t dram_requests() const {
+    std::int64_t n = 0;
+    for (const ClusterUnits& c : clusters_) n += c.dram_requests;
+    return n;
+  }
+  std::int64_t dram_bytes() const {
+    std::int64_t n = 0;
+    for (const ClusterUnits& c : clusters_) n += c.dram_bytes;
+    return n;
+  }
 
  private:
   friend struct WarpExecutor;
@@ -252,7 +282,8 @@ class Device {
   void dispatch_block(GridExec* g, int sm_index, Ps t);
   void fill_sms(GridExec* g, Ps t);
   void block_finished(Block* b, Ps t);
-  void grid_maybe_complete(GridExec* g, Ps t);
+  void finish_block_tail(Block* b, Ps t);
+  void grid_complete(GridExec* g, Ps t, int shard);
 
   // Barrier machinery (called from the executor).
   void warp_exited(Warp& w, Ps t);
@@ -281,6 +312,9 @@ class Device {
   LatTable lat_;  // precomputed cyc() constants for the interpreter
   NoiseStream noise_;  // this device's jitter substream (keyed by id)
   std::vector<SMState> sms_;
+  std::vector<ClusterUnits> clusters_;
+  int sm_clusters_ = 1;
+  int sms_per_cluster_ = 1;
   std::vector<std::unique_ptr<GridExec>> grids_;
   Ps horizon_slack_ = 0;
 };

@@ -3,13 +3,16 @@
 // interactions (unit contention, barriers, streams) causal.
 //
 // Since PR 4 the queue has a *sharded front*: one scheduling structure per
-// device shard (a single-device machine has exactly one shard — the classic
-// global queue). Each shard pops its own events in strict (time, sequence)
-// order; the machine composes them either serially (global (t, shard, seq)
-// order — the oracle) or as conservative parallel windows (Machine::
-// pump_round, VGPU_EXEC=sharded), where cross-shard pushes are routed
-// through per-shard *mailboxes* and merged at window boundaries in a
-// deterministic (t, source shard, source tag) order.
+// shard. A shard is one (device, SM cluster) pair — device d, cluster c maps
+// to shard d * sm_clusters + c, so a single-device single-cluster machine
+// has exactly one shard (the classic global queue) and a multi-device
+// machine with clustering splits each device's SMs into independent shards.
+// Each shard pops its own events in strict (time, sequence) order; the
+// machine composes them either serially (global (t, shard, seq) order — the
+// oracle) or as conservative parallel windows (Machine::pump_round,
+// VGPU_EXEC=sharded), where cross-shard pushes are routed through per-shard
+// *mailboxes* and merged at window boundaries in a deterministic (t, source
+// shard, source tag) order.
 //
 // Two interchangeable scheduling structures live behind one API:
 //
@@ -188,22 +191,24 @@ class EventQueue {
   }
 
   /// What a warp executing on shard `s` may run ahead to: the shard's next
-  /// pending event, clamped by the current conservative window bound and by
-  /// one cross-device lookahead past the shard's current time. The last
-  /// clamp is what makes the *serial* executor honor the same causality
-  /// contract as the windows: even with an empty shard queue, a batch can
-  /// never sample another device's memory more than one lookahead ahead of
-  /// events that other device has yet to run.
+  /// pending event, clamped by one cross-shard lookahead past the shard's
+  /// current time. The clamp is what carries the causality contract — a
+  /// batch can never sample another shard's memory more than one lookahead
+  /// ahead of events that shard has yet to run — and it is applied by the
+  /// serial executor and the window drains *identically* (the window bound
+  /// deliberately does not truncate batches: it would cut them at points
+  /// the serial oracle does not, reordering same-shard regulator
+  /// acquisitions within the slack and splitting the timelines).
   Ps horizon(int s) {
     const Shard& sh = shards_[static_cast<std::size_t>(s)];
     const Ps batch_end = batch_lookahead_ >= kPsInfinity - sh.now
                              ? kPsInfinity
                              : sh.now + batch_lookahead_;
-    return std::min(std::min(next_time(s), drain_bound_), batch_end);
+    return std::min(next_time(s), batch_end);
   }
 
-  /// Installed once by the machine: its cross-device lookahead (kPsInfinity
-  /// for single-device machines, leaving batches unbounded as before).
+  /// Installed once by the machine: its cross-shard lookahead (kPsInfinity
+  /// for single-shard machines, leaving batches unbounded as before).
   void set_batch_lookahead(Ps l) { batch_lookahead_ = l; }
 
   GlobalPeek peek_global() {
@@ -228,6 +233,24 @@ class EventQueue {
     return m;
   }
   Ps now(int s) const { return shards_[static_cast<std::size_t>(s)].now; }
+
+  /// Sequence number of the event shard `s` is currently dispatching (or
+  /// last dispatched). Together with (now(s), s) this is the event's global
+  /// serial-order key: the serial executor pops events in exactly ascending
+  /// (t, shard, seq), so deferred cross-cluster operations tagged with the
+  /// key of their triggering event can be replayed at a window join in the
+  /// order the serial oracle would have executed them.
+  std::uint64_t current_seq(int s) const {
+    return shards_[static_cast<std::size_t>(s)].cur_seq;
+  }
+
+  /// Whether shard `s`'s earliest pending event is a callback (empty shards
+  /// report false). Safe from the owning worker during a window.
+  bool next_is_callback(int s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    if (sh.size == 0) return false;
+    return peek_event(sh).obj == nullptr;
+  }
 
   // ---- consumers ----------------------------------------------------------
 
@@ -295,10 +318,6 @@ class EventQueue {
     }
     return n;
   }
-
-  /// Publish the window bound warps may batch up to (horizon()); reset to
-  /// kPsInfinity outside windows. Coordinator context only.
-  void set_drain_bound(Ps b) { drain_bound_ = b; }
 
   /// Merge every shard's mailbox into its local structure (coordinator
   /// context, shards quiescent). Entries are ordered by (t, source shard,
@@ -382,6 +401,7 @@ class EventQueue {
     std::size_t size = 0;
     std::uint64_t next_seq = 0;
     Ps now = 0;
+    std::uint64_t cur_seq = 0;  // seq of the event being/last dispatched
 
     // Heap state.
     std::vector<Event> heap;
@@ -508,6 +528,7 @@ class EventQueue {
     Event e{0, 0, nullptr, 0};
     pop_min(sh, e);
     sh.now = e.t;
+    sh.cur_seq = e.seq;
     if (e.obj != nullptr) {
       run_warp(static_cast<Warp*>(e.obj));
     } else {
@@ -607,8 +628,7 @@ class EventQueue {
   QueueKind kind_;
   std::vector<Shard> shards_;
   std::vector<std::unique_ptr<std::mutex>> mail_mu_;  // one per shard
-  Ps drain_bound_ = kPsInfinity;  // conservative window end during a window
-  Ps batch_lookahead_ = kPsInfinity;  // machine's cross-device lookahead
+  Ps batch_lookahead_ = kPsInfinity;  // machine's cross-shard lookahead
 };
 
 /// A throughput regulator: a unit that can accept one operation every

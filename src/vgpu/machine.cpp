@@ -50,29 +50,69 @@ int resolve_shard_jobs(int configured, int num_shards) {
   return std::max(1, std::min(jobs, num_shards));
 }
 
+/// 0 = auto: VGPU_SM_CLUSTERS if set ("auto"/"gpc" resolve to the arch's GPC
+/// count), else 1 — the calibrated single-cluster model. Not cached
+/// statically: sweep::set_sm_clusters exports the variable between Machine
+/// constructions.
+int resolve_sm_clusters(int configured, const ArchSpec& arch) {
+  int clusters = configured;
+  if (clusters == 0) {
+    const char* v = std::getenv("VGPU_SM_CLUSTERS");
+    if (v && *v) {
+      const std::string_view s(v);
+      if (s == "auto" || s == "gpc") {
+        clusters = arch.num_gpcs;
+      } else {
+        // Whole-string parse: a typo must not silently select a cluster
+        // count (the model parameter makes runs incomparable).
+        char* end = nullptr;
+        const long parsed = std::strtol(v, &end, 10);
+        if (end == v || *end != '\0' || parsed <= 0)
+          throw SimError(std::string("VGPU_SM_CLUSTERS must be a positive "
+                                     "integer, 'auto' or 'gpc', got '") +
+                         v + "'");
+        clusters = static_cast<int>(parsed);
+      }
+    }
+  }
+  if (clusters <= 0) clusters = 1;
+  return std::min(clusters, arch.num_sms);
+}
+
+/// Not cached statically: like VGPU_SM_CLUSTERS, the variable may be
+/// toggled between Machine constructions (fuzz harnesses compare widened
+/// and fixed-window runs in one process).
+bool resolve_adaptive_window(bool configured) {
+  if (!configured) return false;
+  const char* v = std::getenv("VGPU_WINDOW_WIDEN");
+  return !(v && *v && std::string_view(v) == "0");
+}
+
 }  // namespace
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(std::move(cfg)),
       exec_(resolve_exec_mode(cfg_.exec)),
-      queue_(cfg_.queue, std::max(1, cfg_.num_devices)),
-      fabric_(cfg_.topology),
+      sm_clusters_(resolve_sm_clusters(cfg_.sm_clusters, cfg_.arch)),
+      queue_(cfg_.queue, std::max(1, cfg_.num_devices) * sm_clusters_),
+      fabric_(cfg_.topology, sm_clusters_),
       noise_(cfg_.noise_seed, cfg_.noise_amplitude) {
   if (cfg_.num_devices < 1) throw SimError("machine needs at least one device");
   if (cfg_.topology.num_devices < cfg_.num_devices)
     throw SimError("topology smaller than device count");
+  adaptive_ = resolve_adaptive_window(cfg_.adaptive_window);
   lookahead_ = compute_lookahead();
   if (lookahead_ < 1) {
     exec_ = ExecMode::Serial;  // no window fits: oracle path, unbounded batches
   } else {
     // Both executors batch warps against the same causality bound: at most
     // one lookahead past the shard's current time. This is what keeps the
-    // serial oracle and the windows bit-identical even for cross-device
+    // serial oracle and the windows bit-identical even for cross-shard
     // accesses that no barrier mediates, provided they sit >= one lookahead
     // apart in virtual time (the documented contract).
     queue_.set_batch_lookahead(lookahead_);
   }
-  shard_jobs_ = resolve_shard_jobs(cfg_.shard_jobs, cfg_.num_devices);
+  shard_jobs_ = resolve_shard_jobs(cfg_.shard_jobs, num_shards());
   devices_.reserve(static_cast<std::size_t>(cfg_.num_devices));
   for (int i = 0; i < cfg_.num_devices; ++i)
     devices_.push_back(std::make_unique<Device>(*this, cfg_.arch, i));
@@ -80,28 +120,51 @@ Machine::Machine(MachineConfig cfg)
 
 Machine::~Machine() = default;
 
-/// The minimum virtual-time distance at which one device shard can affect
-/// another — the conservative window width.
+/// The minimum virtual-time distance at which one shard can affect another —
+/// the conservative window width.
 ///
-/// Channels and their floors:
+/// Cross-device channels and their floors (PR 4):
 ///  * Remote memory traffic rides the fabric: one hop of latency plus the
 ///    link regulator's service floor (>= 0) before anything lands on a peer.
 ///  * A multi-grid barrier release reaches remote grids no sooner than the
 ///    cheapest fabric barrier round (2 participants) plus the release-base
 ///    broadcast, deflated by the worst-case downward noise jitter.
+///
+/// Cross-cluster channels within one device (sm_clusters > 1):
+///  * A grid-barrier release broadcast reaches blocks on other clusters no
+///    sooner than grid_release_base past the last arrival (noise-deflated).
+///  * A single-device multi-grid release likewise floors at
+///    mgrid_release_base (its fabric round is empty on one device).
+///  * A finished block refills the grid onto other clusters' SMs only after
+///    block_dispatch_cycles.
+///  * The cheapest data path — an L2-visible device atomic — takes
+///    atom_latency to round-trip to another cluster's reader.
 Ps Machine::compute_lookahead() const {
-  if (cfg_.num_devices <= 1) return kPsInfinity;
-  const Topology& topo = cfg_.topology;
-  const Ps barrier = topo.min_fabric_barrier_cost(cfg_.num_devices);
   const ClockDomain clock(cfg_.arch.core_mhz);
-  Ps mgrid_gap = barrier + clock.cycles_to_ps(cfg_.arch.mgrid_release_base);
-  if (cfg_.noise_amplitude > 0.0) {
-    mgrid_gap = static_cast<Ps>(static_cast<double>(mgrid_gap) *
-                                (1.0 - cfg_.noise_amplitude)) -
-                1;
+  const double amp = cfg_.noise_amplitude;
+  const auto deflate = [amp](Ps t) {
+    if (amp <= 0.0) return t;
+    return static_cast<Ps>(static_cast<double>(t) * (1.0 - amp)) - 1;
+  };
+  Ps gap = kPsInfinity;
+  if (cfg_.num_devices > 1) {
+    const Topology& topo = cfg_.topology;
+    const Ps barrier = topo.min_fabric_barrier_cost(cfg_.num_devices);
+    const Ps mgrid_gap =
+        deflate(barrier + clock.cycles_to_ps(cfg_.arch.mgrid_release_base));
+    const Ps remote_gap = topo.hop_latency;  // + link regulator floor (>= 0)
+    gap = std::min(gap, std::min(remote_gap, mgrid_gap));
   }
-  const Ps remote_gap = topo.hop_latency;  // + link regulator floor (>= 0)
-  return std::max<Ps>(0, std::min(remote_gap, mgrid_gap));
+  if (sm_clusters_ > 1) {
+    const Ps grid_rel = deflate(clock.cycles_to_ps(cfg_.arch.grid_release_base));
+    const Ps mgrid_rel = deflate(clock.cycles_to_ps(cfg_.arch.mgrid_release_base));
+    const Ps refill = clock.cycles_to_ps(cfg_.arch.block_dispatch_cycles);
+    const Ps atom = clock.cycles_to_ps(cfg_.arch.atom_latency);
+    gap = std::min(gap, std::min(std::min(grid_rel, mgrid_rel),
+                                 std::min(refill, atom)));
+  }
+  if (gap >= kPsInfinity) return kPsInfinity;
+  return std::max<Ps>(0, gap);
 }
 
 namespace {
@@ -117,6 +180,10 @@ inline void run_warp_entry(Warp* w) { w->block->dev->run_warp(w); }
       m.blocked_report());
 }
 
+/// Widening cap: 2^16 lookaheads is far past any join overhead worth
+/// amortizing, and keeps the shifted width well inside Ps range.
+constexpr int kMaxWidenScale = 16;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -131,7 +198,7 @@ inline void run_warp_entry(Warp* w) { w->block->dev->run_warp(w); }
 struct Machine::ShardPool {
   ShardPool(Machine& m, int jobs) : m_(m), jobs_(jobs) {
     counts_.resize(static_cast<std::size_t>(jobs));
-    errors_.resize(static_cast<std::size_t>(m.num_devices()));
+    errors_.resize(static_cast<std::size_t>(m.num_shards()));
     threads_.reserve(static_cast<std::size_t>(jobs - 1));
     for (int k = 1; k < jobs; ++k)
       threads_.emplace_back([this, k] { worker(k); });
@@ -189,7 +256,7 @@ struct Machine::ShardPool {
 
   std::size_t drain_group(int k, Ps bound) {
     std::size_t n = 0;
-    for (int s = k; s < m_.num_devices(); s += jobs_) {
+    for (int s = k; s < m_.num_shards(); s += jobs_) {
       EventQueue::ScopedExecShard scope(s);
       try {
         n += m_.queue_.drain_shard_window(s, bound, run_warp_entry);
@@ -221,7 +288,10 @@ bool Machine::step() {
   const auto r = queue_.step_limited(cfg_.virtual_time_limit, run_warp_entry);
   if (r == EventQueue::StepResult::PastLimit) throw_time_limit(*this);
   if (r == EventQueue::StepResult::Empty) return false;
-  if (exec_sharded()) apply_pending_releases();
+  // Serial stepping executes events in coordinator context, where barrier
+  // releases and refills apply inline — nothing defers. The check is kept
+  // for callers that interleave step() with pump_round().
+  if (exec_sharded() && has_pending_window_ops()) apply_window_ops();
   return true;
 }
 
@@ -234,8 +304,37 @@ std::size_t Machine::pump_round() {
   if (p.is_callback) {
     // Callbacks reach stream/host state: always serial, in global order.
     queue_.step_shard(p.shard, run_warp_entry);
-    apply_pending_releases();
+    if (has_pending_window_ops()) apply_window_ops();
     return 1;
+  }
+  // Adaptive widening: with exactly one active shard there is no concurrency
+  // to win and no peer to outrun — drain that shard inline, geometrically
+  // widening the bound each consecutive single-shard round so long quiet
+  // phases stop paying the per-window join. The bound collapses to one
+  // lookahead past the trigger as soon as an event parks a cross-shard op
+  // (run_widened_window), so causality is preserved at any width.
+  if (adaptive_ && lookahead_ < kPsInfinity) {
+    int active = 0, only = -1;
+    for (int s = 0; s < queue_.num_shards() && active < 2; ++s) {
+      if (queue_.shard_size(s) != 0) {
+        ++active;
+        only = s;
+      }
+    }
+    if (active == 1) {
+      const int scale = std::min(widen_scale_, kMaxWidenScale);
+      if (widen_scale_ < kMaxWidenScale) ++widen_scale_;
+      Ps width = lookahead_;
+      if (scale > 0)
+        width = lookahead_ > (kPsInfinity >> scale) ? kPsInfinity
+                                                    : lookahead_ << scale;
+      Ps bound =
+          width >= kPsInfinity - p.t ? kPsInfinity : p.t + width;
+      if (cfg_.virtual_time_limit > 0)
+        bound = std::min(bound, cfg_.virtual_time_limit + 1);
+      return run_widened_window(only, bound);
+    }
+    widen_scale_ = 0;  // contention: collapse back to one-lookahead windows
   }
   Ps bound = lookahead_ >= kPsInfinity - p.t ? kPsInfinity : p.t + lookahead_;
   if (cfg_.virtual_time_limit > 0)
@@ -245,7 +344,6 @@ std::size_t Machine::pump_round() {
 
 std::size_t Machine::run_window(Ps bound) {
   if (!pool_) pool_ = std::make_unique<ShardPool>(*this, shard_jobs_);
-  queue_.set_drain_bound(bound);
   std::size_t n = 0;
   std::exception_ptr err;
   try {
@@ -253,34 +351,108 @@ std::size_t Machine::run_window(Ps bound) {
   } catch (...) {
     err = std::current_exception();
   }
-  queue_.set_drain_bound(kPsInfinity);
   // Window joins commit cross-shard effects even when a shard failed, so
   // the deadlock reporter sees a consistent machine.
-  apply_pending_releases();
+  apply_window_ops();
   queue_.merge_mailboxes(bound);
   if (err) std::rethrow_exception(err);
   return n;
 }
 
-void Machine::defer_mgrid_release(PendingMGridRelease r) {
-  // Caller already holds mgrid_mu() (the arrival bookkeeping lock).
-  pending_releases_.push_back(std::move(r));
+/// Inline drain of the sole active shard up to `bound` (>= one lookahead
+/// wide). Events run in the shard's (t, seq) order — exactly the serial
+/// order, since no other shard has anything pending. The effective bound
+/// collapses to (trigger time + lookahead) at the first event that parks a
+/// cross-shard window op: every op's application time sits at least one
+/// lookahead past its trigger, so no event that could observe the op runs
+/// before the join applies it.
+std::size_t Machine::run_widened_window(int s, Ps bound) {
+  Ps eff = bound;
+  bool cut = false;
+  std::size_t n = 0;
+  std::exception_ptr err;
+  {
+    EventQueue::ScopedExecShard scope(s);
+    try {
+      while (true) {
+        const Ps nt = queue_.next_time(s);
+        if (nt >= eff) break;
+        if (queue_.next_is_callback(s)) break;
+        queue_.step_shard(s, run_warp_entry);
+        ++n;
+        if (!cut && has_pending_window_ops()) {
+          cut = true;
+          eff = std::min(eff, queue_.now(s) + lookahead_);
+        }
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+  apply_window_ops();
+  queue_.merge_mailboxes(eff);
+  if (cut) widen_scale_ = 0;  // cross-shard traffic: collapse the width
+  if (err) std::rethrow_exception(err);
+  return n;
 }
 
-void Machine::apply_pending_releases() {
-  std::vector<PendingMGridRelease> todo;
+void Machine::push_window_op(PendingWindowOp op) {
+  if (EventQueue::exec_shard() < 0)
+    throw SimError("window op deferred outside a shard execution context");
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  pending_ops_.push_back(std::move(op));
+  pending_ops_count_.store(pending_ops_.size(), std::memory_order_relaxed);
+}
+
+void Machine::defer_release(std::vector<GridExec*> grids, Ps release,
+                            int owner_device, std::uint64_t group) {
+  PendingWindowOp op;
+  op.kind = PendingWindowOp::Kind::Release;
+  op.key_t = release;
+  op.key_a = owner_device;
+  op.key_b = group;
+  op.grids = std::move(grids);
+  op.release = release;
+  push_window_op(std::move(op));
+}
+
+void Machine::defer_finish(Block* b, Ps t) {
+  PendingWindowOp op;
+  const int s = EventQueue::exec_shard();
+  op.kind = PendingWindowOp::Kind::Finish;
+  op.key_t = queue_.now(s);
+  op.key_a = s;
+  op.key_b = queue_.current_seq(s);
+  op.block = b;
+  op.finish_t = t;
+  push_window_op(std::move(op));
+}
+
+void Machine::apply_window_ops() {
+  std::vector<PendingWindowOp> todo;
   {
-    std::lock_guard<std::mutex> lk(mgrid_mu_);
-    if (pending_releases_.empty()) return;
-    todo.swap(pending_releases_);
+    std::lock_guard<std::mutex> lk(sync_mu_);
+    if (pending_ops_.empty()) return;
+    todo.swap(pending_ops_);
+    pending_ops_count_.store(0, std::memory_order_relaxed);
   }
+  // Replay in ascending deterministic key order (see PendingWindowOp):
+  // finish tails land in exactly the serial oracle's pop order, releases in
+  // ascending release time. Stable, so ops from one event keep their
+  // creation order.
   std::stable_sort(todo.begin(), todo.end(),
-                   [](const PendingMGridRelease& a, const PendingMGridRelease& b) {
-                     if (a.release != b.release) return a.release < b.release;
-                     return a.group_id < b.group_id;
+                   [](const PendingWindowOp& a, const PendingWindowOp& b) {
+                     if (a.key_t != b.key_t) return a.key_t < b.key_t;
+                     if (a.key_a != b.key_a) return a.key_a < b.key_a;
+                     return a.key_b < b.key_b;
                    });
-  for (PendingMGridRelease& r : todo)
-    for (GridExec* g : r.grids) g->dev->grid_bar_release(g, r.release);
+  for (PendingWindowOp& op : todo) {
+    if (op.kind == PendingWindowOp::Kind::Release) {
+      for (GridExec* g : op.grids) g->dev->grid_bar_release(g, op.release);
+    } else {
+      op.block->dev->finish_block_tail(op.block, op.finish_t);
+    }
+  }
 }
 
 std::size_t Machine::drain() {

@@ -1,25 +1,50 @@
 // The Machine: devices + fabric + the sharded event queue + deadlock
 // accounting. This is the whole simulated node (e.g. a DGX-1).
 //
-// Two executors drive the same per-device event-queue shards:
+// Shards are (device, SM cluster) pairs: device d, cluster c lives on event
+// shard d * sm_clusters + c. With the default single cluster per device
+// this degenerates to PR 4's one-shard-per-device layout; with
+// MachineConfig::sm_clusters / VGPU_SM_CLUSTERS > 1 each device's SMs (and
+// its DRAM channels, atomic unit, grid-barrier arrival unit and fabric
+// egress) are partitioned into that many independent slices, so even a
+// single-GPU simulation point can drain in parallel.
+//
+// Two executors drive the same event-queue shards:
 //
 //  - Serial (default, the oracle): pop the globally earliest event
 //    (t, shard, seq) one at a time — exactly the classic event loop.
 //  - Sharded (VGPU_EXEC=sharded / MachineConfig::exec): conservative
 //    parallel discrete-event execution. Warp events run concurrently across
-//    device shards inside bounded windows [T, T + lookahead); callbacks
-//    (kernel completion, host wake-ups) always run serially between windows
-//    in global order. The lookahead is the minimum virtual-time distance at
-//    which one device can affect another, derived from the Fabric/Topology:
-//    min(hop latency + link regulator floor, the smallest possible
-//    multi-grid barrier release gap, deflated by the noise amplitude).
+//    shards inside bounded windows [T, T + lookahead); callbacks (kernel
+//    completion, host wake-ups) always run serially between windows in
+//    global order. The lookahead is the minimum virtual-time distance at
+//    which one shard can affect another:
+//      * across devices — the Fabric/Topology floor of PR 4 (hop latency,
+//        cheapest fabric barrier round + multi-grid release base, deflated
+//        by the noise amplitude);
+//      * across clusters of one device — the cheapest intra-device
+//        cross-cluster sync path: the grid-barrier release broadcast floor,
+//        the single-device multi-grid release floor, the finished-block
+//        redispatch delay, and the L2-visible atomic round trip (again
+//        noise-deflated where the channel is jittered).
 //    Cross-shard event pushes land in per-shard mailboxes and merge at
-//    window joins; multi-grid barrier releases are deferred to the join so
-//    remote block/warp state is only touched while shards are quiescent.
+//    window joins; operations that touch remote shards' warp/block state
+//    (grid and multi-grid barrier releases, finished-block bookkeeping
+//    including grid refills) are *deferred window ops*: captured with a
+//    deterministic key (see PendingWindowOp) and replayed at the join in
+//    the order the serial oracle would have executed them.
 //    Timelines are bit-identical to the serial executor (pinned by
-//    test_determinism) for every fabric- or barrier-mediated sharing
-//    pattern, i.e. whenever conflicting cross-device accesses are at least
-//    one lookahead apart in virtual time.
+//    test_determinism) for every barrier-, refill- or fabric-mediated
+//    sharing pattern, i.e. whenever conflicting cross-shard accesses are at
+//    least one lookahead apart in virtual time.
+//
+// Adaptive window widening: when a drain round observes exactly one active
+// shard (a single-stream phase), pump_round geometrically widens the window
+// beyond one lookahead — the sole active shard is drained inline, with the
+// bound collapsing to (trigger + lookahead) the moment an event defers a
+// cross-shard operation, so causality is never outrun. The widened drain
+// pays no worker handoff and no per-window join; contention (a second
+// active shard, or cross-shard traffic) resets the width to one lookahead.
 #pragma once
 
 #include <atomic>
@@ -78,9 +103,23 @@ struct MachineConfig {
   /// produce bit-identical timelines (pinned by test_determinism).
   ExecMode exec = ExecMode::Auto;
   /// Worker threads for the sharded executor. 0 = auto: VGPU_SHARD_JOBS if
-  /// set, else one per device clamped to the hardware thread count. Any
-  /// value is clamped to [1, num_devices]. The timeline never depends on it.
+  /// set, else one per shard clamped to the hardware thread count. Any
+  /// value is clamped to [1, num_shards]. The timeline never depends on it.
   int shard_jobs = 0;
+  /// SM clusters per device. 0 = auto: VGPU_SM_CLUSTERS if set (a number,
+  /// or "auto"/"gpc" for the arch's GPC count), else 1. Clamped to
+  /// [1, arch.num_sms]. Like num_devices this is a *model* parameter: each
+  /// cluster owns an equal slice of the device's SMs, DRAM bandwidth,
+  /// atomic unit, grid-barrier arrival unit and fabric egress, so timelines
+  /// are comparable only at equal cluster counts — and at the default of 1
+  /// the model is exactly the calibrated single-cluster one. Serial and
+  /// sharded produce bit-identical timelines at every cluster count.
+  int sm_clusters = 0;
+  /// Adaptive window widening for the sharded executor (see header
+  /// comment). Disable (or set VGPU_WINDOW_WIDEN=0) to force fixed
+  /// one-lookahead windows; the timeline never depends on this switch
+  /// (pinned by test_cluster_shards).
+  bool adaptive_window = true;
 
   /// The paper's platforms.
   static MachineConfig dgx1_v100(int num_devices = 8);
@@ -88,14 +127,29 @@ struct MachineConfig {
   static MachineConfig single(const ArchSpec& arch);
 };
 
-/// A multi-grid barrier release captured during a parallel window and
-/// applied at the join, while every shard is quiescent. Sorted by
-/// (release, group id) so the apply order never depends on wall-clock
-/// scheduling.
-struct PendingMGridRelease {
+/// A cross-shard state mutation captured during a parallel window and
+/// replayed at the join, while every shard is quiescent. Ops sort by the
+/// deterministic key (key_t, key_a, key_b):
+///  * Finish ops (a finished block's residency release, grid refill and
+///    completion check) carry the (t, shard, seq) key of their triggering
+///    event — exactly the order the serial oracle pops events, so replay
+///    reproduces the serial bookkeeping order bit for bit.
+///  * Release ops (grid / multi-grid barrier releases) carry
+///    (release time, owning device, barrier group/generation) — a pure
+///    function of the arrival multiset, independent of which cluster's
+///    arrival happened to complete the count first in wall-clock.
+struct PendingWindowOp {
+  enum class Kind : std::uint8_t { Release, Finish };
+  Kind kind = Kind::Release;
+  Ps key_t = 0;
+  int key_a = 0;
+  std::uint64_t key_b = 0;
+  // Release payload: barrier release of one or more grids.
   std::vector<GridExec*> grids;
   Ps release = 0;
-  std::uint64_t group_id = 0;
+  // Finish payload: the block whose post-completion bookkeeping is parked.
+  Block* block = nullptr;
+  Ps finish_t = 0;
 };
 
 class Machine {
@@ -109,13 +163,20 @@ class Machine {
   EventQueue& queue() { return queue_; }
   QueueKind queue_kind() const { return queue_.kind(); }
   /// Resolved executor (never Auto). Sharded may fall back to serial when
-  /// the topology admits no positive cross-device lookahead.
+  /// the topology admits no positive cross-shard lookahead.
   ExecMode exec_mode() const { return exec_; }
   bool exec_sharded() const { return exec_ == ExecMode::Sharded; }
   /// Conservative window width: the minimum virtual-time distance at which
-  /// one device can affect another. kPsInfinity for single-device machines.
+  /// one shard can affect another. kPsInfinity for single-shard machines.
   Ps lookahead() const { return lookahead_; }
   int shard_jobs() const { return shard_jobs_; }
+  /// SM clusters per device (resolved, >= 1) and the shard key layout.
+  int sm_clusters() const { return sm_clusters_; }
+  int num_shards() const { return cfg_.num_devices * sm_clusters_; }
+  int shard_of(int device, int cluster) const {
+    return device * sm_clusters_ + cluster;
+  }
+  bool adaptive_window() const { return adaptive_; }
   Fabric& fabric() { return fabric_; }
   NoiseModel& noise() { return noise_; }
   const ArchSpec& arch() const { return cfg_.arch; }
@@ -130,11 +191,12 @@ class Machine {
   bool step();
 
   /// One pump round, honoring the executor mode: serial = step(); sharded =
-  /// either one serially-executed callback event or one conservative
-  /// parallel window of warp events. Returns the number of events
-  /// dispatched; 0 means the queue is empty. Host wake-ups only originate in
-  /// callbacks, so a dispatcher looping on pump_round observes them with the
-  /// same per-event granularity as the serial loop.
+  /// one serially-executed callback event, one conservative parallel window
+  /// of warp events, or — when only a single shard is active — one widened
+  /// inline drain of that shard. Returns the number of events dispatched;
+  /// 0 means the queue is empty. Host wake-ups only originate in callbacks,
+  /// so a dispatcher looping on pump_round observes them with the same
+  /// per-event granularity as the serial loop.
   std::size_t pump_round();
 
   /// Pop and dispatch events until the queue is empty, honoring the
@@ -151,13 +213,26 @@ class Machine {
     return blocked_entities_.load(std::memory_order_relaxed);
   }
 
-  /// Multi-grid arrival bookkeeping lock (shared MGridState counters may be
-  /// bumped from concurrent shards).
-  std::mutex& mgrid_mu() { return mgrid_mu_; }
+  /// Shared synchronization-state lock: multi-grid and grid-barrier arrival
+  /// counters, grid block-completion bookkeeping and the pending-window-op
+  /// list may all be touched from concurrent shards during a window.
+  std::mutex& sync_mu() { return sync_mu_; }
 
-  /// Park a multi-grid release for the end of the current window (sharded
-  /// executor only; the serial path releases inline).
-  void defer_mgrid_release(PendingMGridRelease r);
+  /// Park a grid / multi-grid barrier release (keyed by release time and
+  /// barrier group) or a finished block's bookkeeping tail (keyed by its
+  /// triggering event) for the end of the current window. Callable only
+  /// from a shard execution context (EventQueue::exec_shard() >= 0); the
+  /// serial path applies these inline. Both take sync_mu() themselves.
+  void defer_release(std::vector<GridExec*> grids, Ps release, int owner_device,
+                     std::uint64_t group);
+  void defer_finish(Block* b, Ps t);
+
+  /// Whether the current window has parked any ops (shard workers use this
+  /// to collapse a widened window bound; approximate reads are fine — the
+  /// owning shard observes its own defers in program order).
+  bool has_pending_window_ops() const {
+    return pending_ops_count_.load(std::memory_order_relaxed) != 0;
+  }
 
   /// Human-readable dump of everything currently blocked, for DeadlockError.
   std::string blocked_report() const;
@@ -167,10 +242,13 @@ class Machine {
 
   Ps compute_lookahead() const;
   std::size_t run_window(Ps bound);
-  void apply_pending_releases();
+  std::size_t run_widened_window(int shard, Ps bound);
+  void apply_window_ops();
+  void push_window_op(PendingWindowOp op);
 
   MachineConfig cfg_;
   ExecMode exec_;
+  int sm_clusters_ = 1;
   EventQueue queue_;
   Fabric fabric_;
   NoiseModel noise_;
@@ -179,10 +257,13 @@ class Machine {
 
   Ps lookahead_ = kPsInfinity;
   int shard_jobs_ = 1;
+  bool adaptive_ = true;
+  int widen_scale_ = 0;  // consecutive single-shard rounds; window = L << scale
   std::unique_ptr<ShardPool> pool_;  // spawned on first parallel window
 
-  std::mutex mgrid_mu_;
-  std::vector<PendingMGridRelease> pending_releases_;  // under mgrid_mu_
+  std::mutex sync_mu_;
+  std::vector<PendingWindowOp> pending_ops_;  // under sync_mu_
+  std::atomic<std::size_t> pending_ops_count_{0};
 };
 
 }  // namespace vgpu

@@ -58,6 +58,35 @@ class GlobalMemory {
   }
   void store_f64(DevPtr p, double v) { std::memcpy(at(p, 8), &v, 8); }
 
+  // Device-wide atomics. Warps on different SM clusters of one device may
+  // execute atomics to the same word inside the same conservative window, so
+  // the functional update itself must be a hardware atomic — a plain
+  // load+store pair would be a data race under the cluster-sharded executor.
+  // Integer adds commute, so the final value is bit-identical regardless of
+  // cluster interleaving; float adds are applied with a CAS loop and are
+  // only order- (and thus executor-) independent when conflicting
+  // cross-cluster updates sit at least one lookahead apart (the same
+  // causality contract plain stores already carry).
+  std::int64_t atomic_add_i64(DevPtr p, std::int64_t v) {
+    auto* word = reinterpret_cast<std::int64_t*>(at(p, 8));
+    return __atomic_fetch_add(word, v, __ATOMIC_RELAXED);
+  }
+  double atomic_add_f64(DevPtr p, double v) {
+    auto* word = reinterpret_cast<std::int64_t*>(at(p, 8));
+    std::int64_t expected = __atomic_load_n(word, __ATOMIC_RELAXED);
+    while (true) {
+      double cur;
+      std::memcpy(&cur, &expected, 8);
+      const double next = cur + v;
+      std::int64_t desired;
+      std::memcpy(&desired, &next, 8);
+      if (__atomic_compare_exchange_n(word, &expected, desired, /*weak=*/true,
+                                      __ATOMIC_RELAXED, __ATOMIC_RELAXED)) {
+        return cur;
+      }
+    }
+  }
+
   /// Host-side bulk access (scudaMemcpy).
   void read(DevPtr p, void* dst, std::int64_t bytes) const {
     std::memcpy(dst, at(p, bytes), static_cast<std::size_t>(bytes));

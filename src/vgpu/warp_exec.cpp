@@ -140,6 +140,7 @@ void Device::step_warp(Warp& w) {
   GridExec& g = *b.grid;
   const Program& prog = *g.desc.prog;
   SMState& sm = sms_[static_cast<std::size_t>(b.sm_index)];
+  ClusterUnits& cu = cluster_units(b.cluster);
 
   ExecContext& c = w.top();
   if (c.pc < 0 || c.pc >= prog.size())
@@ -157,7 +158,7 @@ void Device::step_warp(Warp& w) {
   // window bound), stall to that time instead of acquiring unit slots "from
   // the future" (which would make shared regulators jump past idle time and
   // starve sibling warps).
-  if (ready > machine_.queue().horizon(id_) + horizon_slack()) {
+  if (ready > machine_.queue().horizon(b.shard) + horizon_slack()) {
     c.t = ready;
     return;
   }
@@ -306,11 +307,16 @@ void Device::step_warp(Warp& w) {
       Ps extra = 0;
       const double eff_bw = arch_.dram_bytes_per_cycle * arch_.dram_efficiency;
       if (target_dev == id_) {
-        dram_requests += 1;
-        dram_bytes += bytes;
-        svc = dram.acquire(port, cyc(static_cast<double>(bytes) / eff_bw));
+        // This cluster's DRAM channel slice: 1/k of the device's streaming
+        // bandwidth (service interval scaled by the cluster count), so a
+        // symmetric full-device stream sustains the calibrated aggregate.
+        cu.dram_requests += 1;
+        cu.dram_bytes += bytes;
+        svc = cu.dram.acquire(
+            port, cyc(static_cast<double>(bytes) / eff_bw) * sm_clusters_);
       } else {
-        svc = machine_.fabric().remote_line_slot(id_, target_dev, bytes, port);
+        svc = machine_.fabric().remote_line_slot(id_, b.cluster, target_dev,
+                                                 bytes, port);
         extra = machine_.fabric().remote_latency(id_, target_dev);
       }
       GlobalMemory& m = machine_.device(target_dev).mem();
@@ -335,12 +341,16 @@ void Device::step_warp(Warp& w) {
         const DevPtr p{w.r(I.a, l).i};
         if (target_dev == -1) target_dev = p.device();
         GlobalMemory& m = machine_.device(p.device()).mem();
+        // Hardware-atomic functional update: warps on other clusters (or
+        // devices) may hit the same word inside one conservative window.
+        // Integer adds commute, so the value is executor-independent; float
+        // adds carry the usual >=-one-lookahead conflict contract.
         if (I.aux) {
-          m.store_f64(p, m.load_f64(p) + w.r(I.b, l).f());
+          m.atomic_add_f64(p, w.r(I.b, l).f());
         } else {
-          m.store_i64(p, m.load_i64(p) + w.r(I.b, l).i);
+          m.atomic_add_i64(p, w.r(I.b, l).i);
         }
-        prev = atom_unit.acquire(prev, lat_.atom_ii);
+        prev = cu.atom_unit.acquire(prev, lat_.atom_ii * sm_clusters_);
       }
       Ps done = prev + lat_.atom_lat;
       if (target_dev != -1 && target_dev != id_)

@@ -1,0 +1,244 @@
+// SM-cluster sharding (PR 5): a machine models sm_clusters SM clusters per
+// device, each owning a slice of the device's SMs, DRAM channels, atomic
+// unit, grid-arrival unit and fabric egress, and the sharded executor runs
+// one event shard per (device, cluster). The invariants pinned here:
+//
+//  * The serial oracle and the sharded conservative-window executor produce
+//    bit-identical timelines at every cluster count (1/2/4), both queue
+//    kinds, with and without seeded noise — on the paper's fig15/tab6
+//    single-GPU reduction workloads and on randomized phase mixes.
+//  * Adaptive window widening never moves the timeline: widened and
+//    fixed-window sharded runs agree bit-for-bit with serial, across
+//    alternating idle (one active shard) and contended (all shards active)
+//    phases.
+//  * The shard-job count is invisible in virtual time at any cluster count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "reduction/reduce.hpp"
+#include "syncbench/kernels.hpp"
+#include "test_util.hpp"
+#include "vgpu/arch.hpp"
+
+namespace {
+
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+using vgpu::DevPtr;
+using vgpu::ExecMode;
+using vgpu::MachineConfig;
+using vgpu::Ps;
+using vgpu::QueueKind;
+
+/// Everything observable about one single-GPU reduction run.
+struct ReduceCapture {
+  double value = 0;
+  double micros = 0;
+  Ps end_now = 0;
+};
+
+ReduceCapture run_reduce_once(reduction::SingleGpuAlgo algo, int clusters,
+                              ExecMode exec, QueueKind queue,
+                              std::uint64_t seed, double amp,
+                              int shard_jobs = 0, bool adaptive = true,
+                              std::int64_t n = (1 << 20) / 8) {
+  MachineConfig cfg = MachineConfig::single(vgpu::v100());
+  cfg.sm_clusters = clusters;
+  cfg.exec = exec;
+  cfg.queue = queue;
+  cfg.noise_seed = seed;
+  cfg.noise_amplitude = amp;
+  cfg.shard_jobs = shard_jobs;
+  cfg.adaptive_window = adaptive;
+  System sys(cfg);
+  DevPtr src = sys.malloc(0, n * 8);
+  reduction::fill_pattern(sys, src, n);
+  const reduction::ReduceRun r = reduction::reduce_single(sys, algo, 0, src, n);
+  ReduceCapture cap;
+  cap.value = r.value;
+  cap.micros = r.micros;
+  cap.end_now = sys.machine().queue().now();
+  return cap;
+}
+
+void expect_identical(const ReduceCapture& a, const ReduceCapture& b,
+                      const char* what) {
+  EXPECT_EQ(a.value, b.value) << what;
+  EXPECT_EQ(a.micros, b.micros) << what;
+  EXPECT_EQ(a.end_now, b.end_now) << what;
+}
+
+const reduction::SingleGpuAlgo kAlgos[] = {
+    reduction::SingleGpuAlgo::Implicit, reduction::SingleGpuAlgo::GridSync,
+    reduction::SingleGpuAlgo::CubLike, reduction::SingleGpuAlgo::SampleLike};
+
+TEST(ClusterShards, Fig15ReductionSerialVsShardedAtEveryClusterCount) {
+  // The acceptance pin: the fig15/tab6 single-GPU reduction — all four
+  // implementations — is bit-identical serial-vs-sharded at 1, 2 and 4 SM
+  // clusters, under both queue kinds.
+  for (QueueKind q : {QueueKind::Heap, QueueKind::Calendar}) {
+    for (int clusters : {1, 2, 4}) {
+      for (auto algo : kAlgos) {
+        const ReduceCapture serial =
+            run_reduce_once(algo, clusters, ExecMode::Serial, q, 0, 0.0);
+        const ReduceCapture sharded =
+            run_reduce_once(algo, clusters, ExecMode::Sharded, q, 0, 0.0);
+        expect_identical(serial, sharded, reduction::to_string(algo));
+        EXPECT_GT(serial.micros, 0.0);
+      }
+    }
+  }
+}
+
+TEST(ClusterShards, Fig15ReductionSerialVsShardedWithNoise) {
+  // Same pin under seeded measurement noise (the jitter draws must be
+  // keyed so cluster interleaving cannot reorder them).
+  for (QueueKind q : {QueueKind::Heap, QueueKind::Calendar}) {
+    for (int clusters : {2, 4}) {
+      for (auto algo : kAlgos) {
+        const ReduceCapture serial =
+            run_reduce_once(algo, clusters, ExecMode::Serial, q, 17, 0.03);
+        const ReduceCapture sharded =
+            run_reduce_once(algo, clusters, ExecMode::Sharded, q, 17, 0.03);
+        expect_identical(serial, sharded, reduction::to_string(algo));
+      }
+    }
+  }
+}
+
+TEST(ClusterShards, ShardJobCountNeverMovesTheClusteredTimeline) {
+  const ReduceCapture one =
+      run_reduce_once(reduction::SingleGpuAlgo::GridSync, 4, ExecMode::Sharded,
+                      QueueKind::Calendar, 7, 0.02, 1);
+  for (int jobs : {2, 4}) {
+    const ReduceCapture j =
+        run_reduce_once(reduction::SingleGpuAlgo::GridSync, 4,
+                        ExecMode::Sharded, QueueKind::Calendar, 7, 0.02, jobs);
+    expect_identical(one, j, "shard jobs");
+  }
+}
+
+TEST(ClusterShards, AdaptiveWideningNeverMovesTheTimeline) {
+  // Widened vs fixed-window sharded vs serial, all bit-identical. The
+  // Implicit algorithm alternates dense multi-cluster phases (the
+  // co-resident partial pass) with single-shard phases (the one-block final
+  // pass), exercising both the widening ramp and the collapse.
+  for (QueueKind q : {QueueKind::Heap, QueueKind::Calendar}) {
+    for (auto algo :
+         {reduction::SingleGpuAlgo::Implicit, reduction::SingleGpuAlgo::GridSync}) {
+      const ReduceCapture serial =
+          run_reduce_once(algo, 4, ExecMode::Serial, q, 0, 0.0);
+      const ReduceCapture fixed =
+          run_reduce_once(algo, 4, ExecMode::Sharded, q, 0, 0.0, 0, false);
+      const ReduceCapture widened =
+          run_reduce_once(algo, 4, ExecMode::Sharded, q, 0, 0.0, 0, true);
+      expect_identical(serial, fixed, "fixed-window");
+      expect_identical(serial, widened, "widened");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized idle/contended phase fuzz
+// ---------------------------------------------------------------------------
+
+/// One fuzz round: a random interleaving of single-cluster kernels (only
+/// blocks on cluster 0's SMs -> one active shard, the widening path) and
+/// device-wide cooperative grid-sync kernels (every cluster active, cross-
+/// cluster barrier traffic -> contended windows), plus device-wide atomics.
+/// Returns the end-of-run clock and a functional fingerprint.
+struct FuzzCapture {
+  Ps end_now = 0;
+  std::vector<std::int64_t> out;
+};
+
+FuzzCapture run_fuzz_once(std::uint64_t scenario_seed, int clusters,
+                          ExecMode exec, QueueKind queue, bool adaptive,
+                          double amp) {
+  MachineConfig cfg = MachineConfig::single(vgpu::v100());
+  cfg.sm_clusters = clusters;
+  cfg.exec = exec;
+  cfg.queue = queue;
+  cfg.adaptive_window = adaptive;
+  cfg.noise_seed = scenario_seed | 1;
+  cfg.noise_amplitude = amp;
+  System sys(cfg);
+  const std::int64_t slots = 1 + 64 * 128;
+  DevPtr out = sys.malloc(0, slots * 8);
+  sys.fill_i64(out, std::vector<std::int64_t>(static_cast<std::size_t>(slots), 0));
+
+  // The kernel mix is derived deterministically from the scenario seed; the
+  // same phases run under every executor/widening combination.
+  std::mt19937_64 rng(scenario_seed);
+  FuzzCapture cap;
+  sys.run([&](HostThread& h) {
+    for (int phase = 0; phase < 6; ++phase) {
+      const int kind = static_cast<int>(rng() % 3);
+      if (kind == 0) {
+        // Idle phase: a single small block — one shard active, windows widen.
+        sys.launch(h, 0,
+                   LaunchParams{syncbench::alu_chain_kernel_unclocked(64), 1,
+                                64, 0, {}});
+      } else if (kind == 1) {
+        // Contended phase: cooperative grid sync across every cluster.
+        sys.launch_cooperative(
+            h, 0,
+            LaunchParams{syncbench::grid_sync_kernel(2), 160, 128, 0, {}});
+      } else {
+        // Atomic phase: every thread bumps a device-wide counter, then
+        // stores its post-sync clock (integer atomics commute, so the
+        // value is executor-independent even across clusters).
+        vgpu::KernelBuilder kb("fuzz_atomics");
+        vgpu::Reg p = kb.reg();
+        kb.ld_param(p, 0);
+        vgpu::Reg one = kb.imm(1);
+        kb.atom_add_i64(p, one);
+        vgpu::Reg gtid = kb.reg();
+        kb.sreg(gtid, vgpu::SpecialReg::GTid);
+        vgpu::Reg clk = kb.reg();
+        kb.rclock(clk);
+        vgpu::Reg addr = kb.reg();
+        kb.iadd(addr, gtid, 1);
+        kb.ishl(addr, addr, 3);
+        kb.iadd(addr, addr, p);
+        kb.stg(addr, clk);
+        kb.exit();
+        sys.launch(h, 0, LaunchParams{kb.finish(), 64, 128, 0, {out.raw}});
+      }
+      if (rng() % 2 == 0) sys.device_synchronize(h, 0);
+    }
+    sys.device_synchronize(h, 0);
+  });
+  cap.end_now = sys.machine().queue().now();
+  cap.out = sys.read_i64(out, slots);
+  return cap;
+}
+
+TEST(ClusterShards, WideningFuzzIdleContendedPhasesBitIdentical) {
+  // Random idle/contended interleavings: the widened-window timeline must
+  // equal serial and fixed-window sharded, across both queue kinds, at 2
+  // and 4 clusters, with and without noise.
+  std::mt19937_64 seeds(20260731);
+  for (int round = 0; round < 4; ++round) {
+    const std::uint64_t scenario = seeds();
+    const int clusters = round % 2 == 0 ? 4 : 2;
+    const QueueKind q = round % 2 == 0 ? QueueKind::Calendar : QueueKind::Heap;
+    const double amp = round < 2 ? 0.0 : 0.02;
+    const FuzzCapture serial =
+        run_fuzz_once(scenario, clusters, ExecMode::Serial, q, true, amp);
+    const FuzzCapture fixed =
+        run_fuzz_once(scenario, clusters, ExecMode::Sharded, q, false, amp);
+    const FuzzCapture widened =
+        run_fuzz_once(scenario, clusters, ExecMode::Sharded, q, true, amp);
+    EXPECT_EQ(serial.end_now, fixed.end_now) << "fixed, round " << round;
+    EXPECT_EQ(serial.out, fixed.out) << "fixed, round " << round;
+    EXPECT_EQ(serial.end_now, widened.end_now) << "widened, round " << round;
+    EXPECT_EQ(serial.out, widened.out) << "widened, round " << round;
+  }
+}
+
+}  // namespace

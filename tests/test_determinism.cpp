@@ -216,8 +216,9 @@ TEST(Determinism, ShardJobCountNeverMovesTheTimeline) {
 }
 
 TEST(Determinism, ShardedMachineExposesItsLookahead) {
-  // The conservative window width is the published cross-device guarantee:
-  // positive, at most one fabric hop, and infinite without a fabric.
+  // The conservative window width is the published cross-shard guarantee:
+  // positive, at most one fabric hop across devices, and infinite only when
+  // the machine has a single shard (one device, one SM cluster).
   MachineConfig cfg = MachineConfig::dgx1_v100(8);
   cfg.exec = ExecMode::Sharded;
   System sys(cfg);
@@ -225,7 +226,24 @@ TEST(Determinism, ShardedMachineExposesItsLookahead) {
   EXPECT_GT(sys.machine().lookahead(), 0);
   EXPECT_LE(sys.machine().lookahead(), cfg.topology.hop_latency);
   System single(MachineConfig::single(vgpu::v100()));
-  EXPECT_EQ(single.machine().lookahead(), vgpu::kPsInfinity);
+  if (single.machine().sm_clusters() == 1) {
+    EXPECT_EQ(single.machine().lookahead(), vgpu::kPsInfinity);
+  } else {
+    // Clustered single device: the window is bounded by the cheapest
+    // intra-device cross-cluster sync path (block redispatch / L2 atomic
+    // round trip / grid release floor) — finite and positive.
+    EXPECT_GT(single.machine().lookahead(), 0);
+    EXPECT_LT(single.machine().lookahead(), vgpu::kPsInfinity);
+  }
+  // Explicit cluster counts produce one shard per (device, cluster).
+  MachineConfig clustered = MachineConfig::single(vgpu::v100());
+  clustered.sm_clusters = 4;
+  System cl(clustered);
+  EXPECT_EQ(cl.machine().sm_clusters(), 4);
+  EXPECT_EQ(cl.machine().num_shards(), 4);
+  EXPECT_EQ(cl.machine().queue().num_shards(), 4);
+  EXPECT_GT(cl.machine().lookahead(), 0);
+  EXPECT_LT(cl.machine().lookahead(), vgpu::kPsInfinity);
 }
 
 TEST(Determinism, MultiDeviceCooperativeLaunchIsBitIdentical) {

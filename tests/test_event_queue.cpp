@@ -353,12 +353,14 @@ TEST_P(ShardedQueueBothKinds, WindowDrainStopsAtBoundAndCallbacks) {
   EXPECT_EQ(warps, 2);
   EXPECT_EQ(q.shard_size(0), 3u);
   EXPECT_EQ(q.next_time(0), 30);
-  // horizon() is the window-clamped batching bound.
-  q.set_drain_bound(900);
+  // horizon() is the batching bound: the shard's next pending event,
+  // clamped by one lookahead past its current time. The window bound
+  // deliberately does not appear — it would truncate batches at points the
+  // serial oracle does not, splitting the timelines.
   EXPECT_EQ(q.horizon(0), 30);
-  q.set_drain_bound(25);
-  EXPECT_EQ(q.horizon(0), 25);
-  q.set_drain_bound(vgpu::kPsInfinity);
+  q.set_batch_lookahead(5);
+  EXPECT_EQ(q.horizon(0), 20 + 5);  // shard now = last dispatched event (20)
+  q.set_batch_lookahead(vgpu::kPsInfinity);
 }
 
 // ---------------------------------------------------------------------------
@@ -438,7 +440,6 @@ TEST(EventQueueShardFuzz, WindowedExecutionMatchesSerialPerShard) {
       Ps t0 = kPsInfinity;
       for (int s = 0; s < kShards; ++s) t0 = std::min(t0, windowed.next_time(s));
       const Ps bound = t0 + kWindow;
-      windowed.set_drain_bound(bound);
       std::vector<int> shard_order{0, 1, 2, 3};
       for (int s = kShards - 1; s > 0; --s)
         std::swap(shard_order[static_cast<std::size_t>(s)],
@@ -451,7 +452,6 @@ TEST(EventQueueShardFuzz, WindowedExecutionMatchesSerialPerShard) {
         while (windowed.shard_size(s) != 0 && windowed.next_time(s) < bound)
           windowed.step_shard(s, [](vgpu::Warp*) {});
       }
-      windowed.set_drain_bound(kPsInfinity);
       windowed.merge_mailboxes(bound);
     }
 

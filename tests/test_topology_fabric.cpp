@@ -123,7 +123,7 @@ TEST(Fabric, ConcurrentWindowLinkAcquisitionIsPerLinkOrdered) {
     auto drive = [&](int src) {
       vgpu::EventQueue::ScopedExecShard scope(src);  // single-writer marker
       for (int i = 0; i < 3; ++i)
-        slots.push_back(f.remote_line_slot(src, 0, 128, vgpu::us(1.0) * i));
+        slots.push_back(f.remote_line_slot(src, 0, 0, 128, vgpu::us(1.0) * i));
     };
     if (src1_first) {
       drive(1);
@@ -144,5 +144,5 @@ TEST(Fabric, HostContextMayDriveAnyLink) {
   Fabric f(Topology::dgx1_nvlink(8));
   EXPECT_EQ(vgpu::EventQueue::exec_shard(), -1);
   EXPECT_GE(f.transfer_done(3, 1, 4096, 0), 0);
-  EXPECT_GE(f.remote_line_slot(2, 7, 128, 0), 0);
+  EXPECT_GE(f.remote_line_slot(2, 0, 7, 128, 0), 0);
 }
