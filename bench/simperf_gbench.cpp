@@ -317,6 +317,46 @@ void BM_GridSyncRound(benchmark::State& state) {
 }
 BENCHMARK(BM_GridSyncRound);
 
+void BM_SweepThroughput(benchmark::State& state) {
+  // End-to-end sweep-point throughput (points/sec) over a fig4-style
+  // block-sync grid: small kernels, so per-point System/Machine setup is a
+  // large share of the cost — exactly the profile of the characterization
+  // sweeps. Arg(0) builds a fresh machine per point (the sweep::map
+  // default); Arg(1) runs the grid inside a MachinePool scope (the
+  // sweep::map_batched path), reusing one warm machine across the batch.
+  // The ratio Arg(1)/Arg(0) is the machine-pool win the perf gate tracks.
+  const bool pooled = state.range(0) != 0;
+  std::vector<int> warps_per_block{1, 2, 3, 4};
+  auto prog = syncbench::block_sync_clocked_kernel(1);
+  auto run_point = [&](int warps) {
+    scuda::System sys(MachineConfig::single(v100()));
+    DevPtr out = sys.malloc(0, 2 * 8);
+    Ps end = 0;
+    sys.run([&](scuda::HostThread& h) {
+      sys.launch(h, 0, scuda::LaunchParams{prog, 1, warps * 32, 0, {out.raw}});
+      sys.device_synchronize(h, 0);
+      end = h.now();
+    });
+    return end;
+  };
+  Ps sink = 0;
+  if (pooled) {
+    // One pool for the whole measurement: steady-state warm reuse, the
+    // regime a long map_batched sweep spends nearly all its time in.
+    MachinePool pool;
+    MachinePool::Scope scope(pool);
+    for (auto _ : state)
+      for (int w : warps_per_block) sink += run_point(w);
+  } else {
+    for (auto _ : state)
+      for (int w : warps_per_block) sink += run_point(w);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(warps_per_block.size()));
+}
+BENCHMARK(BM_SweepThroughput)->Arg(0)->Arg(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -35,6 +35,13 @@ class Fabric {
 
   const Topology& topology() const { return topo_; }
 
+  /// Machine-pool rewind: zero every link regulator (virtual time restarts
+  /// at 0). The topology and row layout are structural and survive.
+  void reset() {
+    for (auto& row : links_)
+      for (Regulator& r : row) r.next_free = 0;
+  }
+
   /// Completion time of a bulk DMA of `bytes` from src to dst starting when
   /// the link is free after `ready`. bytes/(gbs GB/s) seconds -> ps.
   /// Host-side only (shards quiescent); rides the source's cluster-0 row.

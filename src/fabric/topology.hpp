@@ -52,4 +52,17 @@ struct Topology {
   static Topology pcie(int num_devices = 2);
 };
 
+/// Structural equality over every field — the machine pool uses this to
+/// decide whether a warm machine's interconnect matches a requested config.
+/// Keep in sync when adding fields: a missed field would let the pool hand
+/// out a machine with stale fabric pricing.
+inline bool operator==(const Topology& a, const Topology& b) {
+  return a.num_devices == b.num_devices && a.hops == b.hops &&
+         a.link_gbs == b.link_gbs && a.hop_latency == b.hop_latency &&
+         a.barrier_base_1hop == b.barrier_base_1hop &&
+         a.barrier_base_2hop == b.barrier_base_2hop &&
+         a.barrier_per_gpu == b.barrier_per_gpu;
+}
+inline bool operator!=(const Topology& a, const Topology& b) { return !(a == b); }
+
 }  // namespace vgpu

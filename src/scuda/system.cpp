@@ -9,8 +9,17 @@ using vgpu::DeadlockError;
 using vgpu::kPsInfinity;
 using vgpu::SimError;
 
-System::System(vgpu::MachineConfig cfg)
-    : machine_(std::make_unique<vgpu::Machine>(std::move(cfg))) {
+System::System(vgpu::MachineConfig cfg) {
+  if (vgpu::MachinePool* pool = vgpu::MachinePool::current()) {
+    // Batched execution (sweep::map_batched): draw a warm machine rewound
+    // by Machine::try_reset — bit-identical to a fresh construction — and
+    // remember the pool so the destructor returns it. Streams below are
+    // rebuilt per System either way; only the machine is pooled.
+    pool_ = pool;
+    machine_ = pool->acquire(std::move(cfg));
+  } else {
+    machine_ = std::make_unique<vgpu::Machine>(std::move(cfg));
+  }
   streams_.resize(static_cast<std::size_t>(machine_->num_devices()));
   for (int d = 0; d < machine_->num_devices(); ++d) {
     streams_[static_cast<std::size_t>(d)].device = d;
@@ -22,7 +31,9 @@ System::System(vgpu::MachineConfig cfg)
   }
 }
 
-System::~System() = default;
+System::~System() {
+  if (pool_ != nullptr) pool_->release(std::move(machine_));
+}
 
 // ---------------------------------------------------------------------------
 // Host-thread scheduler

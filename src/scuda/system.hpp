@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "vgpu/machine.hpp"
+#include "vgpu/machine_pool.hpp"
 #include "vgpu/occupancy.hpp"
 
 namespace scuda {
@@ -212,6 +213,9 @@ class System {
   void validate_cooperative(const LaunchParams& p) const;
 
   std::unique_ptr<vgpu::Machine> machine_;
+  /// The thread's MachinePool at construction time, when one was installed
+  /// (sweep::map_batched batches); the destructor returns the machine there.
+  vgpu::MachinePool* pool_ = nullptr;
   std::vector<Stream> streams_;
 
   std::mutex mu_;

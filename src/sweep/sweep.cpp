@@ -11,18 +11,55 @@
 namespace sweep {
 
 int hardware_jobs() {
-  const unsigned n = std::thread::hardware_concurrency();
+  // Cached: glibc's hardware_concurrency() re-reads sysfs per call (~3 us).
+  static const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
 namespace {
 
+/// Whole-string integer parse shared by the CLI and env paths; a typo must
+/// never silently become 0 (atoi("four") == 0 would mean "all cores").
+bool parse_whole_int(const char* s, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 int initial_default_jobs() {
   if (const char* e = std::getenv("SYNCBENCH_JOBS")) {
-    const int j = std::atoi(e);
-    return j <= 0 ? hardware_jobs() : j;
+    long j = 0;
+    if (!parse_whole_int(e, &j)) {
+      // The CLI path dies on a typo (parse_jobs_or_die); the env path is
+      // resolved inside a lazy static initializer where exiting is too
+      // harsh, so warn and keep the serial default instead of letting
+      // atoi's 0 silently select every core.
+      std::fprintf(stderr,
+                   "warning: ignoring SYNCBENCH_JOBS='%s' "
+                   "(want an integer; 0 = all cores)\n",
+                   e);
+      return 1;
+    }
+    return j <= 0 ? hardware_jobs() : static_cast<int>(j);
   }
   return 1;
+}
+
+int initial_batch_points() {
+  if (const char* e = std::getenv("SYNCBENCH_BATCH")) {
+    long b = 0;
+    if (!parse_whole_int(e, &b)) {
+      std::fprintf(stderr,
+                   "warning: ignoring SYNCBENCH_BATCH='%s' "
+                   "(want an integer; 0 = unbatched)\n",
+                   e);
+      return 0;
+    }
+    return b <= 0 ? 0 : static_cast<int>(b);
+  }
+  return 0;
 }
 
 std::atomic<int>& default_jobs_slot() {
@@ -34,6 +71,17 @@ std::atomic<int>& shard_jobs_slot() {
   static std::atomic<int> jobs{0};
   return jobs;
 }
+
+std::atomic<int>& batch_points_slot() {
+  static std::atomic<int> batch{initial_batch_points()};
+  return batch;
+}
+
+// Whether *this process* exported the executor variables (set_shard_jobs),
+// as opposed to inheriting them from the parent environment. A reset to
+// serial must clear only what it installed.
+bool exported_exec = false;
+bool exported_shard_jobs = false;
 
 }  // namespace
 
@@ -51,14 +99,31 @@ void set_shard_jobs(int jobs) {
   shard_jobs_slot().store(j, std::memory_order_relaxed);
 #if !defined(_WIN32)
   if (j > 0) {
-    // Machines resolve these lazily at first construction; installing them
-    // here (single-threaded, before any System exists) switches every
-    // subsequent point's machine to the sharded executor with j workers. An
-    // explicit VGPU_EXEC in the environment wins — the user may be forcing
-    // the serial oracle under a shard-jobs budget.
-    setenv("VGPU_EXEC", "sharded", /*overwrite=*/0);
+    // Machines resolve these at construction; installing them here
+    // (single-threaded, before any System exists) switches every subsequent
+    // point's machine to the sharded executor with j workers. An explicit
+    // VGPU_EXEC in the environment wins — the user may be forcing the
+    // serial oracle under a shard-jobs budget.
+    if (!std::getenv("VGPU_EXEC")) {
+      setenv("VGPU_EXEC", "sharded", /*overwrite=*/0);
+      exported_exec = true;
+    }
     const std::string n = std::to_string(j);
     setenv("VGPU_SHARD_JOBS", n.c_str(), /*overwrite=*/1);
+    exported_shard_jobs = true;
+  } else {
+    // Reset to serial clears the exported variables (mirroring
+    // set_sm_clusters): machines built after the reset must not resolve the
+    // stale sharded budget. Variables inherited from the parent environment
+    // are left alone.
+    if (exported_exec) {
+      unsetenv("VGPU_EXEC");
+      exported_exec = false;
+    }
+    if (exported_shard_jobs) {
+      unsetenv("VGPU_SHARD_JOBS");
+      exported_shard_jobs = false;
+    }
   }
 #endif
 }
@@ -96,14 +161,19 @@ void set_sm_clusters(int clusters) {
 #endif
 }
 
+int batch_points() { return batch_points_slot().load(std::memory_order_relaxed); }
+
+void set_batch_points(int batch) {
+  batch_points_slot().store(batch <= 0 ? 0 : batch, std::memory_order_relaxed);
+}
+
 namespace {
 
-/// Whole-string integer parse; a typo must not silently select maximum
-/// parallelism (atoi("four") == 0 would mean "all cores").
+/// Whole-string integer parse for CLI flags; dies on a typo so it cannot
+/// silently select maximum parallelism.
 int parse_jobs_or_die(const char* s) {
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0') {
+  long v = 0;
+  if (!parse_whole_int(s, &v)) {
     std::fprintf(stderr, "invalid --jobs value '%s' (want an integer; 0 = all cores)\n", s);
     std::exit(2);
   }
@@ -130,6 +200,11 @@ int init_jobs_from_cli(int argc, char** argv) {
       ++i;
     } else if (std::strncmp(a, "--sm-clusters=", 14) == 0) {
       set_sm_clusters(parse_jobs_or_die(a + 14));
+    } else if (std::strcmp(a, "--batch") == 0 && i + 1 < argc) {
+      set_batch_points(parse_jobs_or_die(argv[i + 1]));
+      ++i;
+    } else if (std::strncmp(a, "--batch=", 8) == 0) {
+      set_batch_points(parse_jobs_or_die(a + 8));
     }
   }
   return default_jobs();

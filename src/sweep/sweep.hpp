@@ -6,12 +6,14 @@
 // syncbench/suite.cpp (and the bench binaries) expresses its grid.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "sweep/thread_pool.hpp"
+#include "vgpu/machine_pool.hpp"
 
 namespace sweep {
 
@@ -56,10 +58,19 @@ int sm_clusters();
 /// runs at equal cluster counts. clusters <= 0 resets to auto.
 void set_sm_clusters(int clusters);
 
-/// Parse `--jobs N`, `--shard-jobs N` and `--sm-clusters N` (or the
-/// `--flag=N` forms) from argv and install them; `--jobs 0` selects all
-/// hardware threads. Returns the resulting total job count. Unrecognized
-/// arguments are ignored (the bench binaries take no others).
+/// Consecutive grid points each worker pins to one warm machine
+/// (sweep::map_batched). 0 (the default) disables batching: every point
+/// builds a fresh Machine. Initialized from SYNCBENCH_BATCH; bench binaries
+/// override it from --batch.
+int batch_points();
+
+/// Install the batch size. batch <= 0 disables batching.
+void set_batch_points(int batch);
+
+/// Parse `--jobs N`, `--shard-jobs N`, `--sm-clusters N` and `--batch N`
+/// (or the `--flag=N` forms) from argv and install them; `--jobs 0` selects
+/// all hardware threads. Returns the resulting total job count.
+/// Unrecognized arguments are ignored (the bench binaries take no others).
 int init_jobs_from_cli(int argc, char** argv);
 
 /// Map `fn` over `points` with `jobs`-way parallelism, preserving order:
@@ -80,9 +91,40 @@ auto map(const std::vector<Point>& points, Fn&& fn, int jobs)
   return out;
 }
 
+/// Like sweep::map, but pin consecutive batches of `batch` points to one
+/// worker and run each batch inside a vgpu::MachinePool scope: every System
+/// a point builds inside the batch draws a warm, rewound Machine from the
+/// pool (when one structurally matches) instead of constructing from
+/// scratch. Results are bit-identical to sweep::map for any (jobs, batch) —
+/// a reused machine replays the same timeline as a fresh one (pinned by
+/// test_machine_pool). batch < 1 clamps to 1.
+template <class Point, class Fn>
+auto map_batched(const std::vector<Point>& points, Fn&& fn, int jobs, int batch)
+    -> std::vector<decltype(fn(points[std::size_t{0}]))> {
+  using Result = decltype(fn(points[std::size_t{0}]));
+  static_assert(!std::is_same<Result, bool>::value,
+                "sweep::map_batched cannot return bool: std::vector<bool> packs "
+                "bits, so concurrent out[i] writes would race — return int instead");
+  std::vector<Result> out(points.size());
+  const std::size_t b = batch < 1 ? std::size_t{1} : static_cast<std::size_t>(batch);
+  const std::size_t batches = (points.size() + b - 1) / b;
+  ThreadPool pool(jobs <= 0 ? hardware_jobs() : jobs);
+  pool.run(batches, [&](std::size_t bi) {
+    vgpu::MachinePool machines;
+    vgpu::MachinePool::Scope scope(machines);
+    const std::size_t lo = bi * b;
+    const std::size_t hi = std::min(points.size(), lo + b);
+    for (std::size_t i = lo; i < hi; ++i) out[i] = fn(points[i]);
+  });
+  return out;
+}
+
 template <class Point, class Fn>
 auto map(const std::vector<Point>& points, Fn&& fn)
     -> std::vector<decltype(fn(points[std::size_t{0}]))> {
+  const int batch = batch_points();
+  if (batch > 0)
+    return map_batched(points, std::forward<Fn>(fn), point_jobs(), batch);
   return map(points, std::forward<Fn>(fn), point_jobs());
 }
 

@@ -2,6 +2,8 @@
 
 namespace sweep {
 
+thread_local ThreadPool* ThreadPool::tls_active_ = nullptr;
+
 ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
   workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
   for (int i = 1; i < jobs_; ++i)
@@ -35,7 +37,24 @@ void ThreadPool::work_on(Batch& b, std::unique_lock<std::mutex>& lk) {
   if (b.in_flight == 0) done_cv_.notify_all();
 }
 
+void ThreadPool::run_inline(std::size_t num_tasks,
+                            const std::function<void(std::size_t)>& body) {
+  // Serial execution keeps the pool contract: every task attempted, the
+  // lowest-index exception rethrown (in serial order the first failure *is*
+  // the lowest index).
+  std::exception_ptr first;
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
 void ThreadPool::worker_loop() {
+  tls_active_ = this;  // workers belong to this pool for their whole life
   std::unique_lock<std::mutex> lk(mu_);
   std::uint64_t seen = 0;
   while (true) {
@@ -49,6 +68,12 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run(std::size_t num_tasks,
                      const std::function<void(std::size_t)>& body) {
   if (num_tasks == 0) return;
+  if (tls_active_ == this) {
+    // Nested run() from a task body: taking mu_ again would deadlock, and
+    // publishing a second batch would corrupt the outer one.
+    run_inline(num_tasks, body);
+    return;
+  }
   Batch b;
   b.body = &body;
   b.num_tasks = num_tasks;
@@ -59,7 +84,13 @@ void ThreadPool::run(std::size_t num_tasks,
     ++generation_;
     work_cv_.notify_all();
   }
-  work_on(b, lk);  // the caller participates
+  // The caller participates. It may itself be a worker of a *different*
+  // pool (a task body running a nested grid on its own pool), so save and
+  // restore rather than clearing.
+  ThreadPool* const prev = tls_active_;
+  tls_active_ = this;
+  work_on(b, lk);
+  tls_active_ = prev;
   done_cv_.wait(lk, [&] { return b.next >= b.num_tasks && b.in_flight == 0; });
   batch_ = nullptr;
   for (auto& e : b.errors)

@@ -30,6 +30,12 @@ class ThreadPool {
   /// until all complete. The caller participates as a worker. If any tasks
   /// throw, the exception of the lowest-index failing task is rethrown
   /// (after every task has still been attempted).
+  ///
+  /// Reentrant: a body that calls run() on the pool it is already executing
+  /// inside runs the nested grid inline and serially on the calling thread
+  /// (the batch slot and completion protocol are single-level, and the outer
+  /// grid already owns every worker). The every-task-once and
+  /// lowest-index-exception contracts still hold for the nested grid.
   void run(std::size_t num_tasks, const std::function<void(std::size_t)>& body);
 
  private:
@@ -44,6 +50,13 @@ class ThreadPool {
 
   void worker_loop();
   void work_on(Batch& b, std::unique_lock<std::mutex>& lk);
+  static void run_inline(std::size_t num_tasks,
+                         const std::function<void(std::size_t)>& body);
+
+  /// The pool this thread is currently executing a task for (nullptr
+  /// otherwise). Set for a worker's whole life and around the caller's
+  /// participation in run(); lets run() detect reentrant calls.
+  static thread_local ThreadPool* tls_active_;
 
   int jobs_;
   std::mutex mu_;

@@ -134,6 +134,70 @@ struct ArchSpec {
   }
 };
 
+inline bool operator==(const LaunchModel& a, const LaunchModel& b) {
+  return a.issue_cost == b.issue_cost && a.gap_total == b.gap_total &&
+         a.first_dispatch == b.first_dispatch;
+}
+inline bool operator!=(const LaunchModel& a, const LaunchModel& b) {
+  return !(a == b);
+}
+
+/// Structural equality over every timing and geometry field — the machine
+/// pool uses this to decide whether a warm machine's architecture matches a
+/// requested config. Keep in sync when adding fields: a missed field would
+/// let the pool hand out a machine whose precomputed tables (LatTable, SM
+/// layout) price the old spec.
+inline bool operator==(const ArchSpec& a, const ArchSpec& b) {
+  return a.name == b.name && a.kind == b.kind &&
+         a.independent_thread_scheduling == b.independent_thread_scheduling &&
+         a.num_sms == b.num_sms && a.core_mhz == b.core_mhz &&
+         a.max_threads_per_sm == b.max_threads_per_sm &&
+         a.max_blocks_per_sm == b.max_blocks_per_sm &&
+         a.max_warps_per_sm == b.max_warps_per_sm &&
+         a.max_threads_per_block == b.max_threads_per_block &&
+         a.shared_mem_per_sm == b.shared_mem_per_sm &&
+         a.shared_mem_per_block == b.shared_mem_per_block &&
+         a.num_schedulers == b.num_schedulers && a.num_gpcs == b.num_gpcs &&
+         a.alu_latency == b.alu_latency && a.alu_ii == b.alu_ii &&
+         a.dram_bytes_per_cycle == b.dram_bytes_per_cycle &&
+         a.dram_efficiency == b.dram_efficiency &&
+         a.gmem_latency == b.gmem_latency && a.gmem_warp_ii == b.gmem_warp_ii &&
+         a.smem_latency == b.smem_latency && a.smem_warp_ii == b.smem_warp_ii &&
+         a.smem_sm_bytes_per_cycle == b.smem_sm_bytes_per_cycle &&
+         a.atom_latency == b.atom_latency && a.atom_ii == b.atom_ii &&
+         a.tile_sync_latency == b.tile_sync_latency &&
+         a.tile_sync_ii == b.tile_sync_ii &&
+         a.coalesced_sync_latency_full == b.coalesced_sync_latency_full &&
+         a.coalesced_sync_ii_full == b.coalesced_sync_ii_full &&
+         a.coalesced_sync_latency_partial == b.coalesced_sync_latency_partial &&
+         a.coalesced_sync_ii_partial == b.coalesced_sync_ii_partial &&
+         a.shfl_tile_latency == b.shfl_tile_latency &&
+         a.shfl_tile_ii == b.shfl_tile_ii &&
+         a.shfl_coalesced_latency == b.shfl_coalesced_latency &&
+         a.shfl_coalesced_ii == b.shfl_coalesced_ii &&
+         a.bar_arrive_ii == b.bar_arrive_ii &&
+         a.bar_release_latency == b.bar_release_latency &&
+         a.grid_arrive_ii == b.grid_arrive_ii &&
+         a.grid_release_base == b.grid_release_base &&
+         a.grid_warp_release_ii == b.grid_warp_release_ii &&
+         a.mgrid_arrive_ii == b.mgrid_arrive_ii &&
+         a.mgrid_arrive_remote_extra == b.mgrid_arrive_remote_extra &&
+         a.mgrid_release_base == b.mgrid_release_base &&
+         a.mgrid_warp_release_ii == b.mgrid_warp_release_ii &&
+         a.block_dispatch_cycles == b.block_dispatch_cycles &&
+         a.kernel_entry_cycles == b.kernel_entry_cycles &&
+         a.launch_traditional == b.launch_traditional &&
+         a.launch_cooperative == b.launch_cooperative &&
+         a.launch_multi_device == b.launch_multi_device &&
+         a.multi_device_coordination == b.multi_device_coordination &&
+         a.multi_device_gap_per_gpu == b.multi_device_gap_per_gpu &&
+         a.device_sync_return == b.device_sync_return &&
+         a.device_sync_noop == b.device_sync_noop &&
+         a.host_barrier_base == b.host_barrier_base &&
+         a.host_barrier_per_thread == b.host_barrier_per_thread;
+}
+inline bool operator!=(const ArchSpec& a, const ArchSpec& b) { return !(a == b); }
+
 /// The two platforms evaluated in the paper.
 const ArchSpec& v100();  // Volta, DGX-1 member, 80 SMs @ 1312 MHz
 const ArchSpec& p100();  // Pascal, PCIe pair, 56 SMs @ 1189 MHz

@@ -530,6 +530,22 @@ void Device::mgrid_arrive(GridExec* g, Ps t) {
 // Diagnostics
 // ---------------------------------------------------------------------------
 
+void Device::reset() {
+  // Rewind everything a simulation point mutates; structural state built by
+  // the constructor (arch geometry, clock, LatTable, cluster partition,
+  // horizon slack) survives. Any new per-point mutable member added to
+  // Device, SMState or ClusterUnits must be rewound here — the machine-pool
+  // reset contract (DESIGN.md). Blocks and warps need no handling: they
+  // live inside grids_ and are fully re-initialized by dispatch_block.
+  grids_.clear();
+  mem_.reset();
+  for (SMState& s : sms_) s = SMState{};
+  for (ClusterUnits& c : clusters_) c = ClusterUnits{};
+  // Same fork key as the constructor, from the machine's freshly reseeded
+  // model, so the jitter sequence matches a fresh device bit for bit.
+  noise_ = machine_.noise().fork((1ull << 32) + static_cast<std::uint64_t>(id_));
+}
+
 int Device::active_grids() const {
   int n = 0;
   for (const auto& g : grids_)

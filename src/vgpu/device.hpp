@@ -252,6 +252,10 @@ class Device {
   std::string blocked_summary() const;
   int active_grids() const;
 
+  /// Machine-pool rewind (Machine::try_reset): forget everything the last
+  /// point created while keeping the constructor-built structural state.
+  void reset();
+
   SMState& sm(int i) { return sms_[static_cast<std::size_t>(i)]; }
 
   // SM-cluster partition (contiguous SM ranges; the last cluster may be

@@ -359,6 +359,57 @@ class EventQueue {
     return shards_[static_cast<std::size_t>(s)].mailbox.size();
   }
 
+  /// Rewind every shard to the fresh-queue state in O(changed-state):
+  /// scalar cursors are zeroed and slab/bucket/heap storage is *kept at
+  /// capacity* (the arena), so a drained queue resets with no frees or
+  /// reallocation and the next point's pushes land in warm memory. The
+  /// callback slab and its free list are both emptied rather than recycled
+  /// — a drained slab's free list is in LIFO retirement order, and reusing
+  /// it would assign different slot numbers than a fresh queue (slots are
+  /// not part of event ordering, but identical state is cheaper to reason
+  /// about than provably-equivalent state). Coordinator context only.
+  void reset() {
+    for (Shard& sh : shards_) {
+      if (kind_ == QueueKind::Heap) {
+        sh.heap.clear();
+      } else if (sh.near_size != 0) {
+        // Defensive path (pending events left behind): clear only the
+        // occupied buckets, found via the occupancy bitmap.
+        for (std::size_t w = 0; w < sh.occupied.size(); ++w) {
+          std::uint64_t bits = sh.occupied[w];
+          while (bits != 0) {
+            const std::size_t idx =
+                w * 64 + static_cast<std::size_t>(countr_zero64(bits));
+            bits &= bits - 1;
+            sh.buckets[idx].clear();
+          }
+        }
+      }
+      std::fill(sh.occupied.begin(), sh.occupied.end(), 0);
+      sh.overflow.clear();
+      sh.overflow_sorted = true;
+      sh.size = 0;
+      sh.next_seq = 0;
+      sh.now = 0;
+      sh.cur_seq = 0;
+      sh.base = 0;
+      sh.cur = 0;
+      sh.act_sorted = 0;
+      sh.near_size = 0;
+      sh.peeked = false;
+      sh.peek_idx = 0;
+      sh.callbacks.clear();
+      sh.free_slots.clear();
+      {
+        std::lock_guard<std::mutex> lk(
+            *mail_mu_[static_cast<std::size_t>(&sh - shards_.data())]);
+        sh.mailbox.clear();
+      }
+      sh.mail_tag = 0;
+    }
+    batch_lookahead_ = kPsInfinity;
+  }
+
  private:
   /// 32 bytes; `obj` doubles as the discriminator (non-null = warp event,
   /// null = callback slab slot).

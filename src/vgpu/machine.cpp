@@ -34,17 +34,20 @@ MachineConfig MachineConfig::single(const ArchSpec& arch) {
 
 namespace {
 
+/// Not cached statically: sweep::set_shard_jobs installs and clears
+/// VGPU_SHARD_JOBS between Machine constructions (and machine-pool resets),
+/// so the budget must be re-read per resolution.
 int resolve_shard_jobs(int configured, int num_shards) {
   int jobs = configured;
   if (jobs <= 0) {
-    static const int from_env = [] {
-      const char* v = std::getenv("VGPU_SHARD_JOBS");
-      return v && *v ? std::atoi(v) : 0;
-    }();
-    jobs = from_env;
+    const char* v = std::getenv("VGPU_SHARD_JOBS");
+    if (v && *v) jobs = std::atoi(v);
   }
   if (jobs <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
+    // hardware_concurrency() re-reads sysfs on every call (~3 us on glibc);
+    // cache it — the core count is fixed for the process lifetime, and the
+    // machine-pool reset path resolves jobs once per simulation point.
+    static const unsigned hw = std::thread::hardware_concurrency();
     jobs = hw == 0 ? 1 : static_cast<int>(hw);
   }
   return std::max(1, std::min(jobs, num_shards));
@@ -119,6 +122,68 @@ Machine::Machine(MachineConfig cfg)
 }
 
 Machine::~Machine() = default;
+
+bool Machine::reusable() const {
+  if (queue_.size() != 0) return false;
+  for (int s = 0; s < queue_.num_shards(); ++s)
+    if (queue_.mailbox_size(s) != 0) return false;
+  if (blocked_entities() != 0) return false;
+  if (pending_ops_count_.load(std::memory_order_relaxed) != 0) return false;
+  for (const auto& d : devices_)
+    if (d->active_grids() != 0) return false;
+  return true;
+}
+
+bool Machine::try_reset(const MachineConfig& cfg) {
+  if (!reusable()) return false;
+  // Structural identity: everything whose change would invalidate state the
+  // constructor builds once (device objects, LatTables, fabric rows, shard
+  // layout, queue structure). A mismatch means "build fresh".
+  if (!(cfg_.arch == cfg.arch)) return false;
+  if (cfg_.num_devices != cfg.num_devices) return false;
+  if (cfg_.topology != cfg.topology) return false;
+  if (queue_.kind() != resolve_queue_kind(cfg.queue)) return false;
+  if (sm_clusters_ != resolve_sm_clusters(cfg.sm_clusters, cfg.arch)) return false;
+
+  // Point-mutable configuration, re-resolved exactly as the constructor
+  // would resolve it (same order: executor, widening, lookahead, shard
+  // jobs). Anything the constructor derives from these must be recomputed
+  // here — the machine-pool reset contract (DESIGN.md).
+  cfg_.noise_seed = cfg.noise_seed;
+  cfg_.noise_amplitude = cfg.noise_amplitude;
+  cfg_.virtual_time_limit = cfg.virtual_time_limit;
+  cfg_.queue = cfg.queue;
+  cfg_.exec = cfg.exec;
+  cfg_.shard_jobs = cfg.shard_jobs;
+  cfg_.sm_clusters = cfg.sm_clusters;
+  cfg_.adaptive_window = cfg.adaptive_window;
+
+  exec_ = resolve_exec_mode(cfg_.exec);
+  adaptive_ = resolve_adaptive_window(cfg_.adaptive_window);
+  noise_ = NoiseModel(cfg_.noise_seed, cfg_.noise_amplitude);
+  queue_.reset();  // also rewinds batch_lookahead_ to kPsInfinity
+  lookahead_ = compute_lookahead();
+  if (lookahead_ < 1) {
+    exec_ = ExecMode::Serial;
+  } else {
+    queue_.set_batch_lookahead(lookahead_);
+  }
+  const int jobs = resolve_shard_jobs(cfg_.shard_jobs, num_shards());
+  if (jobs != shard_jobs_) {
+    pool_.reset();  // the worker count is baked into the pool; respawn lazily
+    shard_jobs_ = jobs;
+  }
+  fabric_.reset();
+  for (auto& d : devices_) d->reset();  // refork noise streams, rewind arenas
+  blocked_entities_.store(0, std::memory_order_relaxed);
+  widen_scale_ = 0;
+  {
+    std::lock_guard<std::mutex> lk(sync_mu_);
+    pending_ops_.clear();
+    pending_ops_count_.store(0, std::memory_order_relaxed);
+  }
+  return true;
+}
 
 /// The minimum virtual-time distance at which one shard can affect another —
 /// the conservative window width.

@@ -68,14 +68,14 @@ enum class ExecMode : std::uint8_t { Auto, Serial, Sharded };
 
 inline ExecMode resolve_exec_mode(ExecMode m) {
   if (m != ExecMode::Auto) return m;
-  static const ExecMode from_env = [] {
-    const char* v = std::getenv("VGPU_EXEC");
-    if (!v || !*v || std::string_view(v) == "serial") return ExecMode::Serial;
-    if (std::string_view(v) == "sharded") return ExecMode::Sharded;
-    throw SimError(std::string("VGPU_EXEC must be 'serial' or 'sharded', got '") +
-                   v + "'");
-  }();
-  return from_env;
+  // Read per call, not cached: sweep::set_shard_jobs installs and clears
+  // VGPU_EXEC between Machine constructions (and machine-pool resets), so a
+  // once-latched value would pin the first resolution for the process life.
+  const char* v = std::getenv("VGPU_EXEC");
+  if (!v || !*v || std::string_view(v) == "serial") return ExecMode::Serial;
+  if (std::string_view(v) == "sharded") return ExecMode::Sharded;
+  throw SimError(std::string("VGPU_EXEC must be 'serial' or 'sharded', got '") +
+                 v + "'");
 }
 
 inline const char* to_string(ExecMode m) {
@@ -236,6 +236,29 @@ class Machine {
 
   /// Human-readable dump of everything currently blocked, for DeadlockError.
   std::string blocked_report() const;
+
+  // ---- machine-pool reuse ---------------------------------------------------
+
+  /// Whether a finished point left this machine clean enough to hand to the
+  /// next one: queue and mailboxes drained, nothing blocked, no parked
+  /// window ops, every grid retired. A point that aborted mid-flight (e.g.
+  /// a caught DeadlockError) fails this and poisons the machine — the pool
+  /// destroys it instead of reusing it.
+  bool reusable() const;
+
+  /// Rewind this machine to the state `Machine(cfg)` would construct, in
+  /// O(changed-state): the event-queue calendars/heaps, callback slabs,
+  /// device and cluster regulator state, noise streams and global-memory
+  /// arenas are reset in place with their storage kept at capacity — no
+  /// reconstruction. Succeeds only when `cfg` matches this machine's
+  /// *structural* identity (arch, device count, topology, resolved queue
+  /// kind and cluster count); point-mutable parameters (noise seed and
+  /// amplitude, virtual-time limit, executor, shard jobs, adaptive window)
+  /// are re-resolved from `cfg` exactly as the constructor would. Returns
+  /// false (machine untouched) on a structural mismatch or when !reusable().
+  /// The resulting timeline is bit-identical to a fresh machine's (pinned
+  /// by test_machine_pool).
+  bool try_reset(const MachineConfig& cfg);
 
  private:
   struct ShardPool;

@@ -1,0 +1,42 @@
+#include "vgpu/machine_pool.hpp"
+
+namespace vgpu {
+
+namespace {
+thread_local MachinePool* tls_current = nullptr;
+}  // namespace
+
+MachinePool* MachinePool::current() { return tls_current; }
+
+MachinePool::Scope::Scope(MachinePool& pool) : prev_(tls_current) {
+  tls_current = &pool;
+}
+
+MachinePool::Scope::~Scope() { tls_current = prev_; }
+
+std::unique_ptr<Machine> MachinePool::acquire(MachineConfig cfg) {
+  for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+    if ((*it)->try_reset(cfg)) {
+      std::unique_ptr<Machine> m = std::move(*it);
+      idle_.erase(it);
+      ++warm_hits_;
+      return m;
+    }
+  }
+  ++cold_builds_;
+  return std::make_unique<Machine>(std::move(cfg));
+}
+
+void MachinePool::release(std::unique_ptr<Machine> m) {
+  if (!m) return;
+  if (!m->reusable()) {
+    // Dropped: a machine with blocked warps / undrained events could leak
+    // the previous point's timeline into a reuse.
+    ++poisoned_;
+    return;
+  }
+  if (idle_.size() >= kMaxIdle) idle_.erase(idle_.begin());
+  idle_.push_back(std::move(m));
+}
+
+}  // namespace vgpu

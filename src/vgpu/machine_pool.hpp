@@ -1,0 +1,76 @@
+// A pool of warm Machines for batched sweep execution.
+//
+// Characterization sweeps pay a full Machine construction per grid point —
+// device objects, 2048-bucket calendars, callback slabs, fabric rows — even
+// though consecutive points usually differ only in workload sizes or noise
+// parameters. The pool keeps finished machines and rewinds them in
+// O(changed-state) (Machine::try_reset) instead of reconstructing; a reused
+// machine produces a timeline bit-identical to a fresh one (pinned by
+// test_machine_pool).
+//
+// Ownership and threading: a pool is deliberately *not* thread-safe. The
+// intended shape (sweep::map_batched) creates one pool per worker batch and
+// installs it as the calling thread's current pool via MachinePool::Scope;
+// scuda::System picks it up transparently in its constructor, so sweep
+// bodies need no changes to benefit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "vgpu/machine.hpp"
+
+namespace vgpu {
+
+class MachinePool {
+ public:
+  MachinePool() = default;
+
+  MachinePool(const MachinePool&) = delete;
+  MachinePool& operator=(const MachinePool&) = delete;
+
+  /// A machine for `cfg`: a pooled one rewound by Machine::try_reset when
+  /// one structurally matches (warm hit), else freshly constructed.
+  std::unique_ptr<Machine> acquire(MachineConfig cfg);
+
+  /// Return a finished machine. Pooled only if Machine::reusable() — a
+  /// point that aborted mid-flight (e.g. a caught DeadlockError) poisons
+  /// its machine, which is destroyed rather than reused.
+  void release(std::unique_ptr<Machine> m);
+
+  /// The calling thread's innermost active pool (nullptr when none).
+  static MachinePool* current();
+
+  /// RAII installer: makes `pool` the calling thread's current pool for the
+  /// scope's lifetime, restoring the previous one (scopes nest).
+  class Scope {
+   public:
+    explicit Scope(MachinePool& pool);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    MachinePool* prev_;
+  };
+
+  // Telemetry for tests and benchmarks.
+  std::size_t warm_hits() const { return warm_hits_; }
+  std::size_t cold_builds() const { return cold_builds_; }
+  std::size_t poisoned() const { return poisoned_; }
+  std::size_t idle() const { return idle_.size(); }
+
+ private:
+  /// Idle-list bound: a batch normally cycles through one or two structural
+  /// configs, so anything larger than a handful means the grid interleaves
+  /// many machine shapes — cap the retained memory and evict the oldest.
+  static constexpr std::size_t kMaxIdle = 8;
+
+  std::vector<std::unique_ptr<Machine>> idle_;
+  std::size_t warm_hits_ = 0;
+  std::size_t cold_builds_ = 0;
+  std::size_t poisoned_ = 0;
+};
+
+}  // namespace vgpu

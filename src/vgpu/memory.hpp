@@ -38,11 +38,27 @@ class GlobalMemory {
   explicit GlobalMemory(int device) : device_(device) {}
 
   DevPtr allocate(std::int64_t bytes) {
-    buffers_.emplace_back(static_cast<std::size_t>(bytes));
-    return DevPtr::make(device_, static_cast<int>(buffers_.size()) - 1, 0);
+    const std::size_t n = static_cast<std::size_t>(bytes);
+    if (live_ < buffers_.size()) {
+      // Recycled arena slot (machine-pool reuse): zero-fill so the buffer is
+      // indistinguishable from a freshly value-initialized one.
+      buffers_[live_].assign(n, std::byte{0});
+    } else {
+      buffers_.emplace_back(n);
+    }
+    return DevPtr::make(device_, static_cast<int>(live_++), 0);
   }
 
-  void free_all() { buffers_.clear(); }
+  void free_all() {
+    buffers_.clear();
+    live_ = 0;
+  }
+
+  /// Machine-pool rewind: retire every live buffer but keep the backing
+  /// storage (the arena) so the next point's allocations reuse warm memory.
+  /// Stale DevPtrs from the previous point are rejected by check() — only
+  /// ids below the live watermark dereference.
+  void reset() { live_ = 0; }
 
   std::int64_t load_i64(DevPtr p) const {
     std::int64_t v;
@@ -110,8 +126,7 @@ class GlobalMemory {
     if (p.null()) throw SimError("null device pointer dereference");
     if (p.device() != device_)
       throw SimError("device pointer dereferenced on wrong device's memory");
-    if (p.buffer() < 0 ||
-        static_cast<std::size_t>(p.buffer()) >= buffers_.size())
+    if (p.buffer() < 0 || static_cast<std::size_t>(p.buffer()) >= live_)
       throw SimError("invalid device buffer id");
     const auto& buf = buffers_[static_cast<std::size_t>(p.buffer())];
     if (p.offset() < 0 || bytes < 0 ||
@@ -121,6 +136,7 @@ class GlobalMemory {
 
   int device_;
   std::vector<std::vector<std::byte>> buffers_;
+  std::size_t live_ = 0;  // buffers_[0..live_) are this point's allocations
 };
 
 }  // namespace vgpu

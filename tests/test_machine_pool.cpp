@@ -1,0 +1,273 @@
+// The machine pool's hard constraint: a pooled Machine rewound by
+// Machine::try_reset must be indistinguishable — bit for bit, in every
+// observable of the virtual timeline — from a freshly constructed one, even
+// when the previous point differed in workload sizes, noise parameters or
+// architecture, under both queue kinds and both executors. Also pins the
+// pool mechanics themselves: structural mismatches build fresh, aborted
+// points poison their machine, recycled device memory is zero-filled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "scuda/system.hpp"
+#include "syncbench/kernels.hpp"
+#include "vgpu/arch.hpp"
+#include "vgpu/machine_pool.hpp"
+
+namespace {
+
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::System;
+using vgpu::DevPtr;
+using vgpu::ExecMode;
+using vgpu::KernelBuilder;
+using vgpu::MachineConfig;
+using vgpu::MachinePool;
+using vgpu::Ps;
+using vgpu::QueueKind;
+using vgpu::Reg;
+using vgpu::SpecialReg;
+
+/// Same shape as test_determinism's probe: atomic bump, grid sync, then a
+/// per-thread post-barrier SM clock store — a fingerprint of the timeline.
+vgpu::ProgramPtr timeline_kernel() {
+  KernelBuilder kb("pool_timeline_probe");
+  Reg out = kb.reg();
+  kb.ld_param(out, 0);
+  Reg gtid = kb.reg();
+  kb.sreg(gtid, SpecialReg::GTid);
+  Reg one = kb.imm(1);
+  kb.atom_add_i64(out, one);
+  kb.grid_sync();
+  Reg clk = kb.reg();
+  kb.rclock(clk);
+  Reg addr = kb.reg();
+  kb.iadd(addr, gtid, 1);
+  kb.ishl(addr, addr, 3);
+  kb.iadd(addr, addr, out);
+  kb.stg(addr, clk);
+  kb.exit();
+  return kb.finish();
+}
+
+struct PointSpec {
+  int blocks = 8;
+  int threads = 128;
+  std::uint64_t noise_seed = 0;
+  double noise_amplitude = 0.0;
+};
+
+struct Capture {
+  std::vector<std::int64_t> out;
+  Ps end_now = 0;
+  Ps launch_done = 0;
+};
+
+/// One simulation point. Draws its machine from the calling thread's
+/// current MachinePool when one is installed (exactly like a sweep body).
+Capture run_point(MachineConfig cfg, const PointSpec& p) {
+  cfg.noise_seed = p.noise_seed;
+  cfg.noise_amplitude = p.noise_amplitude;
+  System sys(cfg);
+  const std::int64_t slots = 1 + p.blocks * p.threads;
+  DevPtr out = sys.malloc(0, slots * 8);
+  sys.fill_i64(out, std::vector<std::int64_t>(static_cast<std::size_t>(slots), 0));
+  Capture cap;
+  sys.run([&](HostThread& h) {
+    sys.launch_cooperative(
+        h, 0, LaunchParams{timeline_kernel(), p.blocks, p.threads, 0, {out.raw}});
+    cap.launch_done = h.now();
+    sys.device_synchronize(h, 0);
+    cap.end_now = h.now();
+  });
+  cap.out = sys.read_i64(out, slots);
+  return cap;
+}
+
+void expect_identical(const Capture& a, const Capture& b) {
+  EXPECT_EQ(a.launch_done, b.launch_done);
+  EXPECT_EQ(a.end_now, b.end_now);
+  ASSERT_EQ(a.out.size(), b.out.size());
+  EXPECT_EQ(a.out, b.out);
+}
+
+/// The configs the suite sweeps: both queue kinds under the serial oracle,
+/// plus the sharded executor (two SM clusters so a single device really
+/// shards) under both queue kinds.
+std::vector<MachineConfig> pool_configs() {
+  std::vector<MachineConfig> cfgs;
+  for (QueueKind q : {QueueKind::Heap, QueueKind::Calendar}) {
+    for (ExecMode e : {ExecMode::Serial, ExecMode::Sharded}) {
+      MachineConfig cfg = MachineConfig::single(vgpu::v100());
+      cfg.queue = q;
+      cfg.exec = e;
+      if (e == ExecMode::Sharded) {
+        cfg.sm_clusters = 2;
+        cfg.shard_jobs = 2;
+      }
+      cfgs.push_back(cfg);
+    }
+  }
+  return cfgs;
+}
+
+TEST(MachinePoolDeterminism, ReusedMachineIsBitIdenticalToFresh) {
+  // The reused machine previously ran a *different* point: other launch
+  // geometry, other noise seed, other amplitude. Matrix over queue kinds
+  // and executors, with noise on the replayed point.
+  const PointSpec first{4, 64, 99, 0.05};
+  const PointSpec probe{8, 128, 7, 0.02};
+  for (const MachineConfig& cfg : pool_configs()) {
+    SCOPED_TRACE(std::string("queue=") + vgpu::to_string(cfg.queue) +
+                 " exec=" + vgpu::to_string(cfg.exec));
+    const Capture fresh = run_point(cfg, probe);  // no pool installed
+    MachinePool pool;
+    Capture reused;
+    {
+      MachinePool::Scope scope(pool);
+      run_point(cfg, first);
+      reused = run_point(cfg, probe);
+    }
+    EXPECT_EQ(pool.cold_builds(), 1u);
+    EXPECT_EQ(pool.warm_hits(), 1u);  // the probe really ran on a warm machine
+    expect_identical(fresh, reused);
+  }
+}
+
+TEST(MachinePoolDeterminism, RepeatedReuseStaysBitIdentical) {
+  // Reset stability: the same machine cycled through several points must
+  // keep replaying the probe exactly.
+  MachineConfig cfg = MachineConfig::single(vgpu::v100());
+  const PointSpec probe{8, 128, 3, 0.01};
+  const Capture fresh = run_point(cfg, probe);
+  MachinePool pool;
+  MachinePool::Scope scope(pool);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE(round);
+    run_point(cfg, PointSpec{2 + round, 32 << round,
+                             static_cast<std::uint64_t>(round), 0.0});
+    expect_identical(fresh, run_point(cfg, probe));
+  }
+  // Six acquires inside the scope: the first builds cold, the rest reuse.
+  EXPECT_EQ(pool.cold_builds(), 1u);
+  EXPECT_EQ(pool.warm_hits(), 5u);
+}
+
+TEST(MachinePool, ArchChangeForcesFreshBuildAndStaysCorrect) {
+  const PointSpec probe{4, 64, 0, 0.0};
+  const MachineConfig v = MachineConfig::single(vgpu::v100());
+  const MachineConfig p = MachineConfig::single(vgpu::p100());
+  const Capture fresh_v = run_point(v, probe);
+  const Capture fresh_p = run_point(p, probe);
+  MachinePool pool;
+  MachinePool::Scope scope(pool);
+  const Capture pooled_v = run_point(v, probe);
+  const Capture pooled_p = run_point(p, probe);  // structural mismatch
+  EXPECT_EQ(pool.cold_builds(), 2u);
+  EXPECT_EQ(pool.warm_hits(), 0u);
+  expect_identical(fresh_v, pooled_v);
+  expect_identical(fresh_p, pooled_p);
+  // And the two architectures genuinely time differently (the probe would
+  // not notice a stale machine otherwise).
+  EXPECT_NE(fresh_v.end_now, fresh_p.end_now);
+}
+
+TEST(MachinePool, QueueKindChangeForcesFreshBuild) {
+  MachineConfig heap = MachineConfig::single(vgpu::v100());
+  heap.queue = QueueKind::Heap;
+  MachineConfig cal = heap;
+  cal.queue = QueueKind::Calendar;
+  const PointSpec probe{4, 64, 0, 0.0};
+  MachinePool pool;
+  MachinePool::Scope scope(pool);
+  const Capture a = run_point(heap, probe);
+  const Capture b = run_point(cal, probe);
+  EXPECT_EQ(pool.cold_builds(), 2u);
+  EXPECT_EQ(pool.warm_hits(), 0u);
+  expect_identical(a, b);  // both kinds produce the same timeline anyway
+}
+
+TEST(MachinePool, RecycledDeviceMemoryIsZeroFilled) {
+  const MachineConfig cfg = MachineConfig::single(vgpu::v100());
+  MachinePool pool;
+  MachinePool::Scope scope(pool);
+  {
+    // First point dirties a buffer with a recognizable pattern.
+    System sys(cfg);
+    DevPtr buf = sys.malloc(0, 64 * 8);
+    sys.fill_i64(buf, std::vector<std::int64_t>(64, 0x5AD0BEEF));
+    sys.run([](HostThread&) {});
+  }
+  {
+    // Second point (warm machine) allocates without filling: the recycled
+    // arena slot must read as a fresh zero-initialized buffer.
+    System sys(cfg);
+    DevPtr buf = sys.malloc(0, 64 * 8);
+    const std::vector<std::int64_t> got = sys.read_i64(buf, 64);
+    EXPECT_EQ(got, std::vector<std::int64_t>(64, 0));
+  }
+  EXPECT_EQ(pool.warm_hits(), 1u);
+}
+
+TEST(MachinePool, StaleDevPtrFromPreviousPointIsRejected) {
+  const MachineConfig cfg = MachineConfig::single(vgpu::v100());
+  MachinePool pool;
+  MachinePool::Scope scope(pool);
+  DevPtr stale;
+  {
+    System sys(cfg);
+    stale = sys.malloc(0, 8);
+  }
+  System sys(cfg);
+  ASSERT_EQ(pool.warm_hits(), 1u);
+  // The arena retains the storage, but the buffer id is above the new
+  // point's live watermark: dereferencing must throw, exactly as a dangling
+  // pointer into a fresh machine would.
+  EXPECT_THROW(sys.read_i64(stale, 1), vgpu::SimError);
+}
+
+TEST(MachinePool, AbortedPointPoisonsItsMachine) {
+  MachineConfig cfg = MachineConfig::single(vgpu::v100());
+  const PointSpec probe{4, 64, 0, 0.0};
+  const Capture fresh = run_point(cfg, probe);
+  MachinePool pool;
+  MachinePool::Scope scope(pool);
+  {
+    MachineConfig limited = cfg;
+    limited.virtual_time_limit = 1000;  // 1 ns: the launch cannot finish
+    System sys(limited);
+    EXPECT_THROW(sys.run([&](HostThread& h) {
+      sys.launch_cooperative(
+          h, 0, LaunchParams{timeline_kernel(), 4, 64, 0,
+                             {sys.malloc(0, (1 + 4 * 64) * 8).raw}});
+      sys.device_synchronize(h, 0);
+    }),
+                 vgpu::DeadlockError);
+  }
+  // The aborted machine must not be handed to the next point.
+  EXPECT_EQ(pool.poisoned(), 1u);
+  const Capture after = run_point(cfg, probe);
+  EXPECT_EQ(pool.cold_builds(), 2u);
+  EXPECT_EQ(pool.warm_hits(), 0u);
+  expect_identical(fresh, after);
+}
+
+TEST(MachinePool, ScopesNestAndRestore) {
+  EXPECT_EQ(MachinePool::current(), nullptr);
+  MachinePool outer;
+  {
+    MachinePool::Scope a(outer);
+    EXPECT_EQ(MachinePool::current(), &outer);
+    MachinePool inner;
+    {
+      MachinePool::Scope b(inner);
+      EXPECT_EQ(MachinePool::current(), &inner);
+    }
+    EXPECT_EQ(MachinePool::current(), &outer);
+  }
+  EXPECT_EQ(MachinePool::current(), nullptr);
+}
+
+}  // namespace

@@ -99,6 +99,57 @@ TEST(ThreadPool, LowestIndexExceptionWins) {
   }
 }
 
+TEST(ThreadPool, NestedRunOnSamePoolExecutesInlineExactlyOnce) {
+  // Regression: a body calling run() on its own pool used to deadlock on
+  // the pool mutex (or corrupt the published batch). Nested grids now run
+  // inline and serially on the calling thread; a hang here fails via the
+  // test timeout.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 8, kInner = 16;
+  std::vector<int> hits(kOuter * kInner, 0);
+  pool.run(kOuter, [&](std::size_t o) {
+    pool.run(kInner, [&](std::size_t i) { hits[o * kInner + i] += 1; });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, NestedRunPropagatesLowestIndexException) {
+  ThreadPool pool(3);
+  std::vector<int> outer_ok(4, 0);
+  try {
+    pool.run(4, [&](std::size_t o) {
+      if (o != 2) {
+        outer_ok[o] = 1;
+        return;
+      }
+      pool.run(8, [&](std::size_t i) {
+        if (i == 3) throw std::runtime_error("nested from 3");
+        if (i == 6) throw std::runtime_error("nested from 6");
+      });
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "nested from 3");
+  }
+  for (std::size_t o = 0; o < 4; ++o) {
+    if (o != 2) {
+      EXPECT_EQ(outer_ok[o], 1) << o;
+    }
+  }
+}
+
+TEST(ThreadPool, NestedRunOnADifferentPoolStillRunsInParallel) {
+  // Only same-pool reentrancy serializes; a task body driving its *own*
+  // pool keeps full worker participation.
+  ThreadPool outer(2);
+  std::vector<int> hits(3 * 10, 0);
+  outer.run(3, [&](std::size_t o) {
+    ThreadPool inner(2);
+    inner.run(10, [&](std::size_t i) { hits[o * 10 + i] += 1; });
+  });
+  EXPECT_EQ(hits, (std::vector<int>(3 * 10, 1)));
+}
+
 // ---------------------------------------------------------------------------
 // sweep::map
 // ---------------------------------------------------------------------------
@@ -157,6 +208,33 @@ TEST(SweepBudget, ShardJobsExportTheShardedExecutor) {
   EXPECT_STREQ(sj, "2");
   const char* exec = std::getenv("VGPU_EXEC");
   ASSERT_NE(exec, nullptr);  // installed by set_shard_jobs unless pre-set
+}
+
+TEST(SweepBudget, ResetToSerialClearsTheExportedExecutorEnv) {
+  // Regression: set_shard_jobs(0) used to leave VGPU_EXEC=sharded /
+  // VGPU_SHARD_JOBS exported, so machines built after a reset-to-serial
+  // kept resolving the stale sharded budget (asymmetric with
+  // set_sm_clusters, which unsetenvs). Only variables *this process*
+  // installed may be cleared — the harness may legitimately pre-set
+  // VGPU_EXEC for a whole test run.
+  ShardJobsGuard shard_guard;
+  const bool exec_preset = std::getenv("VGPU_EXEC") != nullptr;
+  sweep::set_shard_jobs(3);
+  ASSERT_NE(std::getenv("VGPU_SHARD_JOBS"), nullptr);
+  EXPECT_STREQ(std::getenv("VGPU_SHARD_JOBS"), "3");
+  sweep::set_shard_jobs(0);
+  EXPECT_EQ(std::getenv("VGPU_SHARD_JOBS"), nullptr);
+  if (exec_preset) {
+    EXPECT_NE(std::getenv("VGPU_EXEC"), nullptr);  // inherited: left alone
+  } else {
+    EXPECT_EQ(std::getenv("VGPU_EXEC"), nullptr);
+  }
+  // And a machine built after the reset really runs the serial executor
+  // (the resolution is per-construction, not latched at first use).
+  if (!exec_preset) {
+    scuda::System sys(MachineConfig::single(vgpu::v100()));
+    EXPECT_EQ(sys.exec_mode(), vgpu::ExecMode::Serial);
+  }
 }
 
 TEST(SweepDeterminism, ShardedPointsAreBitIdenticalToSerialPoints) {
@@ -223,6 +301,77 @@ TEST(SweepDeterminism, WarpSyncParallelIsBitIdenticalToSerial) {
     EXPECT_EQ(serial[i].throughput_per_cycle, parallel[i].throughput_per_cycle)
         << serial[i].label;
   }
+}
+
+// ---------------------------------------------------------------------------
+// sweep::map_batched: warm-machine batches must change nothing but speed
+// ---------------------------------------------------------------------------
+
+/// Restores the batch size on scope exit.
+struct BatchGuard {
+  int saved = sweep::batch_points();
+  ~BatchGuard() { sweep::set_batch_points(saved); }
+};
+
+TEST(SweepMap, BatchPointsRoundTrip) {
+  BatchGuard guard;
+  sweep::set_batch_points(6);
+  EXPECT_EQ(sweep::batch_points(), 6);
+  sweep::set_batch_points(0);
+  EXPECT_EQ(sweep::batch_points(), 0);
+  sweep::set_batch_points(-2);  // negative = off, like 0
+  EXPECT_EQ(sweep::batch_points(), 0);
+}
+
+TEST(SweepMap, MapBatchedPreservesOrderForEveryBatchSize) {
+  std::vector<int> points;
+  for (int i = 0; i < 23; ++i) points.push_back(i);
+  for (int batch : {1, 4, 7, 23, 100}) {
+    const std::vector<int> out =
+        sweep::map_batched(points, [](int p) { return p * p + 1; }, 4, batch);
+    ASSERT_EQ(out.size(), points.size()) << "batch " << batch;
+    for (int i = 0; i < 23; ++i)
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i + 1) << "batch " << batch;
+  }
+}
+
+TEST(SweepDeterminism, BatchedSweepIsBitIdenticalToUnbatched) {
+  // Real simulation points through the pooled path: each point builds a
+  // System inside the worker's MachinePool scope, so points within a batch
+  // reuse a warm machine. The results must match the fresh-machine sweep
+  // bit for bit.
+  std::vector<int> block_counts{2, 4, 6, 8, 3, 5};
+  auto run_point = [](int blocks) {
+    MachineConfig cfg = MachineConfig::single(small_v100());
+    cfg.noise_seed = static_cast<std::uint64_t>(blocks);
+    cfg.noise_amplitude = 0.02;
+    scuda::System sys(cfg);
+    double us = 0;
+    sys.run([&](scuda::HostThread& h) {
+      const double t0 = h.now_us();
+      sys.launch_cooperative(
+          h, 0,
+          scuda::LaunchParams{syncbench::grid_sync_kernel(4), blocks, 64, 0, {}});
+      sys.device_synchronize(h, 0);
+      us = h.now_us() - t0;
+    });
+    return us;
+  };
+  const auto fresh = sweep::map(block_counts, run_point, 2);
+  const auto batched = sweep::map_batched(block_counts, run_point, 2, 3);
+  ASSERT_EQ(fresh.size(), batched.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    EXPECT_EQ(fresh[i], batched[i]) << block_counts[i] << " blocks";
+  // The default-jobs overload routes through the same pooled path when a
+  // batch size is installed (the --batch / SYNCBENCH_BATCH plumbing).
+  BatchGuard guard;
+  JobsGuard jobs_guard;
+  sweep::set_default_jobs(2);
+  sweep::set_batch_points(4);
+  const auto routed = sweep::map(block_counts, run_point);
+  ASSERT_EQ(fresh.size(), routed.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    EXPECT_EQ(fresh[i], routed[i]) << block_counts[i] << " blocks";
 }
 
 TEST(SweepDeterminism, MgridHeatmapParallelIsBitIdenticalToSerial) {
