@@ -111,6 +111,16 @@ def main():
         print(f"note: {len(missing)} baseline benchmarks missing from the "
               f"current run: {', '.join(missing)}")
 
+    added = sorted(set(cur) - set(base))
+    if added:
+        # Benchmarks this change introduces have no baseline to regress
+        # against; report them informationally so the PR adding them doesn't
+        # have to land a baseline refresh first.
+        print(f"note: {len(added)} benchmark(s) new in this run "
+              f"(informational, not gated): {', '.join(added)}")
+        for name in added:
+            print(f"{name:<44} {'--':>10} {cur[name]:>10.0f}      new")
+
     if not regressed:
         print("perf gate: OK")
         return 0

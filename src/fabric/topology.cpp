@@ -17,6 +17,16 @@ Ps Topology::fabric_barrier_cost(int n) const {
   return base + static_cast<Ps>(n) * barrier_per_gpu;
 }
 
+Ps Topology::fabric_barrier_cost_set(const std::vector<int>& members) const {
+  if (members.size() <= 1) return 0;
+  const int leader = *std::min_element(members.begin(), members.end());
+  int h = 0;
+  for (int m : members)
+    h = std::max(h, hops[static_cast<std::size_t>(leader)][static_cast<std::size_t>(m)]);
+  const Ps base = h <= 1 ? barrier_base_1hop : barrier_base_2hop;
+  return base + static_cast<Ps>(members.size()) * barrier_per_gpu;
+}
+
 Ps Topology::min_fabric_barrier_cost(int max_n) const {
   Ps best = kPsInfinity;
   for (int n = 2; n <= max_n; ++n)

@@ -37,6 +37,12 @@ struct Topology {
   /// Returns 0 for n <= 1 (a single grid needs no fabric round).
   Ps fabric_barrier_cost(int n) const;
 
+  /// Barrier cost over an explicit participating set (leader = lowest
+  /// member): base[max hops(leader -> member)] + |set| * per_gpu. Equals
+  /// fabric_barrier_cost(n) for the set {0..n-1}; used to price partial
+  /// sync groups by their actual span on the fabric.
+  Ps fabric_barrier_cost_set(const std::vector<int>& members) const;
+
   /// Cheapest possible fabric barrier round over any participant count in
   /// [2, max_n] — one ingredient of the conservative cross-device lookahead
   /// (Machine::lookahead): a multi-grid release can reach a remote device no

@@ -366,7 +366,8 @@ void System::validate_cooperative(const LaunchParams& p) const {
 
 void System::enqueue(HostThread& h, int dev, const LaunchParams& p,
                      const vgpu::LaunchModel& lm, Ps extra_gap, bool cooperative,
-                     std::shared_ptr<vgpu::MGridState> mgrid, int rank,
+                     std::vector<std::shared_ptr<vgpu::SyncGroup>> sync_groups,
+                     int rank, int launch_devices,
                      std::shared_ptr<LaunchGroup> group) {
   if (dev < 0 || dev >= num_devices()) throw SimError("launch on invalid device");
   PendingKernel k;
@@ -376,8 +377,9 @@ void System::enqueue(HostThread& h, int dev, const LaunchParams& p,
   k.desc.smem_bytes = p.smem_bytes;
   k.desc.params = p.params;
   k.desc.cooperative = cooperative;
-  k.desc.mgrid = std::move(mgrid);
+  k.desc.sync_groups = std::move(sync_groups);
   k.desc.mgrid_rank = rank;
+  k.desc.mgrid_devices = launch_devices;
   k.lm = lm;
   k.extra_gap = extra_gap;
   k.host_issue = h.clock_;
@@ -413,11 +415,15 @@ void System::pump_stream(Stream& s) {
 
 void System::begin_kernel(Stream& s, PendingKernel k, Ps start) {
   s.current_start = start;
-  auto mgrid = k.desc.mgrid;
+  auto groups = k.desc.sync_groups;  // shared_ptr copies survive the move
+  const int dev = s.device;
   Stream* sp = &s;
   vgpu::GridExec* g = machine_->device(s.device).start_grid(
       std::move(k.desc), start, [this, sp](Ps end) { kernel_complete(*sp, end); });
-  if (mgrid) mgrid->grids.push_back(g);
+  // Register the grid with every group it belongs to, in armed order — the
+  // order a group's release walks its grids, identical on both executors.
+  for (auto& sg : groups)
+    if (sg->contains(dev)) sg->grids.push_back(g);
 }
 
 void System::kernel_complete(Stream& s, Ps end) {
@@ -451,29 +457,78 @@ void System::kernel_complete(Stream& s, Ps end) {
 void System::launch(HostThread& h, int dev, const LaunchParams& p) {
   std::unique_lock<std::mutex> lk(mu_);
   h.advance(arch().launch_traditional.issue_cost);
-  enqueue(h, dev, p, arch().launch_traditional, 0, false, nullptr, 0, nullptr);
+  enqueue(h, dev, p, arch().launch_traditional, 0, false, {}, 0, 1, nullptr);
 }
 
 void System::launch_cooperative(HostThread& h, int dev, const LaunchParams& p) {
   std::unique_lock<std::mutex> lk(mu_);
   validate_cooperative(p);
   h.advance(arch().launch_cooperative.issue_cost);
-  enqueue(h, dev, p, arch().launch_cooperative, 0, true, nullptr, 0, nullptr);
+  enqueue(h, dev, p, arch().launch_cooperative, 0, true, {}, 0, 1, nullptr);
 }
 
 void System::launch_cooperative_multi(HostThread& h, const std::vector<int>& devs,
                                       const std::vector<LaunchParams>& per_dev) {
+  launch_multi_impl(h, devs, per_dev, nullptr);
+}
+
+void System::launch_cooperative_multi(HostThread& h, const std::vector<int>& devs,
+                                      const std::vector<LaunchParams>& per_dev,
+                                      const std::vector<SyncGroupSpec>& groups) {
+  launch_multi_impl(h, devs, per_dev, &groups);
+}
+
+void System::launch_multi_impl(HostThread& h, const std::vector<int>& devs,
+                               const std::vector<LaunchParams>& per_dev,
+                               const std::vector<SyncGroupSpec>* specs) {
   if (devs.empty() || devs.size() != per_dev.size())
     throw SimError("launch_cooperative_multi: device/param count mismatch");
   std::unique_lock<std::mutex> lk(mu_);
   for (const auto& p : per_dev) validate_cooperative(p);
   const int n = static_cast<int>(devs.size());
 
-  auto mgrid = std::make_shared<vgpu::MGridState>();
-  mgrid->num_devices = n;
-  mgrid->fabric_cost = machine_->fabric().topology().fabric_barrier_cost(n);
-  mgrid->id = ++mgrid_seq_;
-  mgrid->noise = machine_->noise().fork((3ull << 32) + mgrid->id);
+  // Build the launch's sync groups. The legacy two-argument form lowers to a
+  // single full-membership group priced exactly as before (fabric_barrier_cost
+  // over the participant *count*, leader pricing from device 0) so every
+  // paper pin stays bit-identical; explicit specs are priced by the set's
+  // actual span on the fabric.
+  std::vector<std::shared_ptr<vgpu::SyncGroup>> groups;
+  if (specs == nullptr) {
+    auto sg = std::make_shared<vgpu::SyncGroup>();
+    sg->members = devs;
+    sg->num_devices = n;
+    sg->fabric_cost = machine_->fabric().topology().fabric_barrier_cost(n);
+    sg->id = ++mgrid_seq_;
+    sg->noise = machine_->noise().fork((3ull << 32) + sg->id);
+    groups.push_back(std::move(sg));
+  } else {
+    if (specs->empty())
+      throw SimError("launch_cooperative_multi: empty sync-group list");
+    if (specs->size() > 256)
+      throw SimError("launch_cooperative_multi: at most 256 sync groups per launch");
+    for (const auto& spec : *specs) {
+      if (spec.devices.empty())
+        throw SimError("launch_cooperative_multi: sync group with no devices");
+      std::vector<int> seen;
+      for (int d : spec.devices) {
+        if (std::find(devs.begin(), devs.end(), d) == devs.end())
+          throw SimError("launch_cooperative_multi: sync group includes device " +
+                         std::to_string(d) + " which is not part of the launch");
+        if (std::find(seen.begin(), seen.end(), d) != seen.end())
+          throw SimError("launch_cooperative_multi: device " + std::to_string(d) +
+                         " listed twice in one sync group");
+        seen.push_back(d);
+      }
+      auto sg = std::make_shared<vgpu::SyncGroup>();
+      sg->members = spec.devices;
+      sg->num_devices = static_cast<int>(spec.devices.size());
+      sg->fabric_cost =
+          machine_->fabric().topology().fabric_barrier_cost_set(spec.devices);
+      sg->id = ++mgrid_seq_;
+      sg->noise = machine_->noise().fork((3ull << 32) + sg->id);
+      groups.push_back(std::move(sg));
+    }
+  }
 
   auto group = std::make_shared<LaunchGroup>();
   group->waiting = n;
@@ -485,7 +540,7 @@ void System::launch_cooperative_multi(HostThread& h, const std::vector<int>& dev
     // The CPU issues the per-device launches sequentially.
     h.advance(arch().launch_multi_device.issue_cost);
     enqueue(h, devs[static_cast<std::size_t>(i)], per_dev[static_cast<std::size_t>(i)],
-            arch().launch_multi_device, extra_gap, true, mgrid, i, group);
+            arch().launch_multi_device, extra_gap, true, groups, i, n, group);
   }
 }
 

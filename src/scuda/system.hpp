@@ -44,6 +44,15 @@ struct LaunchParams {
   std::vector<std::int64_t> params;
 };
 
+/// One sync group of a multi-device cooperative launch: the device subset a
+/// kernel-side mgrid_sync(k) synchronizes. Group k of the launch is spec k
+/// of the vector handed to launch_cooperative_multi — the same numbering on
+/// every device; a device may belong to several groups (or none, for pure
+/// per-device compute inside a group launch).
+struct SyncGroupSpec {
+  std::vector<int> devices;
+};
+
 /// cudaEvent-style stream marker: records the virtual time at which all
 /// device work enqueued before the record call has completed.
 class Event {
@@ -142,8 +151,16 @@ class System {
   void launch(HostThread& h, int dev, const LaunchParams& p);
   void launch_cooperative(HostThread& h, int dev, const LaunchParams& p);
   /// One grid per device; params may differ per device (same geometry).
+  /// The two-argument form is the paper's all-device barrier: it lowers to
+  /// a single full-membership sync group (group 0) with unchanged timing.
   void launch_cooperative_multi(HostThread& h, const std::vector<int>& devs,
                                 const std::vector<LaunchParams>& per_dev);
+  /// Same launch with explicit sync groups: kernel-side mgrid_sync(k)
+  /// synchronizes groups[k].devices (each a subset of `devs`, priced by its
+  /// own span on the fabric). Concurrent groups may overlap.
+  void launch_cooperative_multi(HostThread& h, const std::vector<int>& devs,
+                                const std::vector<LaunchParams>& per_dev,
+                                const std::vector<SyncGroupSpec>& groups);
   void device_synchronize(HostThread& h, int dev);
 
   // ---- events (cudaEvent-style stream timing) --------------------------------
@@ -205,8 +222,11 @@ class System {
   // Stream internals (under mu_, inside dispatcher context).
   void enqueue(HostThread& h, int dev, const LaunchParams& p,
                const vgpu::LaunchModel& lm, Ps extra_gap, bool cooperative,
-               std::shared_ptr<vgpu::MGridState> mgrid, int rank,
-               std::shared_ptr<LaunchGroup> group);
+               std::vector<std::shared_ptr<vgpu::SyncGroup>> sync_groups,
+               int rank, int launch_devices, std::shared_ptr<LaunchGroup> group);
+  void launch_multi_impl(HostThread& h, const std::vector<int>& devs,
+                         const std::vector<LaunchParams>& per_dev,
+                         const std::vector<SyncGroupSpec>* specs);
   void pump_stream(Stream& s);
   void begin_kernel(Stream& s, PendingKernel k, Ps start);
   void kernel_complete(Stream& s, Ps end);

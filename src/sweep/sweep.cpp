@@ -77,11 +77,12 @@ std::atomic<int>& batch_points_slot() {
   return batch;
 }
 
-// Whether *this process* exported the executor variables (set_shard_jobs),
-// as opposed to inheriting them from the parent environment. A reset to
-// serial must clear only what it installed.
+// Whether *this process* exported the executor variables (set_shard_jobs)
+// or the cluster count (set_sm_clusters), as opposed to inheriting them from
+// the parent environment. A reset must clear only what it installed.
 bool exported_exec = false;
 bool exported_shard_jobs = false;
+bool exported_sm_clusters = false;
 
 }  // namespace
 
@@ -112,10 +113,10 @@ void set_shard_jobs(int jobs) {
     setenv("VGPU_SHARD_JOBS", n.c_str(), /*overwrite=*/1);
     exported_shard_jobs = true;
   } else {
-    // Reset to serial clears the exported variables (mirroring
-    // set_sm_clusters): machines built after the reset must not resolve the
-    // stale sharded budget. Variables inherited from the parent environment
-    // are left alone.
+    // Reset to serial clears the variables this process exported: machines
+    // built after the reset must not resolve the stale sharded budget.
+    // Variables inherited from the parent environment are left alone — an
+    // outer VGPU_EXEC/VGPU_SHARD_JOBS is the user's, not ours to clear.
     if (exported_exec) {
       unsetenv("VGPU_EXEC");
       exported_exec = false;
@@ -153,10 +154,14 @@ void set_sm_clusters(int clusters) {
     // left at auto resolves VGPU_SM_CLUSTERS).
     const std::string n = std::to_string(c);
     setenv("VGPU_SM_CLUSTERS", n.c_str(), /*overwrite=*/1);
-  } else {
-    // Reset to auto must also clear the exported variable, or machines
-    // built afterwards would keep resolving the stale cluster count.
+    exported_sm_clusters = true;
+  } else if (exported_sm_clusters) {
+    // Reset to auto clears the variable this process exported, or machines
+    // built afterwards would keep resolving the stale cluster count. A
+    // VGPU_SM_CLUSTERS inherited from the parent environment is the user's
+    // configuration and survives the reset (mirroring set_shard_jobs).
     unsetenv("VGPU_SM_CLUSTERS");
+    exported_sm_clusters = false;
   }
 #endif
 }

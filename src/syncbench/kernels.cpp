@@ -190,6 +190,14 @@ ProgramPtr mgrid_sync_kernel(int repeats) {
   return b.finish();
 }
 
+ProgramPtr mgrid_group_sync_kernel(int group, int repeats) {
+  KernelBuilder b("mgrid_sync_g" + std::to_string(group) + "_r" +
+                  std::to_string(repeats));
+  b.repeat(repeats, [&] { b.mgrid_sync(group); });
+  b.exit();
+  return b.finish();
+}
+
 ProgramPtr warp_sync_timer_ladder(WarpSyncKind k) {
   KernelBuilder b(std::string("timer_ladder_") + to_string(k));
   Reg out = b.reg();

@@ -49,6 +49,9 @@ ProgramPtr block_sync_clocked_kernel(int repeats);
 /// `repeats` grid-wide / multi-grid-wide barriers (cooperative launches).
 ProgramPtr grid_sync_kernel(int repeats);
 ProgramPtr mgrid_sync_kernel(int repeats);
+/// `repeats` barriers on sync group `group` of an explicit-group
+/// cooperative multi-device launch (mgrid_sync(k) form).
+ProgramPtr mgrid_group_sync_kernel(int group, int repeats);
 
 /// Figure 17 ladder: every lane takes its own branch arm, records a clock,
 /// syncs, records another clock; out[2*tid] = start, out[2*tid+1] = end.

@@ -343,6 +343,97 @@ std::vector<MultiGpuBarrierPoint> characterize_multi_gpu_barriers(
 }
 
 // ---------------------------------------------------------------------------
+// Sync groups
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// End-to-end virtual us of one launch over `gpus` devices where the heavy
+/// half (devices 0..g/2-1) runs `heavy_rounds` barrier rounds and the light
+/// half runs `light_rounds`. split=false uses the single all-device group
+/// (both halves must run the same round count — pass them equal); split=true
+/// gives each half its own group so the round counts may differ.
+double sgroup_rounds_us(const std::function<MachineConfig(int)>& config_for_gpus,
+                        int gpus, bool split, int heavy_rounds,
+                        int light_rounds) {
+  System sys(config_for_gpus(gpus));
+  const int half = gpus / 2;
+  std::vector<scuda::SyncGroupSpec> specs(split ? 2 : 1);
+  for (int d = 0; d < gpus; ++d)
+    specs[split && d >= half ? 1 : 0].devices.push_back(d);
+  double t = 0;
+  sys.run([&](HostThread& h) {
+    std::vector<int> devs;
+    std::vector<LaunchParams> per_dev;
+    for (int d = 0; d < gpus; ++d) {
+      const bool heavy = d < half;
+      const int group = split && !heavy ? 1 : 0;
+      const int rounds = heavy ? heavy_rounds : light_rounds;
+      devs.push_back(d);
+      per_dev.push_back(
+          LaunchParams{mgrid_group_sync_kernel(group, rounds), 1, 32, 0, {}});
+    }
+    const double t0 = h.now_us();
+    sys.launch_cooperative_multi(h, devs, per_dev, specs);
+    for (int d = 0; d < gpus; ++d) sys.device_synchronize(h, d);
+    t = h.now_us() - t0;
+  });
+  return t;
+}
+
+}  // namespace
+
+std::vector<SyncGroupPoint> characterize_sync_groups(
+    const std::function<MachineConfig(int)>& config_for_gpus, int max_gpus) {
+  // Per-round costs come from repeat scaling (long run minus short run) so
+  // the launch and teardown cost cancels; the pipeline rows are end-to-end.
+  enum class Kind { FullLo, FullHi, HalfLo, HalfHi, PipeFull, PipeGrouped };
+  constexpr int kLo = 2, kHi = 10, kPipe = 8;
+  struct Pt {
+    int gpus;
+    Kind kind;
+  };
+  std::vector<Pt> grid;
+  for (int g = 2; g <= max_gpus; g += 2)
+    for (Kind k : {Kind::FullLo, Kind::FullHi, Kind::HalfLo, Kind::HalfHi,
+                   Kind::PipeFull, Kind::PipeGrouped})
+      grid.push_back({g, k});
+  const std::vector<double> vals = sweep::map(grid, [&](const Pt& p) -> double {
+    switch (p.kind) {
+      case Kind::FullLo:
+        return sgroup_rounds_us(config_for_gpus, p.gpus, false, kLo, kLo);
+      case Kind::FullHi:
+        return sgroup_rounds_us(config_for_gpus, p.gpus, false, kHi, kHi);
+      case Kind::HalfLo:
+        return sgroup_rounds_us(config_for_gpus, p.gpus, true, kLo, kLo);
+      case Kind::HalfHi:
+        return sgroup_rounds_us(config_for_gpus, p.gpus, true, kHi, kHi);
+      case Kind::PipeFull:
+        return sgroup_rounds_us(config_for_gpus, p.gpus, false, 2 * kPipe,
+                                2 * kPipe);
+      case Kind::PipeGrouped:
+        return sgroup_rounds_us(config_for_gpus, p.gpus, true, 2 * kPipe,
+                                kPipe);
+    }
+    return 0;
+  });
+  std::vector<SyncGroupPoint> pts;
+  std::size_t i = 0;
+  for (int g = 2; g <= max_gpus; g += 2) {
+    SyncGroupPoint p;
+    p.gpus = g;
+    const double full_lo = vals[i++], full_hi = vals[i++];
+    const double half_lo = vals[i++], half_hi = vals[i++];
+    p.full_round_us = (full_hi - full_lo) / (kHi - kLo);
+    p.half_round_us = (half_hi - half_lo) / (kHi - kLo);
+    p.pipeline_full_us = vals[i++];
+    p.pipeline_grouped_us = vals[i++];
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+// ---------------------------------------------------------------------------
 // Table III scenarios
 // ---------------------------------------------------------------------------
 

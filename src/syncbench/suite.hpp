@@ -70,6 +70,23 @@ struct MultiGpuBarrierPoint {
 std::vector<MultiGpuBarrierPoint> characterize_multi_gpu_barriers(
     const std::function<MachineConfig(int)>& config_for_gpus, int max_gpus);
 
+// ---- Sync groups (partial-device barriers, concurrent groups) ----------------
+struct SyncGroupPoint {
+  int gpus = 0;
+  double full_round_us = 0;  // one barrier round over the all-device group
+  double half_round_us = 0;  // one round with two concurrent half-size groups
+  /// Imbalanced two-stage pipeline: half the devices need 2R barrier rounds,
+  /// the other half only R. With the all-device barrier the light half must
+  /// keep arriving through rounds it has no work for; with one group per
+  /// half the two pipelines overlap and the light half retires early.
+  double pipeline_full_us = 0;
+  double pipeline_grouped_us = 0;
+};
+/// Even GPU counts 2..max_gpus; each measurement is an independent point
+/// (fresh machine) so the grid runs through the sweep runner.
+std::vector<SyncGroupPoint> characterize_sync_groups(
+    const std::function<MachineConfig(int)>& config_for_gpus, int max_gpus);
+
 // ---- Table III (shared-memory scenarios feeding the model) -------------------
 struct SmemPoint {
   std::string scenario;

@@ -77,6 +77,10 @@ GridExec* Device::start_grid(KernelLaunch desc, Ps t,
   g->blocks.resize(static_cast<std::size_t>(g->desc.grid_blocks));
   GridExec* raw = g.get();
   grids_.push_back(std::move(g));
+  // Register with the machine's sync-group activity map before any of the
+  // grid's warps can run: the group-aware window bounds must know about this
+  // grid from its first event on.
+  machine_.note_grid_started(raw);
   fill_sms(raw, t);
   return raw;
 }
@@ -358,6 +362,10 @@ void Device::finish_block_tail(Block* b, Ps t) {
 }
 
 void Device::grid_complete(GridExec* g, Ps t, int shard) {
+  // Drop the grid from the sync-group activity map (may run on a shard
+  // worker at one cluster per device; the hook locks sync_mu). Shrinking the
+  // map mid-window only ever *widens* later windows, never this one.
+  machine_.note_grid_finished(g);
   // Defer teardown: we may be inside the last warp's run loop. The callback
   // lands on the finishing block's shard (a local push from its worker; the
   // serial path pushes to the same shard, keeping sequence tie-breaks
@@ -374,11 +382,14 @@ void Device::grid_complete(GridExec* g, Ps t, int shard) {
 // Block barrier
 // ---------------------------------------------------------------------------
 
-void Device::block_bar_arrive(Warp& w, BlockBarKind kind, Ps slot) {
+void Device::block_bar_arrive(Warp& w, BlockBarKind kind, Ps slot, int group) {
   Block& b = *w.block;
   if (b.bar_kind != BlockBarKind::None && b.bar_kind != kind)
     throw SimError("mixed barrier kinds in flight within one block");
+  if (b.bar_kind == BlockBarKind::MGrid && b.bar_group != group)
+    throw SimError("mixed sync groups in flight within one block");
   b.bar_kind = kind;
+  b.bar_group = group;
   b.bar_count += 1;
   b.bar_last_slot = std::max(b.bar_last_slot, slot);
   w.blocked = true;
@@ -414,9 +425,16 @@ void Device::block_bar_maybe_release(Block& b) {
 void Device::grid_bar_arrive(Block& b, Ps t) {
   GridExec* g = b.grid;
   const bool mgrid = b.bar_kind == BlockBarKind::MGrid;
+  SyncGroup* sg = nullptr;
+  if (mgrid) {
+    // The group index was validated at the sync site (warp_exec), so this
+    // lookup cannot be out of range for any program that got here.
+    sg = g->desc.sync_groups[static_cast<std::size_t>(b.bar_group)].get();
+  }
   double ii = mgrid ? arch_.mgrid_arrive_ii : arch_.grid_arrive_ii;
-  if (mgrid && g->desc.mgrid && g->desc.mgrid->num_devices > 1)
-    ii += arch_.mgrid_arrive_remote_extra;
+  // The remote-arrival surcharge scales with the group's span, not the
+  // launch's: a single-device group pays the local arrival cost only.
+  if (mgrid && sg->num_devices > 1) ii += arch_.mgrid_arrive_remote_extra;
   // Arrival tokens drain through this cluster's slice of the arrival unit
   // (1/k of the device-wide rate), so the token ring's aggregate drain time
   // matches the calibrated device-serial unit when the grid spans all
@@ -437,6 +455,14 @@ void Device::grid_bar_arrive(Block& b, Ps t) {
   {
     std::unique_lock<std::mutex> lk(machine_.sync_mu(), std::defer_lock);
     if (sm_clusters_ > 1) lk.lock();
+    if (mgrid) {
+      // All blocks of one grid must be at the same mgrid_sync(k): a grid
+      // barrier releases whole grids, so a generation mixing groups would
+      // release blocks a different group's round is still counting on.
+      if (g->gbar_arrived == 0) g->gbar_group = b.bar_group;
+      else if (g->gbar_group != b.bar_group)
+        throw SimError("blocks of one grid arrived at different sync groups");
+    }
     g->gbar_arrived += 1;
     g->gbar_last_slot = std::max(g->gbar_last_slot, slot);
     full = g->gbar_arrived >= g->desc.grid_blocks;
@@ -444,8 +470,8 @@ void Device::grid_bar_arrive(Block& b, Ps t) {
   }
   if (!full) return;
 
-  if (mgrid && g->desc.mgrid) {
-    mgrid_arrive(g, last);
+  if (mgrid) {
+    mgrid_arrive(g, b.bar_group, last);
   } else {
     // Sole sampler of this device's jitter substream: one draw per barrier
     // generation, in virtual-time order (at most one cooperative grid is
@@ -466,17 +492,19 @@ void Device::grid_bar_arrive(Block& b, Ps t) {
 }
 
 void Device::grid_bar_release(GridExec* g, Ps release) {
-  const bool mgrid = static_cast<bool>(g->desc.mgrid);
+  const bool mgrid = g->desc.is_mgrid();
   const double warp_ii =
       mgrid ? arch_.mgrid_warp_release_ii : arch_.grid_warp_release_ii;
   g->gbar_generation += 1;
   g->gbar_arrived = 0;
+  g->gbar_group = -1;
   g->gbar_last_slot = 0;
   for (auto& bp : g->blocks) {
     Block* b = bp.get();
     if (!b || !b->gbar_parked) continue;
     b->gbar_parked = false;
     b->bar_kind = BlockBarKind::None;
+    b->bar_group = 0;
     b->bar_count = 0;
     b->bar_last_slot = 0;
     b->block_epoch += 1;
@@ -493,8 +521,8 @@ void Device::grid_bar_release(GridExec* g, Ps release) {
   }
 }
 
-void Device::mgrid_arrive(GridExec* g, Ps t) {
-  MGridState& st = *g->desc.mgrid;
+void Device::mgrid_arrive(GridExec* g, int group, Ps t) {
+  SyncGroup& st = *g->desc.sync_groups[static_cast<std::size_t>(group)];
   // Final arrivals of different devices can share one conservative window,
   // so the counters are guarded; the jitter draw stays deterministic because
   // the group's substream is only sampled here, once per barrier generation,

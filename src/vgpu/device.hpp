@@ -124,6 +124,7 @@ struct Block {
 
   // One barrier in flight at a time (program order guarantees it).
   BlockBarKind bar_kind = BlockBarKind::None;
+  int bar_group = 0;  // MGrid only: sync-group index the barrier targets
   int bar_count = 0;
   Ps bar_last_slot = 0;
   bool gbar_parked = false;  // waiting for grid/multi-grid release
@@ -141,21 +142,31 @@ struct SMState {
   int smem_used = 0;
 };
 
-/// Shared state of a cudaLaunchCooperativeKernelMultiDevice launch.
-/// Arrival counters are guarded by Machine::sync_mu(): the final arrivals
-/// of different devices may land in the same conservative window and bump
-/// them from concurrent shards.
-struct MGridState {
-  std::vector<GridExec*> grids;  // one per participating device
-  int num_devices = 0;
+/// One sync group of a cudaLaunchCooperativeKernelMultiDevice launch: a
+/// device-subset barrier with its own arrival/release state. A launch may
+/// carry several concurrent groups (mgrid_sync(k) targets group k); the
+/// legacy all-device multi_grid.sync() lowers to a single full-membership
+/// group at index 0 with unchanged timing. Arrival counters are guarded by
+/// Machine::sync_mu(): the final arrivals of different devices may land in
+/// the same conservative window and bump them from concurrent shards.
+struct SyncGroup {
+  std::vector<GridExec*> grids;  // one per participating device, armed order
+  std::vector<int> members;      // participating device ids
+  int num_devices = 0;           // == members.size()
   int arrived = 0;
   Ps last_arrive = 0;
-  Ps fabric_cost = 0;  // from Topology::fabric_barrier_cost
+  Ps fabric_cost = 0;  // from Topology::fabric_barrier_cost[_set]
   /// Release jitter substream owned by this group. Keyed per group so the
   /// draw sequence is independent of cross-device event interleaving —
   /// a prerequisite for serial-vs-sharded bit-identical timelines.
   NoiseStream noise;
   std::uint64_t id = 0;  // creation order; sorts deferred releases
+
+  bool contains(int dev) const {
+    for (int m : members)
+      if (m == dev) return true;
+    return false;
+  }
 };
 
 /// Launch descriptor handed from the runtime to the device.
@@ -166,8 +177,14 @@ struct KernelLaunch {
   int smem_bytes = 0;
   std::vector<std::int64_t> params;
   bool cooperative = false;
-  std::shared_ptr<MGridState> mgrid;  // multi-device launches only
-  int mgrid_rank = 0;
+  /// Sync groups this launch participates in (multi-device launches only;
+  /// empty otherwise). Index k is the group mgrid_sync(k) targets — the
+  /// same launch-wide numbering on every device; membership is validated
+  /// per device at the sync site.
+  std::vector<std::shared_ptr<SyncGroup>> sync_groups;
+  int mgrid_rank = 0;     // device rank within the launch (GpuId)
+  int mgrid_devices = 1;  // devices in the launch (NumGpus)
+  bool is_mgrid() const { return !sync_groups.empty(); }
 };
 
 struct GridExec {
@@ -180,6 +197,7 @@ struct GridExec {
 
   // Grid-barrier state.
   int gbar_arrived = 0;
+  int gbar_group = -1;  // sync group of the in-flight MGrid generation
   Ps gbar_last_slot = 0;
   std::uint64_t gbar_generation = 0;
   int blocks_exited_total = 0;  // diagnostics for the deadlock report
@@ -291,11 +309,11 @@ class Device {
 
   // Barrier machinery (called from the executor).
   void warp_exited(Warp& w, Ps t);
-  void block_bar_arrive(Warp& w, BlockBarKind kind, Ps t);
+  void block_bar_arrive(Warp& w, BlockBarKind kind, Ps t, int group = 0);
   void block_bar_maybe_release(Block& b);
   void grid_bar_arrive(Block& b, Ps t);
   void grid_bar_release(GridExec* g, Ps release);
-  void mgrid_arrive(GridExec* g, Ps t);
+  void mgrid_arrive(GridExec* g, int group, Ps t);
 
   // Context-stack plumbing (run loop + executor).
   void pop_context(Warp& w);

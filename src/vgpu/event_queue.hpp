@@ -325,30 +325,41 @@ class EventQueue {
   /// and every entry must lie at or beyond `window_end`: an earlier one
   /// means a cross-shard interaction undercut the conservative lookahead.
   void merge_mailboxes(Ps window_end) {
-    for (int s = 0; s < num_shards(); ++s) {
-      Shard& sh = shards_[static_cast<std::size_t>(s)];
-      std::vector<MailEntry> mail;
-      {
-        std::lock_guard<std::mutex> lk(*mail_mu_[static_cast<std::size_t>(s)]);
-        mail.swap(sh.mailbox);
-      }
-      std::stable_sort(mail.begin(), mail.end(),
-                       [](const MailEntry& a, const MailEntry& b) {
-                         if (a.t != b.t) return a.t < b.t;
-                         if (a.src != b.src) return a.src < b.src;
-                         return a.tag < b.tag;
-                       });
-      for (MailEntry& e : mail) {
-        if (e.t < window_end)
-          throw SimError(
-              "cross-shard event scheduled inside the conservative window "
-              "(lookahead violated)");
-        if (e.w != nullptr) {
-          push(sh, Event{e.t, sh.next_seq++, e.w, 0});
-        } else {
-          push(sh, Event{e.t, sh.next_seq++, nullptr,
-                         alloc_slot(sh, std::move(e.cb))});
-        }
+    for (int s = 0; s < num_shards(); ++s) merge_mailbox(s, window_end);
+  }
+
+  /// Same join with per-destination-shard bounds (group-aware windows):
+  /// shard s drained up to bounds[s], so an entry below *that* bound landed
+  /// in its destination's already-executed past.
+  void merge_mailboxes(const std::vector<Ps>& bounds) {
+    for (int s = 0; s < num_shards(); ++s)
+      merge_mailbox(s, bounds[static_cast<std::size_t>(s)]);
+  }
+
+  /// One shard's mailbox join; `window_end` is how far this shard drained.
+  void merge_mailbox(int s, Ps window_end) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    std::vector<MailEntry> mail;
+    {
+      std::lock_guard<std::mutex> lk(*mail_mu_[static_cast<std::size_t>(s)]);
+      mail.swap(sh.mailbox);
+    }
+    std::stable_sort(mail.begin(), mail.end(),
+                     [](const MailEntry& a, const MailEntry& b) {
+                       if (a.t != b.t) return a.t < b.t;
+                       if (a.src != b.src) return a.src < b.src;
+                       return a.tag < b.tag;
+                     });
+    for (MailEntry& e : mail) {
+      if (e.t < window_end)
+        throw SimError(
+            "cross-shard event scheduled inside the conservative window "
+            "(lookahead violated)");
+      if (e.w != nullptr) {
+        push(sh, Event{e.t, sh.next_seq++, e.w, 0});
+      } else {
+        push(sh, Event{e.t, sh.next_seq++, nullptr,
+                       alloc_slot(sh, std::move(e.cb))});
       }
     }
   }

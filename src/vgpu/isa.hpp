@@ -42,7 +42,7 @@ enum class Op : std::uint8_t {
   CoaSync,   // cg::coalesced_threads().sync()
   BarSync,   // __syncthreads() / block.sync()
   GridSync,  // grid_group::sync()
-  MGridSync, // multi_grid_group::sync()
+  MGridSync, // multi_grid_group::sync() (aux = sync-group index)
 
   Nanosleep, // __nanosleep(imm) nanoseconds
   RClock,    // dst = SM clock (cycles)
@@ -75,7 +75,7 @@ struct Instr {
   bool b_is_imm = false;       // ALU/SetP second operand from imm
   bool is_volatile = false;    // LdS/StS: bypass the staleness model
   Cmp cmp = Cmp::Eq;
-  std::uint8_t aux = 0;        // SpecialReg / tile width / atomic kind
+  std::uint8_t aux = 0;        // SpecialReg / tile width / atomic kind / sync group
   std::int32_t target = -1;    // branch target pc
   std::int32_t reconv = -1;    // BraIf reconvergence pc
   std::int64_t imm = 0;

@@ -104,7 +104,9 @@ Machine::Machine(MachineConfig cfg)
   if (cfg_.topology.num_devices < cfg_.num_devices)
     throw SimError("topology smaller than device count");
   adaptive_ = resolve_adaptive_window(cfg_.adaptive_window);
-  lookahead_ = compute_lookahead();
+  grouped_active_.assign(static_cast<std::size_t>(cfg_.num_devices), 0);
+  ungrouped_active_.assign(static_cast<std::size_t>(cfg_.num_devices), 0);
+  compute_gap_floors();
   if (lookahead_ < 1) {
     exec_ = ExecMode::Serial;  // no window fits: oracle path, unbounded batches
   } else {
@@ -162,7 +164,7 @@ bool Machine::try_reset(const MachineConfig& cfg) {
   adaptive_ = resolve_adaptive_window(cfg_.adaptive_window);
   noise_ = NoiseModel(cfg_.noise_seed, cfg_.noise_amplitude);
   queue_.reset();  // also rewinds batch_lookahead_ to kPsInfinity
-  lookahead_ = compute_lookahead();
+  compute_gap_floors();  // the floors depend on the new noise amplitude
   if (lookahead_ < 1) {
     exec_ = ExecMode::Serial;
   } else {
@@ -181,12 +183,19 @@ bool Machine::try_reset(const MachineConfig& cfg) {
     std::lock_guard<std::mutex> lk(sync_mu_);
     pending_ops_.clear();
     pending_ops_count_.store(0, std::memory_order_relaxed);
+    // reusable() implies every grid retired, so the registry is already
+    // empty and the counts zero; clearing keeps the reset contract explicit.
+    groups_.clear();
+    std::fill(grouped_active_.begin(), grouped_active_.end(), 0);
+    std::fill(ungrouped_active_.begin(), ungrouped_active_.end(), 0);
+    groups_dirty_.store(true, std::memory_order_relaxed);
   }
   return true;
 }
 
-/// The minimum virtual-time distance at which one shard can affect another —
-/// the conservative window width.
+/// The channel floors: minimum virtual-time distances at which one shard
+/// can affect another. Their overall minimum is the classic conservative
+/// window width (lookahead_); the group-aware bounds use them per pair.
 ///
 /// Cross-device channels and their floors (PR 4):
 ///  * Remote memory traffic rides the fabric: one hop of latency plus the
@@ -204,32 +213,167 @@ bool Machine::try_reset(const MachineConfig& cfg) {
 ///    block_dispatch_cycles.
 ///  * The cheapest data path — an L2-visible device atomic — takes
 ///    atom_latency to round-trip to another cluster's reader.
-Ps Machine::compute_lookahead() const {
+void Machine::compute_gap_floors() {
   const ClockDomain clock(cfg_.arch.core_mhz);
-  const double amp = cfg_.noise_amplitude;
-  const auto deflate = [amp](Ps t) {
-    if (amp <= 0.0) return t;
-    return static_cast<Ps>(static_cast<double>(t) * (1.0 - amp)) - 1;
-  };
-  Ps gap = kPsInfinity;
+  cross_floor_ = kPsInfinity;
   if (cfg_.num_devices > 1) {
     const Topology& topo = cfg_.topology;
     const Ps barrier = topo.min_fabric_barrier_cost(cfg_.num_devices);
     const Ps mgrid_gap =
         deflate(barrier + clock.cycles_to_ps(cfg_.arch.mgrid_release_base));
     const Ps remote_gap = topo.hop_latency;  // + link regulator floor (>= 0)
-    gap = std::min(gap, std::min(remote_gap, mgrid_gap));
+    cross_floor_ = std::max<Ps>(0, std::min(remote_gap, mgrid_gap));
   }
+  intra_floor_ = kPsInfinity;
+  intra_defer_floor_ = kPsInfinity;
   if (sm_clusters_ > 1) {
     const Ps grid_rel = deflate(clock.cycles_to_ps(cfg_.arch.grid_release_base));
     const Ps mgrid_rel = deflate(clock.cycles_to_ps(cfg_.arch.mgrid_release_base));
     const Ps refill = clock.cycles_to_ps(cfg_.arch.block_dispatch_cycles);
     const Ps atom = clock.cycles_to_ps(cfg_.arch.atom_latency);
-    gap = std::min(gap, std::min(std::min(grid_rel, mgrid_rel),
-                                 std::min(refill, atom)));
+    intra_floor_ = std::max<Ps>(0, std::min(std::min(grid_rel, mgrid_rel),
+                                            std::min(refill, atom)));
+    // A shard's own events can park ops that apply back onto the shard: a
+    // grid-barrier release (grid_release_base, noise-deflated) or a finished
+    // block's refill (block_dispatch_cycles). Multi-grid self-releases are
+    // floored per group (ActiveSyncGroup::gap), not here.
+    intra_defer_floor_ = std::max<Ps>(0, std::min(grid_rel, refill));
   }
-  if (gap >= kPsInfinity) return kPsInfinity;
-  return std::max<Ps>(0, gap);
+  lookahead_ = std::min(cross_floor_, intra_floor_);
+}
+
+void Machine::note_grid_started(const GridExec* g) {
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  const int d = g->dev->id();
+  if (!g->desc.is_mgrid()) {
+    ungrouped_active_[static_cast<std::size_t>(d)] += 1;
+  } else {
+    grouped_active_[static_cast<std::size_t>(d)] += 1;
+    const ClockDomain clock(cfg_.arch.core_mhz);
+    for (const auto& sg : g->desc.sync_groups) {
+      if (!sg->contains(d)) continue;
+      ActiveSyncGroup* row = nullptr;
+      for (auto& ag : groups_)
+        if (ag.id == sg->id) { row = &ag; break; }
+      if (row) {
+        row->live_grids += 1;
+      } else {
+        ActiveSyncGroup ag;
+        ag.id = sg->id;
+        ag.gap = std::max<Ps>(1, deflate(sg->fabric_cost +
+                                         clock.cycles_to_ps(
+                                             cfg_.arch.mgrid_release_base)));
+        ag.members = sg->members;
+        ag.live_grids = 1;
+        groups_.push_back(std::move(ag));
+      }
+    }
+  }
+  groups_dirty_.store(true, std::memory_order_relaxed);
+}
+
+void Machine::note_grid_finished(const GridExec* g) {
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  const int d = g->dev->id();
+  if (!g->desc.is_mgrid()) {
+    ungrouped_active_[static_cast<std::size_t>(d)] -= 1;
+  } else {
+    grouped_active_[static_cast<std::size_t>(d)] -= 1;
+    for (const auto& sg : g->desc.sync_groups) {
+      if (!sg->contains(d)) continue;
+      for (std::size_t i = 0; i < groups_.size(); ++i) {
+        if (groups_[i].id == sg->id) {
+          if (--groups_[i].live_grids == 0)
+            groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+  groups_dirty_.store(true, std::memory_order_relaxed);
+}
+
+/// Rebuild the coordinator's pairwise device-gap table and per-device
+/// self-defer floors from the activity registry. Called between windows
+/// (shards quiescent) whenever the registry changed.
+void Machine::refresh_dev_gaps() {
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  const int n = cfg_.num_devices;
+  dev_gap_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                  kPsInfinity);
+  self_floor_.assign(static_cast<std::size_t>(n), intra_defer_floor_);
+  for (const auto& ag : groups_)
+    for (int m : ag.members)
+      self_floor_[static_cast<std::size_t>(m)] =
+          std::min(self_floor_[static_cast<std::size_t>(m)], ag.gap);
+  const auto member = [](const ActiveSyncGroup& ag, int d) {
+    return std::find(ag.members.begin(), ag.members.end(), d) !=
+           ag.members.end();
+  };
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      Ps& gap = dev_gap_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(b)];
+      if (ungrouped_active_[static_cast<std::size_t>(a)] > 0 ||
+          ungrouped_active_[static_cast<std::size_t>(b)] > 0) {
+        // A plain launch may touch any peer's memory at any time: the
+        // global cross-device floor applies to every pair it is part of.
+        gap = cross_floor_;
+        continue;
+      }
+      // Grouped-only activity on both sides: the pair communicates only
+      // when some group spans it — then over remote memory (hop latency)
+      // or the cheapest shared group's barrier release. No shared group
+      // (or either side idle) means no channel this window.
+      Ps g = kPsInfinity;
+      for (const auto& ag : groups_)
+        if (member(ag, a) && member(ag, b)) g = std::min(g, ag.gap);
+      if (g < kPsInfinity) g = std::min(g, cfg_.topology.hop_latency);
+      gap = g;
+    }
+  }
+}
+
+/// Per-shard window bounds: each destination shard may drain to the
+/// earliest time any nonempty source shard's pending work could reach it —
+/// min over sources of (source head + pairwise gap). Sources headed by a
+/// callback contribute the global lookahead (the callback runs serially
+/// next round and may launch onto any device); a shard's own head
+/// contributes its device's self-defer floor, so a shard never drains past
+/// the application time of a release its own events trigger. Every gap is
+/// >= 1, so the globally earliest shard always makes progress.
+void Machine::compute_window_bounds() {
+  const int S = num_shards();
+  const int n = cfg_.num_devices;
+  const Ps limit = cfg_.virtual_time_limit > 0 ? cfg_.virtual_time_limit + 1
+                                               : kPsInfinity;
+  bounds_.assign(static_cast<std::size_t>(S), limit);
+  for (int sp = 0; sp < S; ++sp) {
+    const Ps nt = queue_.next_time(sp);
+    if (nt >= kPsInfinity) continue;
+    const bool cb = queue_.next_is_callback(sp);
+    const int dsrc = sp / sm_clusters_;
+    for (int s = 0; s < S; ++s) {
+      Ps gap;
+      if (s == sp) {
+        gap = self_floor_[static_cast<std::size_t>(dsrc)];
+      } else if (cb) {
+        gap = lookahead_;
+      } else {
+        const int ddst = s / sm_clusters_;
+        gap = ddst == dsrc
+                  ? intra_floor_
+                  : dev_gap_[static_cast<std::size_t>(dsrc) *
+                                 static_cast<std::size_t>(n) +
+                             static_cast<std::size_t>(ddst)];
+      }
+      if (gap >= kPsInfinity) continue;
+      const Ps b = gap >= kPsInfinity - nt ? kPsInfinity : nt + gap;
+      if (b < bounds_[static_cast<std::size_t>(s)])
+        bounds_[static_cast<std::size_t>(s)] = b;
+    }
+  }
 }
 
 namespace {
@@ -278,20 +422,20 @@ struct Machine::ShardPool {
     for (auto& t : threads_) t.join();
   }
 
-  /// Execute one window: every shard drains its warp events below `bound`.
-  /// Returns the number of events dispatched; rethrows the error of the
-  /// lowest-index failing shard.
-  std::size_t run(Ps bound) {
+  /// Execute one window: every shard drains its warp events below its
+  /// per-shard bound. Returns the number of events dispatched; rethrows the
+  /// error of the lowest-index failing shard.
+  std::size_t run(const std::vector<Ps>& bounds) {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      bound_ = bound;
+      bounds_ = &bounds;
       pending_ = jobs_ - 1;
       std::fill(counts_.begin(), counts_.end(), std::size_t{0});
       std::fill(errors_.begin(), errors_.end(), std::exception_ptr{});
       ++gen_;
     }
     cv_work_.notify_all();
-    counts_[0] = drain_group(0, bound);
+    counts_[0] = drain_group(0, bounds);
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [this] { return pending_ == 0; });
     std::size_t total = 0;
@@ -305,26 +449,27 @@ struct Machine::ShardPool {
   void worker(int k) {
     std::uint64_t seen = 0;
     while (true) {
-      Ps bound;
+      const std::vector<Ps>* bounds;
       {
         std::unique_lock<std::mutex> lk(mu_);
         cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
         if (stop_) return;
         seen = gen_;
-        bound = bound_;
+        bounds = bounds_;
       }
-      counts_[static_cast<std::size_t>(k)] = drain_group(k, bound);
+      counts_[static_cast<std::size_t>(k)] = drain_group(k, *bounds);
       std::lock_guard<std::mutex> lk(mu_);
       if (--pending_ == 0) cv_done_.notify_all();
     }
   }
 
-  std::size_t drain_group(int k, Ps bound) {
+  std::size_t drain_group(int k, const std::vector<Ps>& bounds) {
     std::size_t n = 0;
     for (int s = k; s < m_.num_shards(); s += jobs_) {
       EventQueue::ScopedExecShard scope(s);
       try {
-        n += m_.queue_.drain_shard_window(s, bound, run_warp_entry);
+        n += m_.queue_.drain_shard_window(s, bounds[static_cast<std::size_t>(s)],
+                                          run_warp_entry);
       } catch (...) {
         errors_[static_cast<std::size_t>(s)] = std::current_exception();
       }
@@ -338,7 +483,7 @@ struct Machine::ShardPool {
   std::condition_variable cv_work_, cv_done_;
   std::uint64_t gen_ = 0;
   int pending_ = 0;
-  Ps bound_ = 0;
+  const std::vector<Ps>* bounds_ = nullptr;  // published per generation
   bool stop_ = false;
   std::vector<std::size_t> counts_;        // per worker
   std::vector<std::exception_ptr> errors_; // per shard
@@ -401,25 +546,36 @@ std::size_t Machine::pump_round() {
     }
     widen_scale_ = 0;  // contention: collapse back to one-lookahead windows
   }
-  Ps bound = lookahead_ >= kPsInfinity - p.t ? kPsInfinity : p.t + lookahead_;
-  if (cfg_.virtual_time_limit > 0)
-    bound = std::min(bound, cfg_.virtual_time_limit + 1);
-  return run_window(bound);
+  if (adaptive_) {
+    // Group-aware per-shard bounds (see header comment). The caches rebuild
+    // only when grid activity changed since the last window.
+    if (groups_dirty_.exchange(false, std::memory_order_relaxed))
+      refresh_dev_gaps();
+    compute_window_bounds();
+  } else {
+    // Fixed windows: one uniform (trigger + lookahead) bound, the PR 5
+    // envelope, so VGPU_WINDOW_WIDEN=0 pins the classic schedule.
+    Ps bound = lookahead_ >= kPsInfinity - p.t ? kPsInfinity : p.t + lookahead_;
+    if (cfg_.virtual_time_limit > 0)
+      bound = std::min(bound, cfg_.virtual_time_limit + 1);
+    bounds_.assign(static_cast<std::size_t>(num_shards()), bound);
+  }
+  return run_window(bounds_);
 }
 
-std::size_t Machine::run_window(Ps bound) {
+std::size_t Machine::run_window(const std::vector<Ps>& bounds) {
   if (!pool_) pool_ = std::make_unique<ShardPool>(*this, shard_jobs_);
   std::size_t n = 0;
   std::exception_ptr err;
   try {
-    n = pool_->run(bound);
+    n = pool_->run(bounds);
   } catch (...) {
     err = std::current_exception();
   }
   // Window joins commit cross-shard effects even when a shard failed, so
   // the deadlock reporter sees a consistent machine.
   apply_window_ops();
-  queue_.merge_mailboxes(bound);
+  queue_.merge_mailboxes(bounds);
   if (err) std::rethrow_exception(err);
   return n;
 }

@@ -45,6 +45,29 @@
 // cross-shard operation, so causality is never outrun. The widened drain
 // pays no worker handoff and no per-window join; contention (a second
 // active shard, or cross-shard traffic) resets the width to one lookahead.
+//
+// Group-aware window bounds: with adaptive execution enabled, multi-shard
+// windows use *per-shard* bounds instead of one global (trigger + lookahead)
+// envelope. The machine tracks which sync groups currently have live grids
+// (note_grid_started / note_grid_finished) and derives a pairwise device
+// gap table from them:
+//   * a device with any active *ungrouped* grid (a plain launch, which may
+//     touch any peer's memory at any time) contributes the global
+//     cross-device floor to every pair;
+//   * devices whose active grids all belong to sync groups get, per pair,
+//     min(hop latency, cheapest shared group's release floor) when they
+//     share a group — and *no* constraint when they share none. This is the
+//     documented lookahead contract extended per launch: grids launched
+//     with sync groups communicate across devices only through their
+//     groups' barriers (plus anything >= the pairwise floor apart).
+// Each shard's bound is then min over nonempty source shards of
+// (source head + pairwise gap), including a self term (own head + the
+// floor of any deferred op the shard's own events can trigger), so e.g.
+// two disjoint 2-device groups drain their ping-pong phases independently
+// instead of in lock-step with the slowest shard. Bounds never move the
+// timeline — every bound is causally safe — they only change how much work
+// a window batches. VGPU_WINDOW_WIDEN=0 disables both widening and
+// group-aware bounds (fixed uniform windows, exactly the PR 5 behaviour).
 #pragma once
 
 #include <atomic>
@@ -227,6 +250,14 @@ class Machine {
                      std::uint64_t group);
   void defer_finish(Block* b, Ps t);
 
+  /// Sync-group activity hooks, called by Device when a grid starts / when
+  /// its last block completes. They maintain the registry behind the
+  /// group-aware window bounds (see header comment) under sync_mu(); the
+  /// finish hook may run on a shard worker — shrinking the registry
+  /// mid-window only ever widens *later* windows, never the current one.
+  void note_grid_started(const GridExec* g);
+  void note_grid_finished(const GridExec* g);
+
   /// Whether the current window has parked any ops (shard workers use this
   /// to collapse a widened window bound; approximate reads are fine — the
   /// owning shard observes its own defers in program order).
@@ -263,8 +294,28 @@ class Machine {
  private:
   struct ShardPool;
 
-  Ps compute_lookahead() const;
-  std::size_t run_window(Ps bound);
+  /// One sync group with live grids: the registry row behind the pairwise
+  /// device-gap table. `gap` is the earliest a release of this group can
+  /// reach any member past an arrival (fabric round + release base, noise-
+  /// deflated) — the group's contribution to every co-member pair and to
+  /// each member's own-shard (self-defer) floor.
+  struct ActiveSyncGroup {
+    std::uint64_t id = 0;
+    Ps gap = kPsInfinity;
+    std::vector<int> members;
+    int live_grids = 0;
+  };
+
+  void compute_gap_floors();
+  void refresh_dev_gaps();
+  void compute_window_bounds();
+  /// Worst-case downward noise jitter on a channel floor.
+  Ps deflate(Ps t) const {
+    if (cfg_.noise_amplitude <= 0.0) return t;
+    return static_cast<Ps>(static_cast<double>(t) *
+                           (1.0 - cfg_.noise_amplitude)) - 1;
+  }
+  std::size_t run_window(const std::vector<Ps>& bounds);
   std::size_t run_widened_window(int shard, Ps bound);
   void apply_window_ops();
   void push_window_op(PendingWindowOp op);
@@ -279,10 +330,26 @@ class Machine {
   std::atomic<int> blocked_entities_{0};
 
   Ps lookahead_ = kPsInfinity;
+  // Channel floors (compute_gap_floors; lookahead_ is their overall min):
+  Ps cross_floor_ = kPsInfinity;        // any cross-device channel
+  Ps intra_floor_ = kPsInfinity;        // cross-cluster, one device
+  Ps intra_defer_floor_ = kPsInfinity;  // a shard's own deferred-op floor
   int shard_jobs_ = 1;
   bool adaptive_ = true;
   int widen_scale_ = 0;  // consecutive single-shard rounds; window = L << scale
   std::unique_ptr<ShardPool> pool_;  // spawned on first parallel window
+
+  // Sync-group activity registry (under sync_mu_): groups with live grids
+  // plus per-device counts of grouped / ungrouped active grids. The dirty
+  // flag is a cheap cross-thread signal to rebuild the coordinator caches.
+  std::vector<ActiveSyncGroup> groups_;
+  std::vector<int> grouped_active_;    // per device
+  std::vector<int> ungrouped_active_;  // per device
+  std::atomic<bool> groups_dirty_{true};
+  // Coordinator-only caches derived from the registry at window starts.
+  std::vector<Ps> dev_gap_;     // num_devices^2, row-major pairwise floors
+  std::vector<Ps> self_floor_;  // per device: own-shard deferred-op floor
+  std::vector<Ps> bounds_;      // per shard, rebuilt every window
 
   std::mutex sync_mu_;
   std::vector<PendingWindowOp> pending_ops_;  // under sync_mu_

@@ -278,7 +278,11 @@ void KernelBuilder::tile_sync(int group_size) {
 void KernelBuilder::coalesced_sync() { emit({.op = Op::CoaSync}); }
 void KernelBuilder::bar_sync() { emit({.op = Op::BarSync}); }
 void KernelBuilder::grid_sync() { emit({.op = Op::GridSync}); }
-void KernelBuilder::mgrid_sync() { emit({.op = Op::MGridSync}); }
+void KernelBuilder::mgrid_sync(int group) {
+  if (group < 0 || group > 255)
+    throw SimError("mgrid_sync: sync-group index must be in [0,255]");
+  emit({.op = Op::MGridSync, .aux = static_cast<std::uint8_t>(group)});
+}
 
 void KernelBuilder::nanosleep(std::int64_t nanos) {
   emit({.op = Op::Nanosleep, .imm = nanos});
@@ -427,6 +431,9 @@ std::string to_string(const Instr& i) {
     case Op::SetP:
       os << " r" << int(i.dst) << ", r" << int(i.a) << " ? ";
       if (i.b_is_imm) os << i.imm; else os << "r" << int(i.b);
+      break;
+    case Op::MGridSync:
+      if (i.aux) os << " g" << int(i.aux);
       break;
     default:
       if (i.dst || i.a || i.b)

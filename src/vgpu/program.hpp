@@ -109,7 +109,9 @@ class KernelBuilder {
   void coalesced_sync();
   void bar_sync();
   void grid_sync();
-  void mgrid_sync();
+  /// multi_grid_group::sync() against sync group `group` of the launch
+  /// (launch-wide index; 0 = the legacy all-device group).
+  void mgrid_sync(int group = 0);
 
   void nanosleep(std::int64_t nanos);
   void rclock(Reg d);

@@ -203,9 +203,7 @@ void Device::step_warp(Warp& w) {
             break;
           case SpecialReg::SmId: v = b.sm_index; break;
           case SpecialReg::GpuId: v = g.desc.mgrid_rank; break;
-          case SpecialReg::NumGpus:
-            v = g.desc.mgrid ? g.desc.mgrid->num_devices : 1;
-            break;
+          case SpecialReg::NumGpus: v = g.desc.mgrid_devices; break;
         }
         w.r(I.dst, l).i = v;
       }
@@ -469,15 +467,28 @@ void Device::step_warp(Warp& w) {
                        prog.name() + "'");
       if (I.op == Op::GridSync && !g.desc.cooperative)
         throw SimError("grid.sync() requires a cooperative launch");
-      if (I.op == Op::MGridSync && !g.desc.mgrid)
-        throw SimError("multi_grid.sync() requires a multi-device cooperative launch");
+      int group = 0;
+      if (I.op == Op::MGridSync) {
+        if (!g.desc.is_mgrid())
+          throw SimError("multi_grid.sync() requires a multi-device cooperative launch");
+        group = I.aux;
+        if (group >= static_cast<int>(g.desc.sync_groups.size()))
+          throw SimError("mgrid_sync(" + std::to_string(group) +
+                         ") in '" + prog.name() + "': launch has only " +
+                         std::to_string(g.desc.sync_groups.size()) +
+                         " sync group(s)");
+        if (!g.desc.sync_groups[static_cast<std::size_t>(group)]->contains(id_))
+          throw SimError("mgrid_sync(" + std::to_string(group) + ") in '" +
+                         prog.name() + "': device " + std::to_string(id_) +
+                         " is not a member of that sync group");
+      }
       const Ps arrive = sm.bar_unit.acquire(slot, lat_.bar_arrive_ii);
       w.sync_epoch += 1;
       c.pc += 1;  // resume after the barrier
       const BlockBarKind kind = I.op == Op::BarSync ? BlockBarKind::Block
                                 : I.op == Op::GridSync ? BlockBarKind::Grid
                                                        : BlockBarKind::MGrid;
-      block_bar_arrive(w, kind, arrive);
+      block_bar_arrive(w, kind, arrive, group);
       return;
     }
 

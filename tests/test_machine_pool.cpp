@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "scuda/system.hpp"
@@ -153,6 +154,121 @@ TEST(MachinePoolDeterminism, RepeatedReuseStaysBitIdentical) {
   // Six acquires inside the scope: the first builds cold, the rest reuse.
   EXPECT_EQ(pool.cold_builds(), 1u);
   EXPECT_EQ(pool.warm_hits(), 5u);
+}
+
+/// Multi-device probe for sync-group layouts: every device bumps its own
+/// counter and syncs each group in `groups_seq` per round, then stores a
+/// per-thread post-loop SM clock (the timeline fingerprint).
+vgpu::ProgramPtr group_timeline_kernel(const std::vector<int>& groups_seq,
+                                       int rounds) {
+  KernelBuilder kb("pool_group_probe");
+  Reg out = kb.reg();
+  kb.ld_param(out, 0);
+  Reg gtid = kb.reg();
+  kb.sreg(gtid, SpecialReg::GTid);
+  Reg one = kb.imm(1);
+  kb.repeat(rounds, [&] {
+    kb.atom_add_i64(out, one);
+    for (int g : groups_seq) kb.mgrid_sync(g);
+  });
+  Reg clk = kb.reg();
+  kb.rclock(clk);
+  Reg addr = kb.reg();
+  kb.iadd(addr, gtid, 1);
+  kb.ishl(addr, addr, 3);
+  kb.iadd(addr, addr, out);
+  kb.stg(addr, clk);
+  kb.exit();
+  return kb.finish();
+}
+
+struct GroupPoint {
+  std::vector<scuda::SyncGroupSpec> specs;
+  std::vector<std::vector<int>> groups_per_dev;  // groups each device syncs
+  int rounds = 6;
+  std::uint64_t noise_seed = 0;
+  double noise_amplitude = 0.0;
+};
+
+struct GroupCapture {
+  std::vector<std::vector<std::int64_t>> out;
+  Ps end_now = 0;
+};
+
+GroupCapture run_group_point(MachineConfig cfg, const GroupPoint& p) {
+  const int n = static_cast<int>(p.groups_per_dev.size());
+  cfg.noise_seed = p.noise_seed;
+  cfg.noise_amplitude = p.noise_amplitude;
+  System sys(cfg);
+  constexpr int kBlocks = 2, kThreads = 64;
+  const std::int64_t slots = 1 + kBlocks * kThreads;
+  std::vector<DevPtr> bufs;
+  for (int d = 0; d < n; ++d) {
+    DevPtr b = sys.malloc(d, slots * 8);
+    sys.fill_i64(b, std::vector<std::int64_t>(static_cast<std::size_t>(slots), 0));
+    bufs.push_back(b);
+  }
+  GroupCapture cap;
+  sys.run([&](HostThread& h) {
+    std::vector<int> devs;
+    std::vector<LaunchParams> per_dev;
+    for (int d = 0; d < n; ++d) {
+      devs.push_back(d);
+      per_dev.push_back(LaunchParams{
+          group_timeline_kernel(p.groups_per_dev[static_cast<std::size_t>(d)],
+                                p.rounds),
+          kBlocks, kThreads, 0, {bufs[static_cast<std::size_t>(d)].raw}});
+    }
+    sys.launch_cooperative_multi(h, devs, per_dev, p.specs);
+    for (int d = 0; d < n; ++d) sys.device_synchronize(h, d);
+    cap.end_now = h.now();
+  });
+  for (int d = 0; d < n; ++d)
+    cap.out.push_back(sys.read_i64(bufs[static_cast<std::size_t>(d)], slots));
+  return cap;
+}
+
+TEST(MachinePoolDeterminism, ReuseAcrossSyncGroupLayoutsIsBitIdentical) {
+  // The reused machine previously ran a point with a *different* sync-group
+  // layout (two disjoint pairs); the probe runs overlapping groups with
+  // noise. Reset must rewind every per-group observable — barrier state,
+  // group-id sequence, noise substreams, and the gap registry feeding the
+  // group-aware window bounds — or the replay diverges. Both queue kinds,
+  // both executors.
+  const GroupPoint first{{{{0, 1}}, {{2, 3}}},
+                         {{0}, {0}, {1}, {1}},
+                         4,
+                         41,
+                         0.04};
+  const GroupPoint probe{{{{0, 1, 2}}, {{2, 3}}},
+                         {{0}, {0}, {0, 1}, {1}},
+                         6,
+                         13,
+                         0.02};
+  for (QueueKind q : {QueueKind::Heap, QueueKind::Calendar}) {
+    for (ExecMode e : {ExecMode::Serial, ExecMode::Sharded}) {
+      MachineConfig cfg = MachineConfig::dgx1_v100(4);
+      cfg.queue = q;
+      cfg.exec = e;
+      if (e == ExecMode::Sharded) cfg.shard_jobs = 2;
+      SCOPED_TRACE(std::string("queue=") + vgpu::to_string(q) +
+                   " exec=" + vgpu::to_string(e));
+      const GroupCapture fresh = run_group_point(cfg, probe);
+      MachinePool pool;
+      GroupCapture reused;
+      {
+        MachinePool::Scope scope(pool);
+        run_group_point(cfg, first);
+        reused = run_group_point(cfg, probe);
+      }
+      EXPECT_EQ(pool.cold_builds(), 1u);
+      EXPECT_EQ(pool.warm_hits(), 1u);
+      EXPECT_EQ(fresh.end_now, reused.end_now);
+      ASSERT_EQ(fresh.out.size(), reused.out.size());
+      for (std::size_t d = 0; d < fresh.out.size(); ++d)
+        EXPECT_EQ(fresh.out[d], reused.out[d]) << "device " << d;
+    }
+  }
 }
 
 TEST(MachinePool, ArchChangeForcesFreshBuildAndStaysCorrect) {

@@ -213,10 +213,10 @@ TEST(SweepBudget, ShardJobsExportTheShardedExecutor) {
 TEST(SweepBudget, ResetToSerialClearsTheExportedExecutorEnv) {
   // Regression: set_shard_jobs(0) used to leave VGPU_EXEC=sharded /
   // VGPU_SHARD_JOBS exported, so machines built after a reset-to-serial
-  // kept resolving the stale sharded budget (asymmetric with
-  // set_sm_clusters, which unsetenvs). Only variables *this process*
+  // kept resolving the stale sharded budget. Only variables *this process*
   // installed may be cleared — the harness may legitimately pre-set
-  // VGPU_EXEC for a whole test run.
+  // VGPU_EXEC for a whole test run. (set_sm_clusters follows the same
+  // exported-only contract; see ResetToAutoLeavesInheritedSmClustersAlone.)
   ShardJobsGuard shard_guard;
   const bool exec_preset = std::getenv("VGPU_EXEC") != nullptr;
   sweep::set_shard_jobs(3);
@@ -234,6 +234,43 @@ TEST(SweepBudget, ResetToSerialClearsTheExportedExecutorEnv) {
   if (!exec_preset) {
     scuda::System sys(MachineConfig::single(vgpu::v100()));
     EXPECT_EQ(sys.exec_mode(), vgpu::ExecMode::Serial);
+  }
+}
+
+TEST(SweepBudget, ResetToAutoLeavesInheritedSmClustersAlone) {
+  // Regression: set_sm_clusters(0) used to unsetenv VGPU_SM_CLUSTERS
+  // unconditionally, clobbering a cluster count the user exported before
+  // launching the process. Only a value *this process* installed may be
+  // cleared on reset-to-auto (mirroring set_shard_jobs).
+  struct SmClustersGuard {
+    int saved = sweep::sm_clusters();
+    ~SmClustersGuard() { sweep::set_sm_clusters(saved); }
+  } guard;
+  const char* preset = std::getenv("VGPU_SM_CLUSTERS");
+  if (preset == nullptr) {
+    // Nothing inherited: an export-then-reset round trip must leave the
+    // environment clean.
+    sweep::set_sm_clusters(2);
+    ASSERT_NE(std::getenv("VGPU_SM_CLUSTERS"), nullptr);
+    EXPECT_STREQ(std::getenv("VGPU_SM_CLUSTERS"), "2");
+    sweep::set_sm_clusters(0);
+    EXPECT_EQ(std::getenv("VGPU_SM_CLUSTERS"), nullptr);
+    // An inherited variable (simulated: installed behind sweep's back) must
+    // survive a reset that exported nothing.
+    setenv("VGPU_SM_CLUSTERS", "3", /*overwrite=*/1);
+    sweep::set_sm_clusters(0);
+    const char* after = std::getenv("VGPU_SM_CLUSTERS");
+    ASSERT_NE(after, nullptr);
+    EXPECT_STREQ(after, "3");
+    unsetenv("VGPU_SM_CLUSTERS");
+  } else {
+    // The harness pinned a cluster count for this run: a reset that
+    // exported nothing must leave it in place.
+    const std::string saved_value = preset;
+    sweep::set_sm_clusters(0);
+    const char* after = std::getenv("VGPU_SM_CLUSTERS");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(saved_value, after);
   }
 }
 

@@ -1,0 +1,371 @@
+// Sync groups: partial-device barriers and concurrent groups within one
+// multi-device cooperative launch. Pins
+//  * serial-vs-sharded (and heap-vs-calendar) bit-identity for disjoint and
+//    overlapping concurrent groups, with and without seeded noise, at
+//    several shard-job counts — the group-aware per-shard window bounds
+//    must never move the timeline;
+//  * the legacy two-argument launch_cooperative_multi being exactly the
+//    explicit single full-membership group (same timeline bit for bit);
+//  * membership / group-index validation at the sync site and launch-time
+//    validation of the group specs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "test_util.hpp"
+#include "vgpu/arch.hpp"
+
+namespace {
+
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::SyncGroupSpec;
+using scuda::System;
+using vgpu::DevPtr;
+using vgpu::ExecMode;
+using vgpu::KernelBuilder;
+using vgpu::MachineConfig;
+using vgpu::Ps;
+using vgpu::Reg;
+using vgpu::SimError;
+using vgpu::SpecialReg;
+
+constexpr int kBlocks = 4;
+constexpr int kThreads = 64;
+
+/// Per-round: bump this device's counter, then sync each group in
+/// `groups_seq`; finally store every thread's post-loop SM clock — a
+/// per-thread fingerprint of the virtual timeline.
+vgpu::ProgramPtr group_probe_kernel(const std::string& name,
+                                    const std::vector<int>& groups_seq,
+                                    int rounds) {
+  KernelBuilder kb(name);
+  Reg out = kb.reg();
+  kb.ld_param(out, 0);
+  Reg gtid = kb.reg();
+  kb.sreg(gtid, SpecialReg::GTid);
+  Reg one = kb.imm(1);
+  kb.repeat(rounds, [&] {
+    kb.atom_add_i64(out, one);
+    for (int g : groups_seq) kb.mgrid_sync(g);
+  });
+  Reg clk = kb.reg();
+  kb.rclock(clk);
+  Reg addr = kb.reg();
+  kb.iadd(addr, gtid, 1);
+  kb.ishl(addr, addr, 3);
+  kb.iadd(addr, addr, out);
+  kb.stg(addr, clk);  // out[1 + gtid] = post-loop clock
+  kb.exit();
+  return kb.finish();
+}
+
+/// Ungrouped bystander: same probe without any barrier (a plain launch
+/// sharing the machine with a grouped launch).
+vgpu::ProgramPtr plain_probe_kernel(int rounds) {
+  return group_probe_kernel("plain_probe", {}, rounds);
+}
+
+struct GroupCapture {
+  std::vector<std::vector<std::int64_t>> out;  // per launched device
+  Ps host_end = 0;
+  Ps end_now = 0;
+};
+
+void expect_identical(const GroupCapture& a, const GroupCapture& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.host_end, b.host_end) << what;
+  EXPECT_EQ(a.end_now, b.end_now) << what;
+  ASSERT_EQ(a.out.size(), b.out.size()) << what;
+  for (std::size_t d = 0; d < a.out.size(); ++d)
+    EXPECT_EQ(a.out[d], b.out[d]) << what << " device " << d;
+}
+
+/// One grouped launch over devices 0..n-1 (per-device programs), optionally
+/// with a plain concurrent launch on one extra device. Empty `specs` uses
+/// the legacy two-argument overload.
+GroupCapture run_grouped(int n, const std::vector<SyncGroupSpec>& specs,
+                         const std::vector<vgpu::ProgramPtr>& progs,
+                         std::uint64_t seed, double amp, vgpu::QueueKind queue,
+                         ExecMode exec, int shard_jobs,
+                         bool plain_bystander = false) {
+  const int total = n + (plain_bystander ? 1 : 0);
+  MachineConfig cfg = MachineConfig::dgx1_v100(total);
+  cfg.noise_seed = seed;
+  cfg.noise_amplitude = amp;
+  cfg.queue = queue;
+  cfg.exec = exec;
+  cfg.shard_jobs = shard_jobs;
+  System sys(cfg);
+  const std::int64_t slots = 1 + kBlocks * kThreads;
+  std::vector<DevPtr> bufs;
+  for (int d = 0; d < total; ++d) {
+    DevPtr p = sys.malloc(d, slots * 8);
+    sys.fill_i64(p, std::vector<std::int64_t>(static_cast<std::size_t>(slots), 0));
+    bufs.push_back(p);
+  }
+  GroupCapture cap;
+  sys.run([&](HostThread& h) {
+    std::vector<int> devs;
+    std::vector<LaunchParams> per_dev;
+    for (int d = 0; d < n; ++d) {
+      devs.push_back(d);
+      per_dev.push_back(LaunchParams{progs[static_cast<std::size_t>(d)], kBlocks,
+                                     kThreads, 0, {bufs[static_cast<std::size_t>(d)].raw}});
+    }
+    if (specs.empty()) {
+      sys.launch_cooperative_multi(h, devs, per_dev);
+    } else {
+      sys.launch_cooperative_multi(h, devs, per_dev, specs);
+    }
+    if (plain_bystander) {
+      sys.launch(h, n, LaunchParams{plain_probe_kernel(24), kBlocks, kThreads, 0,
+                                    {bufs[static_cast<std::size_t>(n)].raw}});
+    }
+    for (int d = 0; d < total; ++d) sys.device_synchronize(h, d);
+    cap.host_end = h.now();
+  });
+  cap.end_now = sys.machine().queue().now();
+  for (int d = 0; d < total; ++d)
+    cap.out.push_back(sys.read_i64(bufs[static_cast<std::size_t>(d)], slots));
+  return cap;
+}
+
+TEST(SyncGroups, DisjointConcurrentGroupsAreBitIdentical) {
+  // Two disjoint 2-device groups in one 4-device launch: {0,1} ping-pongs on
+  // group 0 while {2,3} ping-pongs on group 1. Serial oracle vs sharded
+  // windows at 1/2/4 jobs, both queue kinds, exact and noisy — the
+  // group-aware bounds let the pairs drain independently, and the timeline
+  // must not move.
+  const std::vector<SyncGroupSpec> specs = {{{0, 1}}, {{2, 3}}};
+  constexpr int kRounds = 12;
+  std::vector<vgpu::ProgramPtr> progs = {
+      group_probe_kernel("pair_a", {0}, kRounds),
+      group_probe_kernel("pair_a", {0}, kRounds),
+      group_probe_kernel("pair_b", {1}, kRounds),
+      group_probe_kernel("pair_b", {1}, kRounds)};
+  for (vgpu::QueueKind q : {vgpu::QueueKind::Heap, vgpu::QueueKind::Calendar}) {
+    for (double amp : {0.0, 0.03}) {
+      const std::uint64_t seed = amp > 0 ? 17u : 0u;
+      const GroupCapture serial =
+          run_grouped(4, specs, progs, seed, amp, q, ExecMode::Serial, 0);
+      EXPECT_EQ(serial.out[0][0], kBlocks * kThreads * kRounds);
+      for (int jobs : {1, 2, 4}) {
+        const GroupCapture sharded =
+            run_grouped(4, specs, progs, seed, amp, q, ExecMode::Sharded, jobs);
+        expect_identical(serial, sharded,
+                         std::string(vgpu::to_string(q)) + " amp " +
+                             std::to_string(amp) + " jobs " +
+                             std::to_string(jobs));
+      }
+    }
+  }
+}
+
+TEST(SyncGroups, OverlappingConcurrentGroupsAreBitIdentical) {
+  // Groups {0,1,2} and {2,3} share device 2, which syncs both groups every
+  // round (the overlapped-pipeline shape). Noise on, both executors, both
+  // queue kinds.
+  const std::vector<SyncGroupSpec> specs = {{{0, 1, 2}}, {{2, 3}}};
+  constexpr int kRounds = 10;
+  std::vector<vgpu::ProgramPtr> progs = {
+      group_probe_kernel("left", {0}, kRounds),
+      group_probe_kernel("left", {0}, kRounds),
+      group_probe_kernel("bridge", {0, 1}, kRounds),
+      group_probe_kernel("right", {1}, kRounds)};
+  for (vgpu::QueueKind q : {vgpu::QueueKind::Heap, vgpu::QueueKind::Calendar}) {
+    for (double amp : {0.0, 0.03}) {
+      const std::uint64_t seed = amp > 0 ? 29u : 0u;
+      const GroupCapture serial =
+          run_grouped(4, specs, progs, seed, amp, q, ExecMode::Serial, 0);
+      for (int jobs : {1, 4}) {
+        const GroupCapture sharded =
+            run_grouped(4, specs, progs, seed, amp, q, ExecMode::Sharded, jobs);
+        expect_identical(serial, sharded,
+                         std::string(vgpu::to_string(q)) + " amp " +
+                             std::to_string(amp) + " jobs " +
+                             std::to_string(jobs));
+      }
+    }
+  }
+}
+
+TEST(SyncGroups, UngroupedBystanderLaunchStaysDeterministic) {
+  // A plain (ungrouped) launch on a fifth device runs concurrently with the
+  // two-group launch: its device falls back to the global cross-device
+  // floor in the gap table while the grouped pairs keep their own bounds.
+  const std::vector<SyncGroupSpec> specs = {{{0, 1}}, {{2, 3}}};
+  constexpr int kRounds = 8;
+  std::vector<vgpu::ProgramPtr> progs = {
+      group_probe_kernel("pair_a", {0}, kRounds),
+      group_probe_kernel("pair_a", {0}, kRounds),
+      group_probe_kernel("pair_b", {1}, kRounds),
+      group_probe_kernel("pair_b", {1}, kRounds)};
+  const GroupCapture serial =
+      run_grouped(4, specs, progs, 31, 0.02, vgpu::QueueKind::Calendar,
+                  ExecMode::Serial, 0, /*plain_bystander=*/true);
+  const GroupCapture sharded =
+      run_grouped(4, specs, progs, 31, 0.02, vgpu::QueueKind::Calendar,
+                  ExecMode::Sharded, 4, /*plain_bystander=*/true);
+  expect_identical(serial, sharded, "bystander");
+  EXPECT_EQ(serial.out[4][0], kBlocks * kThreads * 24);  // the plain probe ran
+}
+
+TEST(SyncGroups, ExplicitFullGroupMatchesLegacyLaunchBitForBit) {
+  // The two-argument overload lowers to one full-membership group: spelling
+  // that group out explicitly must reproduce the exact same timeline (same
+  // pricing, same noise substream, same group id sequence).
+  constexpr int kRounds = 6;
+  std::vector<vgpu::ProgramPtr> progs = {
+      group_probe_kernel("all", {0}, kRounds),
+      group_probe_kernel("all", {0}, kRounds)};
+  for (ExecMode exec : {ExecMode::Serial, ExecMode::Sharded}) {
+    const GroupCapture legacy = run_grouped(2, {}, progs, 5, 0.02,
+                                            vgpu::QueueKind::Calendar, exec, 0);
+    const GroupCapture expl =
+        run_grouped(2, {{{0, 1}}}, progs, 5, 0.02, vgpu::QueueKind::Calendar,
+                    exec, 0);
+    expect_identical(legacy, expl, std::string("exec ") + vgpu::to_string(exec));
+  }
+}
+
+TEST(SyncGroups, PartialGroupIsCheaperThanTheFullBarrier) {
+  // A {0,1} pair barrier is priced by its own span (1-hop base + 2 per-GPU
+  // terms), so a pair ping-pong inside a 4-device launch finishes earlier
+  // than the same ping-pong over the full 4-device group.
+  constexpr int kRounds = 16;
+  std::vector<vgpu::ProgramPtr> pair_progs = {
+      group_probe_kernel("pair", {0}, kRounds),
+      group_probe_kernel("pair", {0}, kRounds),
+      group_probe_kernel("pair", {1}, kRounds),
+      group_probe_kernel("pair", {1}, kRounds)};
+  std::vector<vgpu::ProgramPtr> full_progs(
+      4, group_probe_kernel("full", {0}, kRounds));
+  const GroupCapture pairs =
+      run_grouped(4, {{{0, 1}}, {{2, 3}}}, pair_progs, 0, 0.0,
+                  vgpu::QueueKind::Calendar, ExecMode::Serial, 0);
+  const GroupCapture full =
+      run_grouped(4, {{{0, 1, 2, 3}}}, full_progs, 0, 0.0,
+                  vgpu::QueueKind::Calendar, ExecMode::Serial, 0);
+  EXPECT_LT(pairs.end_now, full.end_now);
+}
+
+TEST(SyncGroups, SyncSiteValidatesMembershipAndRange) {
+  constexpr int kRounds = 2;
+  // Device 2 is in no group but calls mgrid_sync(0): rejected at the sync
+  // site (it is not a member of group 0).
+  {
+    std::vector<vgpu::ProgramPtr> progs = {
+        group_probe_kernel("a", {0}, kRounds),
+        group_probe_kernel("a", {0}, kRounds),
+        group_probe_kernel("intruder", {0}, kRounds)};
+    EXPECT_THROW(run_grouped(3, {{{0, 1}}}, progs, 0, 0.0,
+                             vgpu::QueueKind::Calendar, ExecMode::Serial, 0),
+                 SimError);
+  }
+  // Group index past the launch's group list.
+  {
+    std::vector<vgpu::ProgramPtr> progs = {
+        group_probe_kernel("oob", {1}, kRounds),
+        group_probe_kernel("oob", {1}, kRounds)};
+    EXPECT_THROW(run_grouped(2, {{{0, 1}}}, progs, 0, 0.0,
+                             vgpu::QueueKind::Calendar, ExecMode::Serial, 0),
+                 SimError);
+  }
+  // mgrid_sync in a plain (non-multi) cooperative launch still throws.
+  {
+    MachineConfig cfg = MachineConfig::dgx1_v100(1);
+    System sys(cfg);
+    EXPECT_THROW(
+        sys.run([&](HostThread& h) {
+          sys.launch_cooperative(
+              h, 0,
+              LaunchParams{group_probe_kernel("solo", {0}, 1), kBlocks,
+                           kThreads, 0, {sys.malloc(0, 8 * (1 + kBlocks * kThreads)).raw}});
+          sys.device_synchronize(h, 0);
+        }),
+        SimError);
+  }
+  // Builder rejects out-of-range group indices outright.
+  {
+    KernelBuilder kb("bad");
+    EXPECT_THROW(kb.mgrid_sync(-1), SimError);
+    EXPECT_THROW(kb.mgrid_sync(256), SimError);
+  }
+}
+
+TEST(SyncGroups, LaunchValidatesGroupSpecs) {
+  constexpr int kRounds = 2;
+  std::vector<vgpu::ProgramPtr> progs = {
+      group_probe_kernel("v", {0}, kRounds),
+      group_probe_kernel("v", {0}, kRounds)};
+  // Empty group list / a group with no devices, via the overload directly.
+  {
+    MachineConfig cfg = MachineConfig::dgx1_v100(2);
+    System sys(cfg);
+    std::vector<LaunchParams> per_dev(
+        2, LaunchParams{progs[0], kBlocks, kThreads, 0,
+                        {sys.malloc(0, 8 * (1 + kBlocks * kThreads)).raw}});
+    EXPECT_THROW(sys.run([&](HostThread& h) {
+      sys.launch_cooperative_multi(h, {0, 1}, per_dev,
+                                   std::vector<SyncGroupSpec>{});
+    }),
+                 SimError);
+    EXPECT_THROW(sys.run([&](HostThread& h) {
+      sys.launch_cooperative_multi(h, {0, 1}, per_dev, {SyncGroupSpec{}});
+    }),
+                 SimError);
+  }
+  // Group referencing a device outside the launch.
+  EXPECT_THROW(run_grouped(2, {{{0, 5}}}, progs, 0, 0.0,
+                           vgpu::QueueKind::Calendar, ExecMode::Serial, 0),
+               SimError);
+  // Duplicate device within one group.
+  EXPECT_THROW(run_grouped(2, {{{0, 0}}}, progs, 0, 0.0,
+                           vgpu::QueueKind::Calendar, ExecMode::Serial, 0),
+               SimError);
+}
+
+TEST(SyncGroups, GpuIdAndNumGpusReflectTheLaunch) {
+  // NumGpus is the launch's device span (not any group's); GpuId is the
+  // device's rank within the launch — unchanged from the legacy semantics.
+  KernelBuilder kb("ids");
+  Reg out = kb.reg();
+  kb.ld_param(out, 0);
+  Reg id = kb.reg();
+  kb.sreg(id, SpecialReg::GpuId);
+  Reg n = kb.reg();
+  kb.sreg(n, SpecialReg::NumGpus);
+  Reg addr = kb.reg();
+  kb.iadd(addr, out, 0);
+  kb.stg(addr, id);
+  kb.iadd(addr, out, 8);
+  kb.stg(addr, n);
+  kb.exit();
+  vgpu::ProgramPtr prog = kb.finish();
+
+  MachineConfig cfg = MachineConfig::dgx1_v100(3);
+  System sys(cfg);
+  std::vector<DevPtr> bufs;
+  for (int d = 0; d < 3; ++d) {
+    bufs.push_back(sys.malloc(d, 16));
+    sys.fill_i64(bufs.back(), {-1, -1});
+  }
+  sys.run([&](HostThread& h) {
+    std::vector<LaunchParams> per_dev;
+    for (int d = 0; d < 3; ++d)
+      per_dev.push_back(LaunchParams{prog, 1, 32, 0, {bufs[static_cast<std::size_t>(d)].raw}});
+    sys.launch_cooperative_multi(h, {0, 1, 2}, per_dev,
+                                 {{{0, 1}}, {{1, 2}}});
+    for (int d = 0; d < 3; ++d) sys.device_synchronize(h, d);
+  });
+  for (int d = 0; d < 3; ++d) {
+    const auto v = sys.read_i64(bufs[static_cast<std::size_t>(d)], 2);
+    EXPECT_EQ(v[0], d);
+    EXPECT_EQ(v[1], 3);
+  }
+}
+
+}  // namespace
