@@ -243,16 +243,22 @@ BENCHMARK(BM_ProgramDecode);
 void BM_ShardedMachineDrain(benchmark::State& state) {
   // The conservative-window executor on a fig16-style workload: an 8-GPU
   // DGX-1 multi-grid reduction, one independent simulation point. Arg 0 is
-  // the serial oracle; Args 1/2/4 shard the machine's devices across that
-  // many workers. Timelines are bit-identical across all four (pinned by
-  // test_determinism); only wall-clock changes, and only on multi-core
-  // hosts — the scaling curve in BENCH_simperf.json is the point.
+  // the shard-job count: 0 is the serial oracle; 1/2/4/8 shard the
+  // machine's devices across that many workers. Arg 1 toggles the per-pair
+  // lookahead matrix (1) vs the uniform one-hop floor (0) so the matrix's
+  // contribution to the scaling curve is attributable on its own. Timelines
+  // are bit-identical across every row (pinned by test_determinism); only
+  // wall-clock changes, and only on multi-core hosts — the scaling curve in
+  // BENCH_simperf.json is the point, and scripts/check_bench.py gates the
+  // 4-job row against the serial one.
   const int shard_jobs = static_cast<int>(state.range(0));
+  const bool pair_matrix = state.range(1) != 0;
   const std::int64_t n_per = (4 << 20) / 8;  // 4 MB per GPU
   for (auto _ : state) {
     MachineConfig cfg = MachineConfig::dgx1_v100(8);
     cfg.exec = shard_jobs == 0 ? ExecMode::Serial : ExecMode::Sharded;
     cfg.shard_jobs = shard_jobs;
+    cfg.pair_matrix = pair_matrix;
     scuda::System sys(cfg);
     std::vector<DevPtr> shards;
     for (int g = 0; g < 8; ++g) {
@@ -267,28 +273,34 @@ void BM_ShardedMachineDrain(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * n_per * 8 * 8);
 }
 BENCHMARK(BM_ShardedMachineDrain)
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ShardedMachineDrainSingleGpu(benchmark::State& state) {
   // The single-GPU counterpart (PR 5): a fig15-style grid-sync reduction on
-  // one V100 modeled with 4 SM clusters, one independent simulation point.
-  // Arg 0 is the serial oracle at the same cluster count; Args 1/2/4 drain
-  // the clusters across that many workers. Timelines are bit-identical
-  // across all four (pinned by test_cluster_shards); only wall-clock
-  // changes — the cluster-count scaling curve in BENCH_simperf.json is the
-  // point. Adaptive window widening is what keeps the single-block final
-  // phase from paying a join per lookahead.
+  // one V100 modeled with 8 SM clusters, one independent simulation point.
+  // Arg 0 is the shard-job count: 0 is the serial oracle at the same
+  // cluster count; 1/2/4/8 drain the clusters across that many workers.
+  // Arg 1 toggles adaptive window widening (1) vs fixed uniform windows (0)
+  // so the widening win is attributable on its own. Timelines are
+  // bit-identical across every row (pinned by test_cluster_shards); only
+  // wall-clock changes — the cluster-count scaling curve in
+  // BENCH_simperf.json is the point. Widening is what keeps the
+  // single-block final phase from paying a join per lookahead.
   const int cluster_jobs = static_cast<int>(state.range(0));
+  const bool widen = state.range(1) != 0;
   const std::int64_t n = (16 << 20) / 8;  // 16 MB
   for (auto _ : state) {
     MachineConfig cfg = MachineConfig::single(v100());
-    cfg.sm_clusters = 4;
+    cfg.sm_clusters = 8;
     cfg.exec = cluster_jobs == 0 ? ExecMode::Serial : ExecMode::Sharded;
     cfg.shard_jobs = cluster_jobs;
+    cfg.adaptive_window = widen;
     scuda::System sys(cfg);
     DevPtr src = sys.malloc(0, n * 8);
     reduction::fill_pattern(sys, src, n);
@@ -299,10 +311,12 @@ void BM_ShardedMachineDrainSingleGpu(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * n * 8);
 }
 BENCHMARK(BM_ShardedMachineDrainSingleGpu)
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
 
 /// Barrier-bound ping-pong body: `work_rounds` of (counter bump, sync group

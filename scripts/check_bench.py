@@ -20,6 +20,20 @@ real regression moves one case against the fleet.
 Pass --absolute to compare raw wall times instead (useful on the machine the
 baseline was recorded on).
 
+Shard-scaling check
+-------------------
+--scaling FAST:SLOW:MAXFRAC asserts a parallel-speedup floor *within the
+current run* (no baseline involved, so it is host-speed independent): fail
+unless  current[FAST] < MAXFRAC * current[SLOW].  E.g.
+
+    --scaling 'BM_ShardedMachineDrain/4/1:BM_ShardedMachineDrain/0/1:0.33'
+
+machine-enforces the ">3x at 4 shard jobs vs serial" target. The check only
+arms when the current run's recorded context.num_cpus meets
+--scaling-min-cpus (default 4): shard workers cannot beat the serial oracle
+on a single hardware thread, and a laptop run should not fail a gate that
+measures parallel hardware. Repeat --scaling for additional pairs.
+
 Override
 --------
 Set BENCH_ALLOW_REGRESSION=1 (the CI workflow wires this to the
@@ -36,14 +50,19 @@ import os
 import sys
 
 
-def load_wall_times(path):
-    """benchmark name -> per-iteration real_time in ns (aggregates skipped)."""
+def load_doc(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_wall_times(path, doc=None):
+    """benchmark name -> per-iteration real_time in ns (aggregates skipped)."""
+    if doc is None:
+        doc = load_doc(path)
     times = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
@@ -71,6 +90,51 @@ def median(xs):
     return s[n // 2] if n % 2 else 0.5 * (s[n // 2 - 1] + s[n // 2])
 
 
+def parse_scaling(spec):
+    """'FAST:SLOW:MAXFRAC' -> (fast_name, slow_name, max_fraction)."""
+    parts = spec.rsplit(":", 1)
+    if len(parts) == 2:
+        names, frac = parts
+        pair = names.split(":")
+        if len(pair) == 2:
+            try:
+                f = float(frac)
+            except ValueError:
+                f = None
+            if f is not None and 0 < f:
+                return pair[0], pair[1], f
+    print(f"check_bench: bad --scaling spec '{spec}' "
+          f"(want FAST:SLOW:MAXFRAC)", file=sys.stderr)
+    sys.exit(2)
+
+
+def check_scaling(specs, cur, num_cpus, min_cpus):
+    """Within-run speedup floors. Returns the number of failures."""
+    if not specs:
+        return 0
+    if num_cpus is not None and num_cpus < min_cpus:
+        print(f"scaling gate: skipped — host has {num_cpus} CPU(s), "
+              f"gate requires >= {min_cpus} to measure parallel speedup")
+        return 0
+    failures = 0
+    for spec in specs:
+        fast, slow, maxfrac = parse_scaling(spec)
+        if slow not in cur or fast not in cur:
+            missing = [n for n in (slow, fast) if n not in cur]
+            print(f"check_bench: --scaling names missing from current run: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            sys.exit(2)
+        frac = cur[fast] / cur[slow]
+        ok = frac < maxfrac
+        verdict = "OK" if ok else "FAILED"
+        print(f"scaling gate: {fast} = {frac:.3f}x {slow} "
+              f"(must be < {maxfrac}, i.e. >= {1 / maxfrac:.2f}x speedup) "
+              f"— {verdict}")
+        if not ok:
+            failures += 1
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True)
@@ -81,10 +145,19 @@ def main():
     ap.add_argument("--absolute", action="store_true",
                     help="gate on raw wall-time ratios (no host-speed "
                          "normalization)")
+    ap.add_argument("--scaling", action="append", default=[],
+                    metavar="FAST:SLOW:MAXFRAC",
+                    help="within-run speedup floor: fail unless "
+                         "current[FAST] < MAXFRAC * current[SLOW]; repeatable")
+    ap.add_argument("--scaling-min-cpus", type=int, default=4,
+                    help="skip --scaling checks when the current run's "
+                         "context.num_cpus is below this (default 4)")
     args = ap.parse_args()
 
     base = load_wall_times(args.baseline)
-    cur = load_wall_times(args.current)
+    cur_doc = load_doc(args.current)
+    cur = load_wall_times(args.current, cur_doc)
+    num_cpus = cur_doc.get("context", {}).get("num_cpus")
     common = sorted(set(base) & set(cur))
     if not common:
         print("check_bench: no common benchmarks between baseline and current",
@@ -121,14 +194,21 @@ def main():
         for name in added:
             print(f"{name:<44} {'--':>10} {cur[name]:>10.0f}      new")
 
-    if not regressed:
+    scaling_failures = check_scaling(args.scaling, cur, num_cpus,
+                                     args.scaling_min_cpus)
+
+    if not regressed and not scaling_failures:
         print("perf gate: OK")
         return 0
 
-    print(f"perf gate: {len(regressed)} benchmark(s) regressed more than "
-          f"{(args.threshold - 1) * 100:.0f}% beyond the suite-wide shift:")
-    for name, r in regressed:
-        print(f"  {name}: {r / host_factor:.2f}x the normalized baseline")
+    if regressed:
+        print(f"perf gate: {len(regressed)} benchmark(s) regressed more than "
+              f"{(args.threshold - 1) * 100:.0f}% beyond the suite-wide shift:")
+        for name, r in regressed:
+            print(f"  {name}: {r / host_factor:.2f}x the normalized baseline")
+    if scaling_failures:
+        print(f"perf gate: {scaling_failures} scaling floor(s) missed "
+              f"(see 'scaling gate' lines above)")
     if os.environ.get("BENCH_ALLOW_REGRESSION") == "1":
         print("perf gate: BENCH_ALLOW_REGRESSION=1 set "
               "(allow-bench-regression label) — reporting only, not failing")

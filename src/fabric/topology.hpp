@@ -51,6 +51,18 @@ struct Topology {
 
   int max_leader_hops(int n) const;
 
+  /// Per-pair remote-memory floor: the earliest fabric traffic issued on
+  /// device `a` can land on device `b` — one-way latency over the actual
+  /// hop distance. This is what the per-shard-pair lookahead matrix
+  /// (Machine::refresh_dev_gaps) refines the uniform one-hop floor into:
+  /// on the DGX-1 cube-mesh, 2-hop pairs get twice the window of NVLink
+  /// neighbors.
+  Ps remote_floor(int a, int b) const {
+    return hop_latency * static_cast<Ps>(
+                             hops[static_cast<std::size_t>(a)]
+                                 [static_cast<std::size_t>(b)]);
+  }
+
   double pair_bandwidth_gbs(int a, int b) const { return link_gbs[a][b]; }
 
   static Topology single(); // one device, no fabric

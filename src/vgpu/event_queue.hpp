@@ -12,7 +12,13 @@
 // oracle) or as conservative parallel windows (Machine::pump_round,
 // VGPU_EXEC=sharded), where cross-shard pushes are routed through per-shard
 // *mailboxes* and merged at window boundaries in a deterministic (t, source
-// shard, source tag) order.
+// shard, source tag) order. Since PR 8 each mailbox is a bounded lock-free
+// MPSC ring (slot claim by fetch_add, per-slot ready flags published with
+// release stores) with a mutex-guarded overflow list as the backpressure
+// slow path — the hot cross-shard push takes no lock, and the merge's
+// (t, src, tag) sort restores one total order regardless of whether an
+// entry landed in the ring or the overflow list. Ring capacity is read from
+// VGPU_MAIL_RING at queue construction.
 //
 // Two interchangeable scheduling structures live behind one API:
 //
@@ -39,6 +45,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
@@ -71,6 +78,21 @@ inline QueueKind resolve_queue_kind(QueueKind k) {
   return from_env;
 }
 
+/// Mailbox ring capacity: VGPU_MAIL_RING slots per destination shard before
+/// cross-shard pushes spill into the parked overflow list. Read at queue
+/// construction (deliberately not cached so tests can vary it per queue).
+inline std::size_t resolve_mail_ring_capacity() {
+  const char* v = std::getenv("VGPU_MAIL_RING");
+  if (!v || !*v) return 256;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == nullptr || *end != '\0' || n < 1)
+    throw SimError(
+        std::string("VGPU_MAIL_RING must be a positive integer, got '") + v +
+        "'");
+  return static_cast<std::size_t>(n);
+}
+
 inline const char* to_string(QueueKind k) {
   switch (k) {
     case QueueKind::Auto: return "auto";
@@ -99,9 +121,10 @@ class EventQueue {
       : kind_(resolve_queue_kind(kind)) {
     if (num_shards < 1) throw SimError("EventQueue needs at least one shard");
     shards_.resize(static_cast<std::size_t>(num_shards));
-    mail_mu_.reserve(static_cast<std::size_t>(num_shards));
+    const std::size_t cap = resolve_mail_ring_capacity();
+    rings_.reserve(static_cast<std::size_t>(num_shards));
     for (int s = 0; s < num_shards; ++s)
-      mail_mu_.push_back(std::make_unique<std::mutex>());
+      rings_.push_back(std::make_unique<MailRing>(cap));
   }
 
   QueueKind kind() const { return kind_; }
@@ -337,12 +360,30 @@ class EventQueue {
   }
 
   /// One shard's mailbox join; `window_end` is how far this shard drained.
+  /// Coordinator context: the producers are quiescent behind the window
+  /// join, so every claimed ring slot is (or is about to be) published; the
+  /// acquire spin on the per-slot ready flag pairs with the producer's
+  /// release store and makes the payload read race-free even against a
+  /// straggling producer.
   void merge_mailbox(int s, Ps window_end) {
     Shard& sh = shards_[static_cast<std::size_t>(s)];
+    MailRing& r = *rings_[static_cast<std::size_t>(s)];
     std::vector<MailEntry> mail;
+    const std::uint64_t claimed = r.claim.load(std::memory_order_acquire);
+    const std::size_t in_ring = static_cast<std::size_t>(
+        std::min<std::uint64_t>(claimed, r.slots.size()));
+    mail.reserve(in_ring);
+    for (std::size_t i = 0; i < in_ring; ++i) {
+      while (r.ready[i].load(std::memory_order_acquire) == 0) {}
+      mail.push_back(std::move(r.slots[i]));
+      r.slots[i] = MailEntry{};  // drop the moved-from closure eagerly
+      r.ready[i].store(0, std::memory_order_relaxed);
+    }
+    r.claim.store(0, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lk(*mail_mu_[static_cast<std::size_t>(s)]);
-      mail.swap(sh.mailbox);
+      std::lock_guard<std::mutex> lk(r.overflow_mu);
+      for (MailEntry& e : r.overflow) mail.push_back(std::move(e));
+      r.overflow.clear();
     }
     std::stable_sort(mail.begin(), mail.end(),
                      [](const MailEntry& a, const MailEntry& b) {
@@ -364,11 +405,21 @@ class EventQueue {
     }
   }
 
-  /// Pending cross-shard messages (tests / diagnostics).
+  /// Pending cross-shard messages (tests / diagnostics). Claimed ring slots
+  /// plus parked overflow entries: the acquire load on the claim counter and
+  /// the overflow mutex give this read the same discipline as the merge —
+  /// no unsynchronized peek at producer-written state.
   std::size_t mailbox_size(int s) const {
-    std::lock_guard<std::mutex> lk(*mail_mu_[static_cast<std::size_t>(s)]);
-    return shards_[static_cast<std::size_t>(s)].mailbox.size();
+    MailRing& r = *rings_[static_cast<std::size_t>(s)];  // pointee not const
+    const std::uint64_t claimed = r.claim.load(std::memory_order_acquire);
+    const std::size_t in_ring = static_cast<std::size_t>(
+        std::min<std::uint64_t>(claimed, r.slots.size()));
+    std::lock_guard<std::mutex> lk(r.overflow_mu);
+    return in_ring + r.overflow.size();
   }
+
+  /// Per-destination ring capacity before pushes spill to the overflow list.
+  std::size_t mail_ring_capacity() const { return rings_[0]->slots.size(); }
 
   /// Rewind every shard to the fresh-queue state in O(changed-state):
   /// scalar cursors are zeroed and slab/bucket/heap storage is *kept at
@@ -411,10 +462,18 @@ class EventQueue {
       sh.peek_idx = 0;
       sh.callbacks.clear();
       sh.free_slots.clear();
+      MailRing& r = *rings_[static_cast<std::size_t>(&sh - shards_.data())];
+      const std::uint64_t claimed = r.claim.load(std::memory_order_acquire);
+      const std::size_t in_ring = static_cast<std::size_t>(
+          std::min<std::uint64_t>(claimed, r.slots.size()));
+      for (std::size_t i = 0; i < in_ring; ++i) {
+        r.slots[i] = MailEntry{};
+        r.ready[i].store(0, std::memory_order_relaxed);
+      }
+      r.claim.store(0, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> lk(
-            *mail_mu_[static_cast<std::size_t>(&sh - shards_.data())]);
-        sh.mailbox.clear();
+        std::lock_guard<std::mutex> lk(r.overflow_mu);
+        r.overflow.clear();
       }
       sh.mail_tag = 0;
     }
@@ -445,6 +504,27 @@ class EventQueue {
     std::uint64_t tag = 0;
   };
 
+  /// Bounded lock-free MPSC inbox, one per destination shard. Producers
+  /// claim a slot with a relaxed fetch_add on `claim`, move the entry in,
+  /// and publish it with a release store on the slot's ready flag; a claim
+  /// past capacity falls back to the mutex-guarded `overflow` list
+  /// (backpressure slow path — the (t, src, tag) merge sort makes ring vs
+  /// overflow placement invisible to the timeline). The consumer drains only
+  /// at window joins, when producers are quiescent, and resets `claim` for
+  /// the next window.
+  struct MailRing {
+    explicit MailRing(std::size_t cap)
+        : slots(cap), ready(new std::atomic<std::uint8_t>[cap]) {
+      for (std::size_t i = 0; i < cap; ++i)
+        ready[i].store(0, std::memory_order_relaxed);
+    }
+    std::vector<MailEntry> slots;
+    std::unique_ptr<std::atomic<std::uint8_t>[]> ready;  // one flag per slot
+    std::atomic<std::uint64_t> claim{0};  // slots claimed since last drain
+    std::mutex overflow_mu;
+    std::vector<MailEntry> overflow;  // parked entries past ring capacity
+  };
+
   // ---- calendar geometry --------------------------------------------------
   // Bucket width ~2.7 V100 cycles: dependent-issue deltas (1 cycle = 762 ps)
   // land within a couple of buckets of the cursor, memory latencies a few
@@ -457,8 +537,9 @@ class EventQueue {
   static constexpr std::size_t kMaxTail = 32;
 
   /// One per-device scheduling structure: calendar + heap state, sequence
-  /// counter, callback slab and the inbound mailbox. Only its owning worker
-  /// (or the quiescent coordinator) touches anything but the mailbox.
+  /// counter and callback slab. Only its owning worker (or the quiescent
+  /// coordinator) touches it; the inbound mailbox ring lives in the
+  /// matching rings_ entry and is the one multi-writer structure.
   struct Shard {
     std::size_t size = 0;
     std::uint64_t next_seq = 0;
@@ -487,9 +568,8 @@ class EventQueue {
     std::vector<Callback> callbacks;
     std::vector<std::size_t> free_slots;
 
-    // Inbound mailbox (guarded by the matching mail_mu_ entry) and the
-    // outbound tag counter (owned by this shard's executing thread).
-    std::vector<MailEntry> mailbox;
+    // Outbound mailbox tag counter (owned by this shard's executing thread;
+    // the inbound side lives in the matching rings_ entry).
     std::uint64_t mail_tag = 0;
   };
 
@@ -515,8 +595,15 @@ class EventQueue {
     e.cb = std::move(cb);
     e.src = src;
     e.tag = from.mail_tag++;
-    std::lock_guard<std::mutex> lk(*mail_mu_[static_cast<std::size_t>(dst)]);
-    shards_[static_cast<std::size_t>(dst)].mailbox.push_back(std::move(e));
+    MailRing& r = *rings_[static_cast<std::size_t>(dst)];
+    const std::uint64_t pos = r.claim.fetch_add(1, std::memory_order_relaxed);
+    if (pos < r.slots.size()) {
+      r.slots[static_cast<std::size_t>(pos)] = std::move(e);
+      r.ready[static_cast<std::size_t>(pos)].store(1, std::memory_order_release);
+      return;
+    }
+    std::lock_guard<std::mutex> lk(r.overflow_mu);
+    r.overflow.push_back(std::move(e));
   }
 
   void push(Shard& sh, Event e) {
@@ -689,7 +776,7 @@ class EventQueue {
 
   QueueKind kind_;
   std::vector<Shard> shards_;
-  std::vector<std::unique_ptr<std::mutex>> mail_mu_;  // one per shard
+  std::vector<std::unique_ptr<MailRing>> rings_;  // one inbox per shard
   Ps batch_lookahead_ = kPsInfinity;  // machine's cross-shard lookahead
 };
 

@@ -91,6 +91,15 @@ bool resolve_adaptive_window(bool configured) {
   return !(v && *v && std::string_view(v) == "0");
 }
 
+/// Escape hatch for the per-pair lookahead matrix: VGPU_LOOKAHEAD_MATRIX=0
+/// clamps every cross-device pair to the uniform global floor (the PR 7
+/// bounds). Not cached statically, like the other window knobs.
+bool resolve_pair_matrix(bool configured) {
+  if (!configured) return false;
+  const char* v = std::getenv("VGPU_LOOKAHEAD_MATRIX");
+  return !(v && *v && std::string_view(v) == "0");
+}
+
 }  // namespace
 
 Machine::Machine(MachineConfig cfg)
@@ -104,8 +113,14 @@ Machine::Machine(MachineConfig cfg)
   if (cfg_.topology.num_devices < cfg_.num_devices)
     throw SimError("topology smaller than device count");
   adaptive_ = resolve_adaptive_window(cfg_.adaptive_window);
+  pair_matrix_ = resolve_pair_matrix(cfg_.pair_matrix);
   grouped_active_.assign(static_cast<std::size_t>(cfg_.num_devices), 0);
   ungrouped_active_.assign(static_cast<std::size_t>(cfg_.num_devices), 0);
+  shard_defers_.reset(new std::atomic<std::uint64_t>[
+      static_cast<std::size_t>(num_shards())]);
+  for (int s = 0; s < num_shards(); ++s)
+    shard_defers_[static_cast<std::size_t>(s)].store(0,
+                                                     std::memory_order_relaxed);
   compute_gap_floors();
   if (lookahead_ < 1) {
     exec_ = ExecMode::Serial;  // no window fits: oracle path, unbounded batches
@@ -159,9 +174,11 @@ bool Machine::try_reset(const MachineConfig& cfg) {
   cfg_.shard_jobs = cfg.shard_jobs;
   cfg_.sm_clusters = cfg.sm_clusters;
   cfg_.adaptive_window = cfg.adaptive_window;
+  cfg_.pair_matrix = cfg.pair_matrix;
 
   exec_ = resolve_exec_mode(cfg_.exec);
   adaptive_ = resolve_adaptive_window(cfg_.adaptive_window);
+  pair_matrix_ = resolve_pair_matrix(cfg_.pair_matrix);
   noise_ = NoiseModel(cfg_.noise_seed, cfg_.noise_amplitude);
   queue_.reset();  // also rewinds batch_lookahead_ to kPsInfinity
   compute_gap_floors();  // the floors depend on the new noise amplitude
@@ -179,6 +196,9 @@ bool Machine::try_reset(const MachineConfig& cfg) {
   for (auto& d : devices_) d->reset();  // refork noise streams, rewind arenas
   blocked_entities_.store(0, std::memory_order_relaxed);
   widen_scale_ = 0;
+  for (int s = 0; s < num_shards(); ++s)
+    shard_defers_[static_cast<std::size_t>(s)].store(0,
+                                                     std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(sync_mu_);
     pending_ops_.clear();
@@ -188,7 +208,8 @@ bool Machine::try_reset(const MachineConfig& cfg) {
     groups_.clear();
     std::fill(grouped_active_.begin(), grouped_active_.end(), 0);
     std::fill(ungrouped_active_.begin(), ungrouped_active_.end(), 0);
-    groups_dirty_.store(true, std::memory_order_relaxed);
+    activity_gen_.store(1, std::memory_order_relaxed);
+    gaps_gen_ = 0;  // trail the counter: the next window rebuilds the caches
   }
   return true;
 }
@@ -224,6 +245,21 @@ void Machine::compute_gap_floors() {
     const Ps remote_gap = topo.hop_latency;  // + link regulator floor (>= 0)
     cross_floor_ = std::max<Ps>(0, std::min(remote_gap, mgrid_gap));
   }
+  // The static lookahead matrix: per-pair remote-memory floors from the
+  // actual hop distance. Unlike cross_floor_ this deliberately excludes the
+  // multi-grid release term — since PR 7 every mgrid-capable launch carries
+  // sync groups, and the activity registry prices that channel per group in
+  // refresh_dev_gaps, so the matrix only needs to floor fabric traffic.
+  const int nd = cfg_.num_devices;
+  pair_floor_.assign(
+      static_cast<std::size_t>(nd) * static_cast<std::size_t>(nd),
+      kPsInfinity);
+  for (int a = 0; a < nd; ++a)
+    for (int b = 0; b < nd; ++b)
+      if (a != b)
+        pair_floor_[static_cast<std::size_t>(a) * static_cast<std::size_t>(nd) +
+                    static_cast<std::size_t>(b)] =
+            std::max<Ps>(1, cfg_.topology.remote_floor(a, b));
   intra_floor_ = kPsInfinity;
   intra_defer_floor_ = kPsInfinity;
   if (sm_clusters_ > 1) {
@@ -269,7 +305,7 @@ void Machine::note_grid_started(const GridExec* g) {
       }
     }
   }
-  groups_dirty_.store(true, std::memory_order_relaxed);
+  activity_gen_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Machine::note_grid_finished(const GridExec* g) {
@@ -290,7 +326,7 @@ void Machine::note_grid_finished(const GridExec* g) {
       }
     }
   }
-  groups_dirty_.store(true, std::memory_order_relaxed);
+  activity_gen_.fetch_add(1, std::memory_order_relaxed);
 }
 
 /// Rebuild the coordinator's pairwise device-gap table and per-device
@@ -315,34 +351,52 @@ void Machine::refresh_dev_gaps() {
       if (a == b) continue;
       Ps& gap = dev_gap_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
                          static_cast<std::size_t>(b)];
-      if (ungrouped_active_[static_cast<std::size_t>(a)] > 0 ||
-          ungrouped_active_[static_cast<std::size_t>(b)] > 0) {
-        // A plain launch may touch any peer's memory at any time: the
-        // global cross-device floor applies to every pair it is part of.
-        gap = cross_floor_;
-        continue;
-      }
-      // Grouped-only activity on both sides: the pair communicates only
-      // when some group spans it — then over remote memory (hop latency)
-      // or the cheapest shared group's barrier release. No shared group
-      // (or either side idle) means no channel this window.
+      // Cheapest sync-group release floor shared by the pair (infinite when
+      // no active group spans both devices).
       Ps g = kPsInfinity;
       for (const auto& ag : groups_)
         if (member(ag, a) && member(ag, b)) g = std::min(g, ag.gap);
-      if (g < kPsInfinity) g = std::min(g, cfg_.topology.hop_latency);
+      if (ungrouped_active_[static_cast<std::size_t>(a)] > 0 ||
+          ungrouped_active_[static_cast<std::size_t>(b)] > 0) {
+        // A plain launch may touch any peer's memory at any time: the
+        // pair's remote-memory floor applies (hop distance x hop latency —
+        // the lookahead matrix; uniform global floor when disabled), plus
+        // any shared group's release channel.
+        const Ps remote =
+            pair_matrix_
+                ? pair_floor_[static_cast<std::size_t>(a) *
+                                  static_cast<std::size_t>(n) +
+                              static_cast<std::size_t>(b)]
+                : cross_floor_;
+        gap = std::min(remote, g);
+        continue;
+      }
+      // Grouped-only activity on both sides: the pair communicates only
+      // when some group spans it — then over remote memory (the pair's
+      // matrix floor) or the cheapest shared group's barrier release. No
+      // shared group (or either side idle) means no channel this window.
+      if (g < kPsInfinity)
+        g = std::min(g, pair_matrix_
+                            ? pair_floor_[static_cast<std::size_t>(a) *
+                                              static_cast<std::size_t>(n) +
+                                          static_cast<std::size_t>(b)]
+                            : cfg_.topology.hop_latency);
       gap = g;
     }
   }
 }
 
 /// Per-shard window bounds: each destination shard may drain to the
-/// earliest time any nonempty source shard's pending work could reach it —
-/// min over sources of (source head + pairwise gap). Sources headed by a
-/// callback contribute the global lookahead (the callback runs serially
-/// next round and may launch onto any device); a shard's own head
-/// contributes its device's self-defer floor, so a shard never drains past
-/// the application time of a release its own events trigger. Every gap is
-/// >= 1, so the globally earliest shard always makes progress.
+/// earliest time any nonempty *other* source shard's pending work could
+/// reach it — min over sources of (source head + pairwise gap). Sources
+/// headed by a callback contribute the global lookahead (the callback runs
+/// serially next round and may launch onto any device). A shard's own head
+/// contributes nothing here: the drain itself collapses the effective
+/// bound to (trigger + self-defer floor) the moment one of the shard's own
+/// events parks a window op (drain_shard_collapsing) — so quiet shards run
+/// all the way to their cross-source bound instead of lock-stepping at the
+/// self-defer floor. Every gap is >= 1, so the globally earliest shard
+/// always makes progress.
 void Machine::compute_window_bounds() {
   const int S = num_shards();
   const int n = cfg_.num_devices;
@@ -357,7 +411,7 @@ void Machine::compute_window_bounds() {
     for (int s = 0; s < S; ++s) {
       Ps gap;
       if (s == sp) {
-        gap = self_floor_[static_cast<std::size_t>(dsrc)];
+        continue;  // self term handled dynamically by the collapse drain
       } else if (cb) {
         gap = lookahead_;
       } else {
@@ -423,9 +477,12 @@ struct Machine::ShardPool {
   }
 
   /// Execute one window: every shard drains its warp events below its
-  /// per-shard bound. Returns the number of events dispatched; rethrows the
-  /// error of the lowest-index failing shard.
-  std::size_t run(const std::vector<Ps>& bounds) {
+  /// per-shard bound. Under adaptive execution the drain may *collapse* a
+  /// shard's bound (first own-deferred op) and writes the effective value
+  /// back into `bounds`, so the caller's mailbox merge checks against what
+  /// was actually drained. Returns the number of events dispatched;
+  /// rethrows the error of the lowest-index failing shard.
+  std::size_t run(std::vector<Ps>& bounds) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       bounds_ = &bounds;
@@ -449,7 +506,7 @@ struct Machine::ShardPool {
   void worker(int k) {
     std::uint64_t seen = 0;
     while (true) {
-      const std::vector<Ps>* bounds;
+      std::vector<Ps>* bounds;
       {
         std::unique_lock<std::mutex> lk(mu_);
         cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
@@ -463,13 +520,18 @@ struct Machine::ShardPool {
     }
   }
 
-  std::size_t drain_group(int k, const std::vector<Ps>& bounds) {
+  std::size_t drain_group(int k, std::vector<Ps>& bounds) {
     std::size_t n = 0;
+    // Distinct workers write distinct bounds elements (the static
+    // shard->worker map); the join's mutex orders the coordinator's reads.
     for (int s = k; s < m_.num_shards(); s += jobs_) {
       EventQueue::ScopedExecShard scope(s);
       try {
-        n += m_.queue_.drain_shard_window(s, bounds[static_cast<std::size_t>(s)],
-                                          run_warp_entry);
+        n += m_.adaptive_
+                 ? m_.drain_shard_collapsing(
+                       s, bounds[static_cast<std::size_t>(s)])
+                 : m_.queue_.drain_shard_window(
+                       s, bounds[static_cast<std::size_t>(s)], run_warp_entry);
       } catch (...) {
         errors_[static_cast<std::size_t>(s)] = std::current_exception();
       }
@@ -483,7 +545,7 @@ struct Machine::ShardPool {
   std::condition_variable cv_work_, cv_done_;
   std::uint64_t gen_ = 0;
   int pending_ = 0;
-  const std::vector<Ps>* bounds_ = nullptr;  // published per generation
+  std::vector<Ps>* bounds_ = nullptr;  // published per generation
   bool stop_ = false;
   std::vector<std::size_t> counts_;        // per worker
   std::vector<std::exception_ptr> errors_; // per shard
@@ -548,9 +610,14 @@ std::size_t Machine::pump_round() {
   }
   if (adaptive_) {
     // Group-aware per-shard bounds (see header comment). The caches rebuild
-    // only when grid activity changed since the last window.
-    if (groups_dirty_.exchange(false, std::memory_order_relaxed))
+    // only when grid activity changed since the last window: a pure load of
+    // the generation counter — no atomic write, no N x N rebuild — on the
+    // (common) quiet rounds.
+    const std::uint64_t gen = activity_gen_.load(std::memory_order_relaxed);
+    if (gen != gaps_gen_) {
       refresh_dev_gaps();
+      gaps_gen_ = gen;
+    }
     compute_window_bounds();
   } else {
     // Fixed windows: one uniform (trigger + lookahead) bound, the PR 5
@@ -563,7 +630,7 @@ std::size_t Machine::pump_round() {
   return run_window(bounds_);
 }
 
-std::size_t Machine::run_window(const std::vector<Ps>& bounds) {
+std::size_t Machine::run_window(std::vector<Ps>& bounds) {
   if (!pool_) pool_ = std::make_unique<ShardPool>(*this, shard_jobs_);
   std::size_t n = 0;
   std::exception_ptr err;
@@ -617,9 +684,54 @@ std::size_t Machine::run_widened_window(int s, Ps bound) {
   return n;
 }
 
+/// The multi-shard generalization of run_widened_window, executed by a
+/// shard-pool worker with ScopedExecShard(s) active: drain to the
+/// optimistic cross-source bound, and the moment one of *this shard's own*
+/// events parks a window op (observed in program order via the shard's
+/// defer counter), collapse the effective bound to (trigger + the device's
+/// self-defer floor). Every op this shard can park applies no earlier than
+/// its trigger plus that floor (self_floor_ is the min over the device's
+/// deferral channels: grid-release broadcast, block refill, and every
+/// active sync group's release), and later defers trigger at later times,
+/// so one collapse bounds them all. Peers are already protected by their
+/// static cross-source terms. The collapsed bound is written back for the
+/// mailbox merge.
+std::size_t Machine::drain_shard_collapsing(int s, Ps& bound) {
+  const int dev = s / sm_clusters_;
+  Ps floor = self_floor_[static_cast<std::size_t>(dev)];
+  // Defensive: a defer with no registered channel would otherwise collapse
+  // to an infinite bound. lookahead_ underestimates every channel floor.
+  if (floor >= kPsInfinity) floor = lookahead_;
+  std::atomic<std::uint64_t>& defers =
+      shard_defers_[static_cast<std::size_t>(s)];
+  const std::uint64_t start = defers.load(std::memory_order_relaxed);
+  Ps eff = bound;
+  bool cut = false;
+  std::size_t n = 0;
+  while (true) {
+    const Ps nt = queue_.next_time(s);
+    if (nt >= eff) break;
+    if (queue_.next_is_callback(s)) break;
+    queue_.step_shard(s, run_warp_entry);
+    ++n;
+    if (!cut && defers.load(std::memory_order_relaxed) != start) {
+      cut = true;
+      const Ps now = queue_.now(s);
+      eff = std::min(eff, floor >= kPsInfinity - now ? kPsInfinity : now + floor);
+    }
+  }
+  bound = eff;
+  return n;
+}
+
 void Machine::push_window_op(PendingWindowOp op) {
-  if (EventQueue::exec_shard() < 0)
+  const int src = EventQueue::exec_shard();
+  if (src < 0)
     throw SimError("window op deferred outside a shard execution context");
+  // Program-order visible to the deferring shard's own drain loop — that is
+  // the only reader whose decision depends on this counter.
+  shard_defers_[static_cast<std::size_t>(src)].fetch_add(
+      1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(sync_mu_);
   pending_ops_.push_back(std::move(op));
   pending_ops_count_.store(pending_ops_.size(), std::memory_order_relaxed);

@@ -52,22 +52,34 @@
 // (note_grid_started / note_grid_finished) and derives a pairwise device
 // gap table from them:
 //   * a device with any active *ungrouped* grid (a plain launch, which may
-//     touch any peer's memory at any time) contributes the global
-//     cross-device floor to every pair;
+//     touch any peer's memory at any time) contributes, per pair, the
+//     *pair's* remote-memory floor — hop distance times hop latency from
+//     the Topology (PR 8's lookahead matrix; a 2-hop DGX-1 pair gets twice
+//     an NVLink neighbor's window), min'd with any shared group's release
+//     floor. VGPU_LOOKAHEAD_MATRIX=0 pins the uniform global cross-device
+//     floor instead (the PR 7 behaviour; an escape hatch and the bench
+//     attribution toggle);
 //   * devices whose active grids all belong to sync groups get, per pair,
-//     min(hop latency, cheapest shared group's release floor) when they
-//     share a group — and *no* constraint when they share none. This is the
-//     documented lookahead contract extended per launch: grids launched
-//     with sync groups communicate across devices only through their
-//     groups' barriers (plus anything >= the pairwise floor apart).
-// Each shard's bound is then min over nonempty source shards of
-// (source head + pairwise gap), including a self term (own head + the
-// floor of any deferred op the shard's own events can trigger), so e.g.
-// two disjoint 2-device groups drain their ping-pong phases independently
-// instead of in lock-step with the slowest shard. Bounds never move the
-// timeline — every bound is causally safe — they only change how much work
-// a window batches. VGPU_WINDOW_WIDEN=0 disables both widening and
-// group-aware bounds (fixed uniform windows, exactly the PR 5 behaviour).
+//     min(pairwise remote floor, cheapest shared group's release floor)
+//     when they share a group — and *no* constraint when they share none.
+//     This is the documented lookahead contract extended per launch: grids
+//     launched with sync groups communicate across devices only through
+//     their groups' barriers (plus anything >= the pairwise floor apart).
+// Each shard's bound is then min over nonempty *other* source shards of
+// (source head + pairwise gap). Since PR 8 the self term (own head + the
+// floor of any op the shard's own events can defer) is no longer baked
+// into the static bound: each shard drains optimistically to its
+// cross-source bound and *collapses* its effective bound to (trigger +
+// self-defer floor) the moment one of its own events parks a window op —
+// the multi-shard generalization of single-shard adaptive widening. The
+// quiet-window argument: mailboxes are empty at window starts (merged at
+// every join), a peer's future op applies no earlier than that peer's head
+// plus the pairwise gap (already the static bound), and a shard's *own*
+// deferred op is observed in program order by the very drain loop that
+// must stop for it. Bounds never move the timeline — every bound is
+// causally safe — they only change how much work a window batches.
+// VGPU_WINDOW_WIDEN=0 disables widening, group-aware bounds and the
+// collapse drain (fixed uniform windows, exactly the PR 5 behaviour).
 #pragma once
 
 #include <atomic>
@@ -143,6 +155,11 @@ struct MachineConfig {
   /// one-lookahead windows; the timeline never depends on this switch
   /// (pinned by test_cluster_shards).
   bool adaptive_window = true;
+  /// Per-pair lookahead matrix (see header comment). Disable (or set
+  /// VGPU_LOOKAHEAD_MATRIX=0) to clamp every cross-device pair to the
+  /// uniform global floor — the PR 7 behaviour. The timeline never depends
+  /// on this switch (pinned by test_determinism).
+  bool pair_matrix = true;
 
   /// The paper's platforms.
   static MachineConfig dgx1_v100(int num_devices = 8);
@@ -200,6 +217,9 @@ class Machine {
     return device * sm_clusters_ + cluster;
   }
   bool adaptive_window() const { return adaptive_; }
+  /// Whether cross-device window bounds use the per-pair lookahead matrix
+  /// (hop distance x hop latency) instead of the uniform global floor.
+  bool pair_matrix() const { return pair_matrix_; }
   Fabric& fabric() { return fabric_; }
   NoiseModel& noise() { return noise_; }
   const ArchSpec& arch() const { return cfg_.arch; }
@@ -315,8 +335,14 @@ class Machine {
     return static_cast<Ps>(static_cast<double>(t) *
                            (1.0 - cfg_.noise_amplitude)) - 1;
   }
-  std::size_t run_window(const std::vector<Ps>& bounds);
+  std::size_t run_window(std::vector<Ps>& bounds);
   std::size_t run_widened_window(int shard, Ps bound);
+  /// Adaptive multi-shard drain of one shard (worker context): run to the
+  /// optimistic cross-source `bound`, collapsing the effective bound to
+  /// (trigger + self-defer floor) at the first window op this shard's own
+  /// events park. Writes the effective (possibly collapsed) bound back so
+  /// the mailbox merge checks against what was actually drained.
+  std::size_t drain_shard_collapsing(int shard, Ps& bound);
   void apply_window_ops();
   void push_window_op(PendingWindowOp op);
 
@@ -334,22 +360,36 @@ class Machine {
   Ps cross_floor_ = kPsInfinity;        // any cross-device channel
   Ps intra_floor_ = kPsInfinity;        // cross-cluster, one device
   Ps intra_defer_floor_ = kPsInfinity;  // a shard's own deferred-op floor
+  // Static per-pair remote-memory floors (hop distance x hop latency),
+  // num_devices^2 row-major — the lookahead matrix that refresh_dev_gaps
+  // refines dev_gap_ with when pair_matrix_ is on.
+  std::vector<Ps> pair_floor_;
   int shard_jobs_ = 1;
   bool adaptive_ = true;
+  bool pair_matrix_ = true;
   int widen_scale_ = 0;  // consecutive single-shard rounds; window = L << scale
   std::unique_ptr<ShardPool> pool_;  // spawned on first parallel window
 
   // Sync-group activity registry (under sync_mu_): groups with live grids
-  // plus per-device counts of grouped / ungrouped active grids. The dirty
-  // flag is a cheap cross-thread signal to rebuild the coordinator caches.
+  // plus per-device counts of grouped / ungrouped active grids. The
+  // generation counter bumps on every registry change; the coordinator
+  // rebuilds its caches only when it trails the counter, so quiet stretches
+  // (no grid started or finished) skip the N x N rebuild entirely.
   std::vector<ActiveSyncGroup> groups_;
   std::vector<int> grouped_active_;    // per device
   std::vector<int> ungrouped_active_;  // per device
-  std::atomic<bool> groups_dirty_{true};
+  std::atomic<std::uint64_t> activity_gen_{1};
+  std::uint64_t gaps_gen_ = 0;  // registry generation the caches reflect
   // Coordinator-only caches derived from the registry at window starts.
   std::vector<Ps> dev_gap_;     // num_devices^2, row-major pairwise floors
   std::vector<Ps> self_floor_;  // per device: own-shard deferred-op floor
   std::vector<Ps> bounds_;      // per shard, rebuilt every window
+  // Per-shard count of window ops deferred by that shard's own events,
+  // monotone across windows. A draining worker snapshots its shard's count
+  // at window start and collapses its bound when the count moves — its own
+  // defers are observed in program order; peers' defers are irrelevant to
+  // it (their static bounds already protect every other shard).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_defers_;
 
   std::mutex sync_mu_;
   std::vector<PendingWindowOp> pending_ops_;  // under sync_mu_

@@ -155,13 +155,15 @@ struct MultiCapture {
 
 MultiCapture run_multi_reduce_once(int gpus, std::uint64_t noise_seed,
                                    double noise_amplitude, vgpu::QueueKind queue,
-                                   ExecMode exec, int shard_jobs = 0) {
+                                   ExecMode exec, int shard_jobs = 0,
+                                   bool pair_matrix = true) {
   MachineConfig cfg = MachineConfig::dgx1_v100(gpus);
   cfg.noise_seed = noise_seed;
   cfg.noise_amplitude = noise_amplitude;
   cfg.queue = queue;
   cfg.exec = exec;
   cfg.shard_jobs = shard_jobs;
+  cfg.pair_matrix = pair_matrix;
   System sys(cfg);
   const std::int64_t n_per = 64 * 1024;
   std::vector<DevPtr> shards;
@@ -212,6 +214,42 @@ TEST(Determinism, ShardJobCountNeverMovesTheTimeline) {
     EXPECT_EQ(one.value, j.value) << jobs << " shard jobs";
     EXPECT_EQ(one.micros, j.micros) << jobs << " shard jobs";
     EXPECT_EQ(one.end_now, j.end_now) << jobs << " shard jobs";
+  }
+}
+
+TEST(Determinism, TinyMailRingIsTimelineInvisible) {
+  // Force pathological ring capacities so every cross-shard push spills into
+  // the overflow list (capacity 1) or wraps the ring at each window
+  // (capacity 2): the (t, src, tag) merge must erase all placement history
+  // and keep the sharded timeline bit-identical to the serial oracle.
+  const MultiCapture serial =
+      run_multi_reduce_once(4, 11, 0.02, vgpu::QueueKind::Calendar,
+                            ExecMode::Serial);
+  for (const char* cap : {"1", "2"}) {
+    testutil::ScopedEnv ring("VGPU_MAIL_RING", cap);
+    const MultiCapture sharded =
+        run_multi_reduce_once(4, 11, 0.02, vgpu::QueueKind::Calendar,
+                              ExecMode::Sharded, 4);
+    EXPECT_EQ(serial.value, sharded.value) << "ring capacity " << cap;
+    EXPECT_EQ(serial.micros, sharded.micros) << "ring capacity " << cap;
+    EXPECT_EQ(serial.end_now, sharded.end_now) << "ring capacity " << cap;
+  }
+}
+
+TEST(Determinism, PairMatrixToggleNeverMovesTheTimeline) {
+  // The per-pair lookahead matrix only widens windows the conservative
+  // contract already permits — switching back to the uniform floor (the
+  // escape hatch) must not move a single timestamp, under either executor.
+  for (ExecMode exec : {ExecMode::Serial, ExecMode::Sharded}) {
+    const MultiCapture matrix =
+        run_multi_reduce_once(8, 13, 0.03, vgpu::QueueKind::Calendar, exec, 2,
+                              /*pair_matrix=*/true);
+    const MultiCapture uniform =
+        run_multi_reduce_once(8, 13, 0.03, vgpu::QueueKind::Calendar, exec, 2,
+                              /*pair_matrix=*/false);
+    EXPECT_EQ(matrix.value, uniform.value);
+    EXPECT_EQ(matrix.micros, uniform.micros);
+    EXPECT_EQ(matrix.end_now, uniform.end_now);
   }
 }
 

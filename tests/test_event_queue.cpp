@@ -8,11 +8,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "test_util.hpp"
 #include "vgpu/event_queue.hpp"
 
 using vgpu::EventQueue;
@@ -361,6 +364,136 @@ TEST_P(ShardedQueueBothKinds, WindowDrainStopsAtBoundAndCallbacks) {
   q.set_batch_lookahead(5);
   EXPECT_EQ(q.horizon(0), 20 + 5);  // shard now = last dispatched event (20)
   q.set_batch_lookahead(vgpu::kPsInfinity);
+}
+
+// ---------------------------------------------------------------------------
+// MPSC mailbox ring: lock-free slot claims, overflow backpressure, and the
+// deterministic (t, src, tag) merge — including a real multi-producer fuzz
+// that the TSan CI leg runs to prove the claim/publish protocol race-free.
+// ---------------------------------------------------------------------------
+
+using testutil::ScopedEnv;
+
+TEST(MailRing, CapacityComesFromTheEnvironment) {
+  ScopedEnv ring("VGPU_MAIL_RING", "3");
+  EventQueue q(QueueKind::Calendar, 2);
+  EXPECT_EQ(q.mail_ring_capacity(), 3u);
+}
+
+TEST(MailRing, BogusCapacityIsDiagnosed) {
+  ScopedEnv ring("VGPU_MAIL_RING", "0");
+  EXPECT_THROW(EventQueue(QueueKind::Calendar, 2), vgpu::SimError);
+}
+
+TEST(MailRing, FullRingSpillsToOverflowInTagOrder) {
+  ScopedEnv ring("VGPU_MAIL_RING", "2");
+  EventQueue q(QueueKind::Calendar, 2);
+  ASSERT_EQ(q.mail_ring_capacity(), 2u);
+  std::vector<int> order;
+  {
+    EventQueue::ScopedExecShard scope(1);
+    for (int i = 0; i < 7; ++i)
+      q.push_callback(
+          1000, [&order, i](Ps) { order.push_back(i); }, 0);
+  }
+  // 2 ring slots claimed + 5 parked in the overflow list, all visible to the
+  // coordinator-side size read.
+  EXPECT_EQ(q.mailbox_size(0), 7u);
+  q.merge_mailboxes(1000);
+  EXPECT_EQ(q.mailbox_size(0), 0u);
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  // Same (t, src): the tag must serialize them in push order even though
+  // entries 2..6 took the overflow path while 0..1 sat in ring slots.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MailRing, ClaimCounterRewindsAcrossWindows) {
+  // Wraparound: every merge resets the claim counter, so the ring refills
+  // from slot 0 window after window without ever losing or reordering mail.
+  ScopedEnv ring("VGPU_MAIL_RING", "4");
+  EventQueue q(QueueKind::Calendar, 2);
+  std::vector<int> order;
+  for (int round = 0; round < 5; ++round) {
+    const Ps t = 1000 * (round + 1);
+    {
+      EventQueue::ScopedExecShard scope(1);
+      for (int i = 0; i < 6; ++i)  // 4 ring slots + 2 overflow per round
+        q.push_callback(
+            t, [&order, round, i](Ps) { order.push_back(10 * round + i); }, 0);
+    }
+    EXPECT_EQ(q.mailbox_size(0), 6u);
+    q.merge_mailboxes(t);
+    EXPECT_EQ(q.mailbox_size(0), 0u);
+  }
+  while (q.step([](vgpu::Warp*) {})) {
+  }
+  ASSERT_EQ(order.size(), 30u);
+  for (int round = 0; round < 5; ++round)
+    for (int i = 0; i < 6; ++i)
+      EXPECT_EQ(order[static_cast<std::size_t>(6 * round + i)], 10 * round + i);
+}
+
+TEST(MailRingFuzz, ConcurrentProducersMergeDeterministically) {
+  // Real multi-producer contention on a tiny ring: three source threads
+  // blast randomized-time entries at one destination, racing on the
+  // fetch_add slot claim; late claims take the overflow lock. After the
+  // join the merge must deliver every entry ordered by (t, src, tag) —
+  // per-source push order within a timestamp — and a second identical run
+  // must reproduce the sequence bit-for-bit.
+  ScopedEnv ring("VGPU_MAIL_RING", "8");
+  constexpr int kSources = 3;
+  constexpr int kPerSource = 64;
+  constexpr int kRounds = 4;
+
+  auto run_once = [&] {
+    EventQueue q(QueueKind::Calendar, kSources + 1);
+    std::vector<std::pair<Ps, int>> popped;  // (t, src * 1000 + i)
+    for (int round = 0; round < kRounds; ++round) {
+      const Ps base = 10'000 * (round + 1);
+      std::vector<std::thread> producers;
+      for (int src = 1; src <= kSources; ++src) {
+        producers.emplace_back([&q, &popped, base, round, src] {
+          Rng rng{static_cast<std::uint64_t>(src) * 977 +
+                  static_cast<std::uint64_t>(round) + 1};
+          EventQueue::ScopedExecShard scope(src);
+          for (int i = 0; i < kPerSource; ++i) {
+            const Ps t = base + static_cast<Ps>(rng.below(50));
+            const int id = src * 1000 + i;
+            q.push_callback(
+                t, [&popped, t, id](Ps) { popped.emplace_back(t, id); }, 0);
+          }
+        });
+      }
+      for (auto& th : producers) th.join();
+      EXPECT_EQ(q.mailbox_size(0),
+                static_cast<std::size_t>(kSources * kPerSource));
+      q.merge_mailboxes(base);
+      while (q.step([](vgpu::Warp*) {})) {
+      }
+    }
+    return popped;
+  };
+
+  const auto a = run_once();
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(kSources * kPerSource * kRounds));
+  // The full merge contract: time ascending; ties broken by source, then by
+  // per-source push order (the tag). id = src * 1000 + push-index.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const Ps tp = a[i - 1].first, tc = a[i].first;
+    const int sp = a[i - 1].second / 1000, sc = a[i].second / 1000;
+    const int ip = a[i - 1].second % 1000, ic = a[i].second % 1000;
+    if (tp / 10'000 != tc / 10'000) continue;  // round boundary
+    EXPECT_LE(tp, tc) << "time order broken at " << i;
+    if (tp == tc) {
+      EXPECT_LE(sp, sc) << "source order broken at " << i;
+      if (sp == sc) {
+        EXPECT_LT(ip, ic) << "tag order broken at " << i;
+      }
+    }
+  }
+  const auto b = run_once();
+  EXPECT_EQ(a, b) << "merge is not deterministic across identical runs";
 }
 
 // ---------------------------------------------------------------------------

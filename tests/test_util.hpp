@@ -4,12 +4,41 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "scuda/system.hpp"
 #include "vgpu/program.hpp"
 
 namespace testutil {
+
+/// Scoped environment override (POSIX setenv/unsetenv): knobs like
+/// VGPU_MAIL_RING are resolved at construction time of the object they
+/// configure, so tests set them around the constructor and restore the
+/// previous value on scope exit.
+struct ScopedEnv {
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      saved_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
 
 using scuda::HostThread;
 using scuda::LaunchParams;
