@@ -10,6 +10,7 @@
 #include "reduction/reduce.hpp"
 #include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
+#include "vgpu/env.hpp"
 
 namespace {
 
@@ -67,8 +68,7 @@ int main(int argc, char** argv) {
   // 512 MB establishes the bandwidth plateau (the paper sweeps on to
   // multi-GB sizes); override with GSB_FIG15_MB for quick smokes — the
   // sanitizer legs run GSB_FIG15_MB=8 under VGPU_SM_CLUSTERS=4.
-  std::int64_t max_mb = 512;
-  if (const char* e = std::getenv("GSB_FIG15_MB")) max_mb = std::atoll(e);
+  std::int64_t max_mb = vgpu::env_int("GSB_FIG15_MB", 512);
   if (max_mb < 1) max_mb = 1;
 
   std::cout << "Figure 15 / Table VI — single-GPU reduction\n"

@@ -9,6 +9,7 @@
 #include "reduction/reduce.hpp"
 #include "sweep/sweep.hpp"
 #include "syncbench/report.hpp"
+#include "vgpu/env.hpp"
 
 int main(int argc, char** argv) {
   using namespace reduction;
@@ -22,8 +23,8 @@ int main(int argc, char** argv) {
   // host barriers) amortize with shard size; the paper's near-unity
   // mgrid/CPU ratio needs ~1 GB per GPU. 128 MB keeps the harness fast;
   // override with GSB_FIG16_MB for closer-to-paper runs.
-  std::int64_t shard_mb = 128;
-  if (const char* e = std::getenv("GSB_FIG16_MB")) shard_mb = std::atoll(e);
+  std::int64_t shard_mb = vgpu::env_int("GSB_FIG16_MB", 128);
+  if (shard_mb < 1) shard_mb = 1;
   const std::int64_t kShardBytes = shard_mb << 20;
   const std::int64_t n_per = kShardBytes / 8;
 

@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "reduction/reduce.hpp"
+#include "simd/client.hpp"
+#include "simd/protocol.hpp"
+#include "simd/server.hpp"
 #include "syncbench/kernels.hpp"
 #include "syncbench/methods.hpp"
 
@@ -464,6 +467,54 @@ void BM_SweepThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(warps_per_block.size()));
 }
 BENCHMARK(BM_SweepThroughput)->Arg(0)->Arg(1);
+
+void simd_replay(benchmark::State& state, bool warm) {
+  // The simulation daemon's serve path (fingerprint -> cache -> admission
+  // -> worker execution -> response encode) over a fig4-style block-sync
+  // mix, driven in-process so the gate measures the daemon, not socket
+  // noise. Cold: every iteration re-salts the seeds, so all 12 requests
+  // miss and simulate (noise is 0, so the salt never changes the cost —
+  // uniform cold work). Warm: the mix is primed once, so all 12 requests
+  // are cache hits that never construct a Machine. Request counts are
+  // identical, which makes the warm:cold ratio in BENCH_simperf.json the
+  // cache win itself; check_bench.py gates warm <= 0.1 x cold (>= 10x).
+  simd::MixSpec spec;
+  spec.name = "fig4";
+  spec.requests = 12;
+  spec.hit_ratio = 0.0;
+  spec.seed = 17;
+  spec.repeats = 4;
+  const std::vector<simd::PointQuery> queries = simd::make_mix(spec);
+  simd::ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_limit = 64;
+  opts.cache_max = 1 << 16;
+  simd::Server server(std::move(opts));
+  server.start();
+  if (warm)
+    for (const auto& q : queries)
+      benchmark::DoNotOptimize(
+          server.handle_line(simd::encode_point_request("prime", q)));
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    ++salt;
+    for (const auto& q : queries) {
+      simd::PointQuery p = q;
+      if (!warm) p.seed += salt * 100000007ull;
+      benchmark::DoNotOptimize(
+          server.handle_line(simd::encode_point_request("b", p)));
+    }
+  }
+  server.stop();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(queries.size()));
+}
+
+void BM_SimdReplayCold(benchmark::State& state) { simd_replay(state, false); }
+BENCHMARK(BM_SimdReplayCold)->Unit(benchmark::kMillisecond);
+
+void BM_SimdReplayWarm(benchmark::State& state) { simd_replay(state, true); }
+BENCHMARK(BM_SimdReplayWarm)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

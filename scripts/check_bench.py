@@ -22,17 +22,23 @@ baseline was recorded on).
 
 Shard-scaling check
 -------------------
---scaling FAST:SLOW:MAXFRAC asserts a parallel-speedup floor *within the
+--scaling FAST:SLOW:MAXFRAC[:MINCPUS] asserts a speedup floor *within the
 current run* (no baseline involved, so it is host-speed independent): fail
 unless  current[FAST] < MAXFRAC * current[SLOW].  E.g.
 
     --scaling 'BM_ShardedMachineDrain/4/1:BM_ShardedMachineDrain/0/1:0.33'
 
-machine-enforces the ">3x at 4 shard jobs vs serial" target. The check only
-arms when the current run's recorded context.num_cpus meets
---scaling-min-cpus (default 4): shard workers cannot beat the serial oracle
-on a single hardware thread, and a laptop run should not fail a gate that
-measures parallel hardware. Repeat --scaling for additional pairs.
+machine-enforces the ">3x at 4 shard jobs vs serial" target. A spec only
+arms when the current run's recorded context.num_cpus meets its MINCPUS
+field, or --scaling-min-cpus (default 4) when the field is absent: shard
+workers cannot beat the serial oracle on a single hardware thread, and a
+laptop run should not fail a gate that measures parallel hardware. Floors
+that do not measure parallelism — the simd daemon's warm-vs-cold cache
+replay, say — pass MINCPUS=0 to arm everywhere:
+
+    --scaling 'BM_SimdReplayWarm:BM_SimdReplayCold:0.1:0'
+
+Repeat --scaling for additional pairs.
 
 Override
 --------
@@ -91,34 +97,37 @@ def median(xs):
 
 
 def parse_scaling(spec):
-    """'FAST:SLOW:MAXFRAC' -> (fast_name, slow_name, max_fraction)."""
-    parts = spec.rsplit(":", 1)
-    if len(parts) == 2:
-        names, frac = parts
-        pair = names.split(":")
-        if len(pair) == 2:
-            try:
-                f = float(frac)
-            except ValueError:
-                f = None
-            if f is not None and 0 < f:
-                return pair[0], pair[1], f
+    """'FAST:SLOW:MAXFRAC[:MINCPUS]' -> (fast, slow, max_fraction, min_cpus).
+
+    min_cpus is None unless the optional 4th field is present. A per-spec
+    MINCPUS overrides --scaling-min-cpus; 0 arms the gate on any host — for
+    speedups (like the daemon's cache-hit ratio) that do not come from
+    parallel hardware."""
+    parts = spec.split(":")
+    if len(parts) in (3, 4):
+        try:
+            f = float(parts[2])
+            m = int(parts[3]) if len(parts) == 4 else None
+        except ValueError:
+            f, m = None, None
+        if f is not None and f > 0 and (m is None or m >= 0):
+            return parts[0], parts[1], f, m
     print(f"check_bench: bad --scaling spec '{spec}' "
-          f"(want FAST:SLOW:MAXFRAC)", file=sys.stderr)
+          f"(want FAST:SLOW:MAXFRAC[:MINCPUS])", file=sys.stderr)
     sys.exit(2)
 
 
 def check_scaling(specs, cur, num_cpus, min_cpus):
     """Within-run speedup floors. Returns the number of failures."""
-    if not specs:
-        return 0
-    if num_cpus is not None and num_cpus < min_cpus:
-        print(f"scaling gate: skipped — host has {num_cpus} CPU(s), "
-              f"gate requires >= {min_cpus} to measure parallel speedup")
-        return 0
     failures = 0
     for spec in specs:
-        fast, slow, maxfrac = parse_scaling(spec)
+        fast, slow, maxfrac, spec_min = parse_scaling(spec)
+        need = min_cpus if spec_min is None else spec_min
+        if num_cpus is not None and num_cpus < need:
+            print(f"scaling gate: {fast} vs {slow} skipped — host has "
+                  f"{num_cpus} CPU(s), gate requires >= {need} to measure "
+                  f"parallel speedup")
+            continue
         if slow not in cur or fast not in cur:
             missing = [n for n in (slow, fast) if n not in cur]
             print(f"check_bench: --scaling names missing from current run: "
@@ -146,12 +155,15 @@ def main():
                     help="gate on raw wall-time ratios (no host-speed "
                          "normalization)")
     ap.add_argument("--scaling", action="append", default=[],
-                    metavar="FAST:SLOW:MAXFRAC",
+                    metavar="FAST:SLOW:MAXFRAC[:MINCPUS]",
                     help="within-run speedup floor: fail unless "
-                         "current[FAST] < MAXFRAC * current[SLOW]; repeatable")
+                         "current[FAST] < MAXFRAC * current[SLOW]; optional "
+                         "MINCPUS overrides --scaling-min-cpus for this spec "
+                         "(0 = check on any host); repeatable")
     ap.add_argument("--scaling-min-cpus", type=int, default=4,
                     help="skip --scaling checks when the current run's "
-                         "context.num_cpus is below this (default 4)")
+                         "context.num_cpus is below this (default 4); a "
+                         "spec's own MINCPUS field takes precedence")
     args = ap.parse_args()
 
     base = load_wall_times(args.baseline)

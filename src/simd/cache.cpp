@@ -1,0 +1,46 @@
+#include "simd/cache.hpp"
+
+namespace simd {
+
+ResultCache::ResultCache(std::size_t max_entries)
+    : max_entries_(max_entries < 1 ? 1 : max_entries) {}
+
+bool ResultCache::get(std::uint64_t fp, std::string* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(fp);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = it->second;
+  return true;
+}
+
+void ResultCache::put(std::uint64_t fp, std::string result) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = map_.emplace(fp, std::move(result));
+  if (!inserted) return;
+  order_.push_back(fp);
+  while (map_.size() > max_entries_) {
+    map_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+}  // namespace simd

@@ -1,0 +1,46 @@
+// Content-addressed result cache: fingerprint -> canonical result bytes.
+//
+// The stored value is the exact serialized result object a fresh execution
+// would produce (simd::serialize_result), so a hit is byte-identical to a
+// miss by construction — there is no re-serialization on the hit path.
+// Bounded by entry count with FIFO eviction: entries are immutable and
+// deterministic, so evicting a hot entry costs one recomputation, never
+// correctness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace simd {
+
+class ResultCache {
+ public:
+  /// `max_entries` < 1 clamps to 1.
+  explicit ResultCache(std::size_t max_entries);
+
+  /// True (and *out filled) on a hit. Counts the lookup either way.
+  bool get(std::uint64_t fp, std::string* out);
+
+  /// Insert (idempotent: a concurrent duplicate insert keeps the first
+  /// value; both are byte-identical anyway by determinism).
+  void put(std::uint64_t fp, std::string result);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  const std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::string> map_;
+  std::deque<std::uint64_t> order_;  // insertion order, for FIFO eviction
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace simd

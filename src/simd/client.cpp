@@ -1,0 +1,269 @@
+#include "simd/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+
+#include "simd/fingerprint.hpp"
+#include "simd/protocol.hpp"
+#include "vgpu/machine_pool.hpp"
+
+namespace simd {
+
+namespace {
+
+std::uint64_t xorshift64(std::uint64_t* s) {
+  std::uint64_t x = *s ? *s : 0x9e3779b97f4a7c15ull;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *s = x;
+}
+
+bool set_err(std::string* err, const std::string& what) {
+  if (err) *err = what;
+  return false;
+}
+
+}  // namespace
+
+Client::~Client() { close_conn(); }
+
+bool Client::connect_to(const std::string& socket_path, std::string* err) {
+  close_conn();
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return set_err(err, "socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    return set_err(err, "socket path too long: " + socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close_conn();
+    return set_err(err, "connect(" + socket_path +
+                            ") failed: " + std::strerror(errno));
+  }
+  return true;
+}
+
+bool Client::request(const std::string& line, std::string* response,
+                     std::string* err) {
+  if (fd_ < 0) return set_err(err, "not connected");
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t w =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (w <= 0) return set_err(err, "send failed");
+    off += static_cast<std::size_t>(w);
+  }
+  std::size_t pos;
+  while ((pos = buf_.find('\n')) == std::string::npos) {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return set_err(err, "connection closed by daemon");
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+  *response = buf_.substr(0, pos);
+  buf_.erase(0, pos + 1);
+  return true;
+}
+
+void Client::close_conn() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+std::vector<PointQuery> make_mix(const MixSpec& spec) {
+  // Base shapes. fig4: the suite's block-sync residency grid — mid-weight
+  // points (~one resident grid each). tab2: single-warp latency points —
+  // the cheap mix the throughput benchmark uses.
+  std::vector<PointQuery> base;
+  if (spec.name == "tab2") {
+    const struct {
+      const char* warp;
+      int group;
+    } rows[] = {{"tile", 32},
+                {"shfl_tile", 32},
+                {"coalesced", 16},
+                {"coalesced", 32},
+                {"shfl_coalesced", 32}};
+    for (const auto& row : rows) {
+      PointQuery q;
+      q.arch = spec.arch;
+      q.method = Method::WarpSync;
+      q.warp = row.warp;
+      q.group = row.group;
+      q.repeats = spec.repeats;
+      base.push_back(q);
+    }
+  } else {  // fig4
+    for (int threads : {32, 64, 128, 256, 512, 1024})
+      for (int bpsm : {1, 2}) {
+        PointQuery q;
+        q.arch = spec.arch;
+        q.method = Method::BlockSync;
+        q.blocks_per_sm = bpsm;
+        q.threads = threads;
+        q.repeats = spec.repeats;
+        base.push_back(q);
+      }
+  }
+  const int n = std::max(1, spec.requests);
+  double h = spec.hit_ratio;
+  h = std::min(1.0, std::max(0.0, h));
+  int uniques = n - static_cast<int>(h * n + 0.5);
+  uniques = std::max(1, std::min(n, uniques));
+  std::vector<PointQuery> mix;
+  mix.reserve(static_cast<std::size_t>(n));
+  // Uniques first (the cold prefix), then revisits in xorshift order. With
+  // noise 0 the seed never moves the timeline, so distinct seeds manufacture
+  // distinct fingerprints at identical simulation cost — uniform cold work.
+  for (int i = 0; i < uniques; ++i) {
+    PointQuery q = base[static_cast<std::size_t>(i) % base.size()];
+    q.seed = spec.seed * 1000003ull + static_cast<std::uint64_t>(i);
+    mix.push_back(std::move(q));
+  }
+  std::uint64_t rng = spec.seed ^ 0xd1b54a32d192ed03ull;
+  for (int i = uniques; i < n; ++i)
+    mix.push_back(mix[static_cast<std::size_t>(
+        xorshift64(&rng) % static_cast<std::uint64_t>(uniques))]);
+  return mix;
+}
+
+namespace {
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5));
+  return sorted[idx];
+}
+
+std::string strip_quotes(const std::string& tok) {
+  if (tok.size() >= 2 && tok.front() == '"' && tok.back() == '"')
+    return tok.substr(1, tok.size() - 2);
+  return tok;
+}
+
+}  // namespace
+
+bool replay_mix(const std::string& socket_path, const MixSpec& spec,
+                int connections, std::ostream* dump, ReplayReport* report,
+                std::string* err) {
+  const std::vector<PointQuery> queries = make_mix(spec);
+  const int conns = std::max(1, connections);
+  std::vector<std::string> responses(queries.size());
+  std::vector<double> latency_us(queries.size(), 0.0);
+  std::atomic<bool> failed{false};
+  std::mutex fail_mu;
+  std::string fail_msg;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      std::string cerr;
+      if (!client.connect_to(socket_path, &cerr)) {
+        std::lock_guard<std::mutex> lk(fail_mu);
+        fail_msg = cerr;
+        failed.store(true);
+        return;
+      }
+      for (std::size_t i = static_cast<std::size_t>(c); i < queries.size();
+           i += static_cast<std::size_t>(conns)) {
+        if (failed.load()) return;
+        const std::string line =
+            encode_point_request(std::to_string(i), queries[i]);
+        const auto s = std::chrono::steady_clock::now();
+        if (!client.request(line, &responses[i], &cerr)) {
+          std::lock_guard<std::mutex> lk(fail_mu);
+          fail_msg = cerr;
+          failed.store(true);
+          return;
+        }
+        latency_us[i] = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - s)
+                            .count();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (failed.load()) return set_err(err, fail_msg);
+
+  ReplayReport r;
+  r.requests = static_cast<int>(queries.size());
+  r.wall_s = wall_s;
+  for (const std::string& resp : responses) {
+    if (extract_scalar_field(resp, "ok") == "true") {
+      if (extract_scalar_field(resp, "cached") == "true") ++r.hits;
+      else ++r.misses;
+    } else {
+      const std::string code = strip_quotes(extract_scalar_field(resp, "error"));
+      if (code == "overloaded" || code == "shutting_down") ++r.rejected;
+      else ++r.errors;
+    }
+  }
+  std::vector<double> sorted = latency_us;
+  std::sort(sorted.begin(), sorted.end());
+  r.p50_us = percentile(sorted, 0.50);
+  r.p99_us = percentile(sorted, 0.99);
+  r.points_per_sec = wall_s > 0 ? static_cast<double>(r.requests) / wall_s : 0;
+  if (report) *report = r;
+
+  if (dump) {
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      const std::string fp =
+          strip_quotes(extract_scalar_field(responses[i], "fingerprint"));
+      const std::string result = extract_object_field(responses[i], "result");
+      *dump << "point " << i << " fp=" << fp << " result=" << result << "\n";
+    }
+  }
+  return true;
+}
+
+void direct_mix(const MixSpec& spec, std::ostream& dump) {
+  const std::vector<PointQuery> queries = make_mix(spec);
+  // One memo standing in for the daemon cache: repeated points reuse the
+  // first execution's bytes, exactly as a cache hit would.
+  std::unordered_map<std::uint64_t, std::string> memo;
+  vgpu::MachinePool pool;
+  vgpu::MachinePool::Scope scope(pool);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::uint64_t fp = fingerprint(queries[i]);
+    auto it = memo.find(fp);
+    if (it == memo.end())
+      it = memo.emplace(fp, serialize_result(run_point(queries[i]))).first;
+    dump << "point " << i << " fp=" << fingerprint_hex(fp)
+         << " result=" << it->second << "\n";
+  }
+}
+
+void print_report(std::ostream& os, const ReplayReport& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "requests=%d hits=%d misses=%d rejected=%d errors=%d "
+                "wall_s=%.3f points_per_sec=%.1f p50_us=%.1f p99_us=%.1f",
+                r.requests, r.hits, r.misses, r.rejected, r.errors, r.wall_s,
+                r.points_per_sec, r.p50_us, r.p99_us);
+  os << buf << "\n";
+}
+
+}  // namespace simd

@@ -1,0 +1,80 @@
+// Replay client for the simulation daemon: generates a deterministic
+// recorded-style query mix with a configurable hit ratio, replays it over
+// one or more connections, and reports throughput (points/sec) and latency
+// percentiles (p50/p99). `--dump` emits one canonical line per request —
+// fingerprint + verbatim result bytes — which must diff clean against the
+// same mix executed directly against the library (direct_mix), the CI
+// byte-identity check.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simd/point.hpp"
+
+namespace simd {
+
+/// Synchronous line-oriented connection to a daemon socket.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect_to(const std::string& socket_path, std::string* err);
+  /// One request line -> the matching response line (newline stripped).
+  bool request(const std::string& line, std::string* response, std::string* err);
+  void close_conn();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct MixSpec {
+  std::string name = "fig4";  // "fig4" (block sync) | "tab2" (warp sync)
+  std::string arch = "v100";
+  int requests = 64;
+  /// Fraction of requests that re-visit an already-requested point. The
+  /// first ceil((1-h) * requests) requests are unique (cold misses); the
+  /// rest revisit them in xorshift order.
+  double hit_ratio = 0.5;
+  std::uint64_t seed = 1;  // mix shuffle seed AND base noise seed
+  int repeats = 8;         // base repeat count of the mix's kernels
+};
+
+/// The request sequence, deterministic in the spec.
+std::vector<PointQuery> make_mix(const MixSpec& spec);
+
+struct ReplayReport {
+  int requests = 0;
+  int hits = 0;      // responses with "cached":true
+  int misses = 0;    // executed fresh
+  int rejected = 0;  // backpressure responses
+  int errors = 0;
+  double wall_s = 0;
+  double points_per_sec = 0;
+  double p50_us = 0;  // per-request round-trip latency percentiles
+  double p99_us = 0;
+};
+
+/// Replay the mix over `connections` parallel client connections (request i
+/// rides connection i % connections; per-connection order is preserved).
+/// With `dump`, writes one "point <i> fp=<hex> result=<bytes>" line per
+/// request in request order after the replay completes. False on connect /
+/// IO failure.
+bool replay_mix(const std::string& socket_path, const MixSpec& spec,
+                int connections, std::ostream* dump, ReplayReport* report,
+                std::string* err);
+
+/// Execute the same mix directly against the library (no daemon, one
+/// process-local memo standing in for the daemon cache) and write the same
+/// dump lines. The CI smoke leg diffs this against replay_mix's dump.
+void direct_mix(const MixSpec& spec, std::ostream& dump);
+
+void print_report(std::ostream& os, const ReplayReport& r);
+
+}  // namespace simd

@@ -1,0 +1,42 @@
+#include "simd/fingerprint.hpp"
+
+#include <cstdio>
+
+#include "vgpu/event_queue.hpp"
+
+namespace simd {
+
+std::uint64_t fingerprint(const PointQuery& q) {
+  Fnv1a h;
+  // Schema tag: bump when the canonical stream changes shape, so stale
+  // caches from an older daemon can never serve a new-schema query.
+  h.str("simd-point-v1");
+  h.str(q.arch);
+  h.str(to_string(q.method));
+  h.str(q.launch);
+  h.str(q.warp);
+  h.i64(q.group);
+  h.i64(q.gpus);
+  h.i64(q.blocks_per_sm);
+  h.i64(q.threads);
+  h.i64(q.repeats);
+  h.u64(q.seed);
+  h.f64(q.noise);
+  // Resolved model parameters (see header comment). Queue kind resolution
+  // latches VGPU_QUEUE once per process — stable for the daemon's life.
+  vgpu::QueueKind qk = vgpu::QueueKind::Auto;
+  queue_kind_from_string(q.queue, &qk);
+  h.str(vgpu::to_string(vgpu::resolve_queue_kind(qk)));
+  const vgpu::ArchSpec* arch = vgpu::arch_by_name(q.arch);
+  h.i64(arch ? vgpu::resolve_sm_clusters(q.sm_clusters, *arch) : q.sm_clusters);
+  return h.digest();
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace simd

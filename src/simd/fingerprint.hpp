@@ -1,0 +1,69 @@
+// Content addressing for point queries.
+//
+// The fingerprint is a 64-bit FNV-1a hash over a canonical tagged stream of
+// every *execution-relevant* query field. Two queries hash equal iff they
+// simulate the same machine running the same measurement:
+//
+//   included: arch, method, launch kind, warp kind, group, gpus,
+//             blocks_per_sm, threads, repeats, seed, noise bits,
+//             *resolved* queue kind, *resolved* sm_clusters.
+//   excluded: exec mode, shard_jobs — pure executor knobs whose timeline
+//             invariance is pinned by test_determinism. A query answered
+//             under VGPU_EXEC=sharded is byte-identical to the serial one,
+//             so caching across them is exact, not approximate.
+//
+// "Resolved" matters: queue="auto" and sm_clusters=0 defer to environment
+// variables, so the hash covers what the machine will actually be built
+// with (vgpu::resolve_queue_kind / vgpu::resolve_sm_clusters), not the
+// wire-form defaults. Two daemons running under different VGPU_SM_CLUSTERS
+// therefore never alias each other's cache entries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "simd/point.hpp"
+
+namespace simd {
+
+/// Streaming FNV-1a (64-bit, offset basis 14695981039346656037 is the
+/// standard constant; we start from the canonical offset).
+class Fnv1a {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// Doubles hash by bit pattern: -0.0 != 0.0, and equal values always
+  /// hash equal (the stream never contains NaN — validate() rejects it).
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v, "double is 64-bit");
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  /// Length-prefixed so adjacent strings cannot alias ("ab","c" != "a","bc").
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+/// The content fingerprint. Requires a query that passed validate().
+std::uint64_t fingerprint(const PointQuery& q);
+
+/// Fixed-width lowercase hex form used on the wire ("%016x").
+std::string fingerprint_hex(std::uint64_t fp);
+
+}  // namespace simd

@@ -1,0 +1,185 @@
+// simd — the simulation daemon and its replay client.
+//
+//   simd --serve --listen PATH [--workers N] [--queue-limit N] [--cache-max N]
+//       Serve point queries on a unix socket until SIGTERM/SIGINT, then
+//       drain gracefully (in-flight points complete, responses flush).
+//
+//   simd --bench --connect PATH [--mix fig4|tab2] [--requests N]
+//        [--hit-ratio F] [--connections N] [--seed N] [--repeats N]
+//        [--arch v100|p100] [--dump FILE]
+//       Replay a deterministic query mix and report points/sec + p50/p99.
+//
+//   simd --direct [mix flags] [--dump FILE]
+//       Execute the same mix in-process against the library; the dump is
+//       the byte-identity reference the CI smoke leg diffs daemon responses
+//       against.
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "simd/client.hpp"
+#include "simd/server.hpp"
+#include "vgpu/env.hpp"
+
+namespace {
+
+// Self-pipe: the only async-signal-safe thing the handler does is write one
+// byte; the main thread blocks on the read end and runs the actual drain.
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  simd --serve --listen PATH [--workers N] [--queue-limit N]"
+         " [--cache-max N]\n"
+         "  simd --bench --connect PATH [mix flags] [--connections N]"
+         " [--dump FILE]\n"
+         "  simd --direct [mix flags] [--dump FILE]\n"
+         "mix flags: --mix fig4|tab2 --arch v100|p100 --requests N"
+         " --hit-ratio F --seed N --repeats N\n";
+  return 2;
+}
+
+struct Args {
+  bool serve = false, bench = false, direct = false;
+  std::string listen, connect, dump;
+  int workers = 0, queue_limit = 0, connections = 1;
+  long cache_max = 0;
+  simd::MixSpec mix;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  auto need = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--serve") a->serve = true;
+    else if (arg == "--bench") a->bench = true;
+    else if (arg == "--direct") a->direct = true;
+    else if (arg == "--listen") { if (!(v = need(i))) return false; a->listen = v; }
+    else if (arg == "--connect") { if (!(v = need(i))) return false; a->connect = v; }
+    else if (arg == "--dump") { if (!(v = need(i))) return false; a->dump = v; }
+    else if (arg == "--workers") { if (!(v = need(i))) return false; a->workers = std::atoi(v); }
+    else if (arg == "--queue-limit") { if (!(v = need(i))) return false; a->queue_limit = std::atoi(v); }
+    else if (arg == "--cache-max") { if (!(v = need(i))) return false; a->cache_max = std::atol(v); }
+    else if (arg == "--connections") { if (!(v = need(i))) return false; a->connections = std::atoi(v); }
+    else if (arg == "--mix") { if (!(v = need(i))) return false; a->mix.name = v; }
+    else if (arg == "--arch") { if (!(v = need(i))) return false; a->mix.arch = v; }
+    else if (arg == "--requests") { if (!(v = need(i))) return false; a->mix.requests = std::atoi(v); }
+    else if (arg == "--hit-ratio") { if (!(v = need(i))) return false; a->mix.hit_ratio = std::atof(v); }
+    else if (arg == "--seed") { if (!(v = need(i))) return false; a->mix.seed = static_cast<std::uint64_t>(std::atoll(v)); }
+    else if (arg == "--repeats") { if (!(v = need(i))) return false; a->mix.repeats = std::atoi(v); }
+    else return false;
+  }
+  return (a->serve ? 1 : 0) + (a->bench ? 1 : 0) + (a->direct ? 1 : 0) == 1;
+}
+
+int run_serve(const Args& a) {
+  if (a.listen.empty()) {
+    std::cerr << "simd: --serve needs --listen PATH\n";
+    return 2;
+  }
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "simd: pipe() failed\n";
+    return 1;
+  }
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  simd::ServerOptions opts;
+  opts.socket_path = a.listen;
+  opts.workers = a.workers > 0
+                     ? a.workers
+                     : static_cast<int>(vgpu::env_int("SIMD_WORKERS", 1,
+                                                      "daemon exec threads"));
+  opts.queue_limit = a.queue_limit;
+  opts.cache_max = a.cache_max > 0 ? static_cast<std::size_t>(a.cache_max) : 0;
+  simd::Server server(std::move(opts));
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "simd: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "simd: listening on " << a.listen << " workers="
+            << server.options().workers
+            << " queue_limit=" << server.options().queue_limit << std::endl;
+
+  // Wait for a signal byte or a protocol-level shutdown request.
+  for (;;) {
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 200);
+    if (r > 0) break;
+    if (server.shutdown_requested()) break;
+  }
+  std::cout << "simd: draining" << std::endl;
+  server.stop();
+  const simd::ServerStats s = server.stats();
+  std::cout << "simd: stopped requests=" << s.requests << " hits=" << s.hits
+            << " executed=" << s.executed << " rejected=" << s.rejected
+            << std::endl;
+  return 0;
+}
+
+int run_bench(const Args& a) {
+  if (a.connect.empty()) {
+    std::cerr << "simd: --bench needs --connect PATH\n";
+    return 2;
+  }
+  std::ofstream dump_file;
+  std::ostream* dump = nullptr;
+  if (!a.dump.empty()) {
+    dump_file.open(a.dump);
+    if (!dump_file) {
+      std::cerr << "simd: cannot open " << a.dump << "\n";
+      return 1;
+    }
+    dump = &dump_file;
+  }
+  simd::ReplayReport report;
+  std::string err;
+  if (!simd::replay_mix(a.connect, a.mix, a.connections, dump, &report, &err)) {
+    std::cerr << "simd: replay failed: " << err << "\n";
+    return 1;
+  }
+  simd::print_report(std::cout, report);
+  return report.errors == 0 ? 0 : 1;
+}
+
+int run_direct(const Args& a) {
+  std::ofstream dump_file;
+  if (!a.dump.empty()) {
+    dump_file.open(a.dump);
+    if (!dump_file) {
+      std::cerr << "simd: cannot open " << a.dump << "\n";
+      return 1;
+    }
+    simd::direct_mix(a.mix, dump_file);
+    return 0;
+  }
+  simd::direct_mix(a.mix, std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, &a)) return usage();
+  if (a.serve) return run_serve(a);
+  if (a.bench) return run_bench(a);
+  return run_direct(a);
+}

@@ -1,0 +1,251 @@
+#include "simd/point.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "scuda/system.hpp"
+#include "syncbench/stats.hpp"
+
+namespace simd {
+
+using scuda::System;
+using syncbench::Estimate;
+using syncbench::LaunchKind;
+using syncbench::WarpSyncKind;
+using vgpu::ArchKind;
+using vgpu::ArchSpec;
+using vgpu::DevPtr;
+using vgpu::MachineConfig;
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::Launch: return "launch";
+    case Method::WarpSync: return "warp_sync";
+    case Method::BlockSync: return "block_sync";
+    case Method::GridSync: return "grid_sync";
+    case Method::MGridSync: return "mgrid_sync";
+  }
+  return "?";
+}
+
+bool method_from_string(std::string_view s, Method* out) {
+  if (s == "launch") *out = Method::Launch;
+  else if (s == "warp_sync") *out = Method::WarpSync;
+  else if (s == "block_sync") *out = Method::BlockSync;
+  else if (s == "grid_sync") *out = Method::GridSync;
+  else if (s == "mgrid_sync") *out = Method::MGridSync;
+  else return false;
+  return true;
+}
+
+bool launch_kind_from_string(std::string_view s, LaunchKind* out) {
+  if (s == "traditional") *out = LaunchKind::Traditional;
+  else if (s == "cooperative") *out = LaunchKind::Cooperative;
+  else if (s == "multi") *out = LaunchKind::CooperativeMulti;
+  else return false;
+  return true;
+}
+
+bool warp_kind_from_string(std::string_view s, WarpSyncKind* out) {
+  if (s == "tile") *out = WarpSyncKind::Tile;
+  else if (s == "coalesced") *out = WarpSyncKind::Coalesced;
+  else if (s == "shfl_tile") *out = WarpSyncKind::ShuffleTile;
+  else if (s == "shfl_coalesced") *out = WarpSyncKind::ShuffleCoalesced;
+  else return false;
+  return true;
+}
+
+bool queue_kind_from_string(std::string_view s, vgpu::QueueKind* out) {
+  if (s == "auto") *out = vgpu::QueueKind::Auto;
+  else if (s == "heap") *out = vgpu::QueueKind::Heap;
+  else if (s == "calendar") *out = vgpu::QueueKind::Calendar;
+  else return false;
+  return true;
+}
+
+bool exec_mode_from_string(std::string_view s, vgpu::ExecMode* out) {
+  if (s == "auto") *out = vgpu::ExecMode::Auto;
+  else if (s == "serial") *out = vgpu::ExecMode::Serial;
+  else if (s == "sharded") *out = vgpu::ExecMode::Sharded;
+  else return false;
+  return true;
+}
+
+namespace {
+
+bool is_multi_device(const PointQuery& q) {
+  return q.method == Method::MGridSync ||
+         (q.method == Method::Launch && q.launch == "multi");
+}
+
+}  // namespace
+
+std::string validate(const PointQuery& q) {
+  const ArchSpec* arch = vgpu::arch_by_name(q.arch);
+  if (!arch) return "bad arch '" + q.arch + "' (want v100 or p100)";
+  if (q.method == Method::Launch) {
+    LaunchKind k;
+    if (!launch_kind_from_string(q.launch, &k))
+      return "bad launch '" + q.launch +
+             "' (want traditional, cooperative or multi)";
+  }
+  if (q.method == Method::WarpSync) {
+    WarpSyncKind k;
+    if (!warp_kind_from_string(q.warp, &k))
+      return "bad warp '" + q.warp +
+             "' (want tile, coalesced, shfl_tile or shfl_coalesced)";
+    if (q.group < 1 || q.group > 32)
+      return "bad group " + std::to_string(q.group) + " (want 1..32)";
+  }
+  const int max_gpus = arch->kind == ArchKind::Volta ? 8 : 2;
+  if (is_multi_device(q)) {
+    if (q.gpus < 1 || q.gpus > max_gpus)
+      return "bad gpus " + std::to_string(q.gpus) + " (want 1.." +
+             std::to_string(max_gpus) + " for " + arch->name + ")";
+  } else if (q.gpus != 1) {
+    return "gpus must be 1 for single-device methods";
+  }
+  if (q.threads < 1 || q.threads > 1024)
+    return "bad threads " + std::to_string(q.threads) + " (want 1..1024)";
+  if (q.blocks_per_sm < 1)
+    return "bad blocks_per_sm " + std::to_string(q.blocks_per_sm);
+  if (q.method == Method::BlockSync || q.method == Method::GridSync ||
+      q.method == Method::MGridSync) {
+    // Persistent barrier kernels need the whole grid co-resident.
+    if (q.blocks_per_sm * q.threads > arch->max_threads_per_sm ||
+        q.blocks_per_sm > arch->max_blocks_per_sm)
+      return "invalid geometry: " + std::to_string(q.blocks_per_sm) + "x" +
+             std::to_string(q.threads) + " exceeds residency on " + arch->name;
+  }
+  if (q.repeats < 1 || q.repeats > 100000)
+    return "bad repeats " + std::to_string(q.repeats) + " (want 1..100000)";
+  if (!(q.noise >= 0.0 && q.noise <= 0.5))
+    return "bad noise (want 0..0.5)";
+  vgpu::QueueKind qk;
+  if (!queue_kind_from_string(q.queue, &qk))
+    return "bad queue '" + q.queue + "' (want auto, heap or calendar)";
+  vgpu::ExecMode em;
+  if (!exec_mode_from_string(q.exec, &em))
+    return "bad exec '" + q.exec + "' (want auto, serial or sharded)";
+  if (q.sm_clusters < 0 || q.sm_clusters > arch->num_sms)
+    return "bad sm_clusters " + std::to_string(q.sm_clusters);
+  if (q.shard_jobs < 0 || q.shard_jobs > 4096)
+    return "bad shard_jobs " + std::to_string(q.shard_jobs);
+  return std::string();
+}
+
+MachineConfig machine_config_for(const PointQuery& q) {
+  const ArchSpec* arch = vgpu::arch_by_name(q.arch);
+  if (!arch) throw vgpu::SimError("unknown arch '" + q.arch + "'");
+  MachineConfig cfg;
+  if (is_multi_device(q)) {
+    // Multi-device methods always simulate the paper platform (the barrier
+    // cost depends on the fabric, not just on how many GPUs participate).
+    cfg = arch->kind == ArchKind::Volta
+              ? MachineConfig::dgx1_v100(std::max(q.gpus, 2))
+              : MachineConfig::p100_pcie(2);
+  } else {
+    cfg = MachineConfig::single(*arch);
+  }
+  cfg.noise_seed = q.seed;
+  cfg.noise_amplitude = q.noise;
+  queue_kind_from_string(q.queue, &cfg.queue);
+  cfg.sm_clusters = q.sm_clusters;
+  exec_mode_from_string(q.exec, &cfg.exec);
+  cfg.shard_jobs = q.shard_jobs;
+  return cfg;
+}
+
+namespace {
+
+PointResult block_sync_result(System& sys, const ArchSpec& arch,
+                              const PointQuery& q) {
+  const int blocks = q.blocks_per_sm * arch.num_sms;
+  DevPtr out = sys.malloc(0, static_cast<std::int64_t>(blocks) * 2 * 8);
+  sys.run([&](scuda::HostThread& h) {
+    sys.launch(h, 0,
+               scuda::LaunchParams{syncbench::block_sync_clocked_kernel(q.repeats),
+                                   blocks, q.threads, 0, {out.raw}});
+    sys.device_synchronize(h, 0);
+  });
+  const auto clocks = sys.read_i64(out, static_cast<std::int64_t>(blocks) * 2);
+  std::int64_t lo = clocks[0], hi = clocks[1];
+  for (int bid = 0; bid < blocks; ++bid) {
+    lo = std::min(lo, clocks[static_cast<std::size_t>(2 * bid)]);
+    hi = std::max(hi, clocks[static_cast<std::size_t>(2 * bid + 1)]);
+  }
+  const double span = static_cast<double>(hi - lo);
+  const int warps_per_block = (q.threads + 31) / 32;
+  PointResult r;
+  r.value = span / q.repeats;
+  r.value2 =
+      static_cast<double>(q.blocks_per_sm) * warps_per_block * q.repeats / span;
+  r.unit = "cycles";
+  return r;
+}
+
+}  // namespace
+
+PointResult run_point(const PointQuery& q) {
+  MachineConfig cfg = machine_config_for(q);
+  const ArchSpec arch = cfg.arch;
+  PointResult r;
+  switch (q.method) {
+    case Method::Launch: {
+      System sys(std::move(cfg));
+      LaunchKind kind = LaunchKind::Traditional;
+      launch_kind_from_string(q.launch, &kind);
+      const syncbench::LaunchCost c =
+          syncbench::measure_launch_cost(sys, kind, q.gpus);
+      r.value = c.overhead_us;
+      r.value2 = c.null_total_us;
+      r.unit = "us";
+      return r;
+    }
+    case Method::WarpSync: {
+      System sys(std::move(cfg));
+      WarpSyncKind kind = WarpSyncKind::Tile;
+      warp_kind_from_string(q.warp, &kind);
+      r.value = syncbench::wong_cycles_per_op(
+          sys, syncbench::warp_sync_latency_kernel(kind, q.group, q.repeats),
+          q.repeats);
+      r.unit = "cycles";
+      return r;
+    }
+    case Method::BlockSync: {
+      System sys(std::move(cfg));
+      return block_sync_result(sys, arch, q);
+    }
+    case Method::GridSync:
+    case Method::MGridSync: {
+      const bool mgrid = q.method == Method::MGridSync;
+      System sys(std::move(cfg));
+      auto factory = [&](int rep) {
+        return mgrid ? syncbench::mgrid_sync_kernel(rep)
+                     : syncbench::grid_sync_kernel(rep);
+      };
+      const LaunchKind kind =
+          mgrid ? LaunchKind::CooperativeMulti : LaunchKind::Cooperative;
+      // r1 = 2 matches the suite's heat maps; r2 must exceed r1 for Eq. 7.
+      const Estimate e = syncbench::repeat_scaling_us(
+          sys, kind, q.gpus, factory,
+          {q.blocks_per_sm * arch.num_sms, q.threads, 0}, 2,
+          std::max(3, q.repeats));
+      r.value = e.value;
+      r.value2 = e.sigma;
+      r.unit = "us";
+      return r;
+    }
+  }
+  throw vgpu::SimError("unreachable method");
+}
+
+std::string serialize_result(const PointResult& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"value\":%.17g,\"value2\":%.17g,\"unit\":\"%s\"}", r.value,
+                r.value2, r.unit.c_str());
+  return buf;
+}
+
+}  // namespace simd

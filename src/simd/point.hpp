@@ -1,0 +1,98 @@
+// A point query: one simulation measurement the daemon can serve. Every
+// field that moves the simulated timeline is part of the query identity (see
+// fingerprint.hpp); the executor knobs (exec mode, shard jobs) are carried
+// along so a miss can be executed the way the client asked, but they never
+// change the answer — the serial and sharded executors are bit-identical
+// (pinned by test_determinism), which is exactly what makes a
+// content-addressed cache hit an *exact* answer rather than an approximation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "syncbench/kernels.hpp"
+#include "syncbench/methods.hpp"
+#include "vgpu/machine.hpp"
+
+namespace simd {
+
+/// What the point measures. The five methods cover the paper's
+/// synchronization scopes: launch overhead (Table I), warp-level sync
+/// (Table II), block barriers (Fig. 4), grid-wide barriers (Fig. 5) and
+/// multi-grid barriers (Fig. 7/8).
+enum class Method : std::uint8_t {
+  Launch,     // kernel-fusion launch overhead, Eq. 6 -> us
+  WarpSync,   // Wong's clocked chain -> cycles/op
+  BlockSync,  // clocked resident grid -> cycles/barrier (+ warps/cycle)
+  GridSync,   // repeat scaling, Eq. 7 -> us/barrier
+  MGridSync,  // repeat scaling across devices -> us/barrier
+};
+
+const char* to_string(Method m);
+bool method_from_string(std::string_view s, Method* out);
+
+/// Wire-form parsers for the enum-valued query fields. All return false on
+/// an unrecognized token (leaving *out untouched) so the protocol layer can
+/// reject with a diagnostic instead of throwing.
+bool launch_kind_from_string(std::string_view s, syncbench::LaunchKind* out);
+bool warp_kind_from_string(std::string_view s, syncbench::WarpSyncKind* out);
+bool queue_kind_from_string(std::string_view s, vgpu::QueueKind* out);
+bool exec_mode_from_string(std::string_view s, vgpu::ExecMode* out);
+
+struct PointQuery {
+  std::string arch = "v100";  // "v100" | "p100"
+  Method method = Method::GridSync;
+  /// Launch points only: "traditional" | "cooperative" | "multi".
+  std::string launch = "cooperative";
+  /// WarpSync points only: "tile" | "coalesced" | "shfl_tile" |
+  /// "shfl_coalesced", plus the group size (1..32).
+  std::string warp = "tile";
+  int group = 32;
+  int gpus = 1;  // MGridSync and multi-launch points; 1 otherwise
+  int blocks_per_sm = 1;
+  int threads = 32;  // threads per block
+  /// Chain length / repeat count r2 of the measured kernel (r1 is pinned
+  /// at 2 for the repeat-scaling methods, matching the suite).
+  int repeats = 10;
+  std::uint64_t seed = 0;  // noise substream seed
+  double noise = 0.0;      // noise amplitude, [0, 0.5]
+  /// Event-queue implementation: "auto" | "heap" | "calendar". The resolved
+  /// kind is fingerprinted even though both produce identical timelines —
+  /// the cache key contract is "same simulated machine", not "same answer".
+  std::string queue = "auto";
+  /// SM clusters per device (model parameter); 0 = auto (VGPU_SM_CLUSTERS).
+  int sm_clusters = 0;
+  // ---- executor knobs: never move the timeline, never fingerprinted ----
+  std::string exec = "auto";  // "auto" | "serial" | "sharded"
+  int shard_jobs = 0;
+};
+
+struct PointResult {
+  double value = 0;   // the measurement (unit below)
+  double value2 = 0;  // Launch: null-kernel total; BlockSync: warps/cycle
+  std::string unit;   // "us" | "cycles"
+};
+
+/// Empty string when the query is well-formed and executable; otherwise a
+/// one-line diagnostic ("bad arch 'k80'", "invalid geometry ...").
+std::string validate(const PointQuery& q);
+
+/// The machine this point simulates. Call validate() first; throws
+/// vgpu::SimError on unknown arch.
+vgpu::MachineConfig machine_config_for(const PointQuery& q);
+
+/// Execute one point. Deterministic: equal queries produce bit-equal
+/// results on every executor/queue/shard configuration. Draws the machine
+/// from vgpu::MachinePool::current() when a pool scope is installed (the
+/// daemon workers each pin one), so repeated misses on a worker reuse warm
+/// machines instead of reconstructing them.
+PointResult run_point(const PointQuery& q);
+
+/// Canonical result serialization — the exact byte string the daemon caches
+/// and serves ("%.17g" round-trips doubles bit-exactly). Cache hits return
+/// this string verbatim, which is what makes byte-identity with a fresh
+/// execution trivial to guarantee and cheap to check.
+std::string serialize_result(const PointResult& r);
+
+}  // namespace simd

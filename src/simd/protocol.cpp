@@ -1,0 +1,363 @@
+#include "simd/protocol.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace simd {
+
+namespace {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  bool at_end() const { return p >= end; }
+  char peek() const { return *p; }
+};
+
+void skip_ws(Cursor& c) {
+  while (!c.at_end() && (*c.p == ' ' || *c.p == '\t' || *c.p == '\r')) ++c.p;
+}
+
+bool fail(std::string* err, const std::string& what) {
+  if (err) *err = what;
+  return false;
+}
+
+bool parse_string(Cursor& c, std::string* out, std::string* err) {
+  if (c.at_end() || *c.p != '"') return fail(err, "expected string");
+  ++c.p;
+  out->clear();
+  while (!c.at_end()) {
+    char ch = *c.p++;
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.at_end()) break;
+      char esc = *c.p++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        default:
+          // \uXXXX and friends are not needed for this protocol.
+          return fail(err, "unsupported escape in string");
+      }
+      continue;
+    }
+    out->push_back(ch);
+  }
+  return fail(err, "unterminated string");
+}
+
+bool parse_value(Cursor& c, JsonValue* v, std::string* err) {
+  skip_ws(c);
+  if (c.at_end()) return fail(err, "expected value");
+  const char ch = c.peek();
+  if (ch == '"') {
+    v->kind = JsonValue::Kind::Str;
+    return parse_string(c, &v->s, err);
+  }
+  if (ch == '{' || ch == '[')
+    return fail(err, "nested objects/arrays are not allowed");
+  if (c.end - c.p >= 4 && std::strncmp(c.p, "true", 4) == 0) {
+    v->kind = JsonValue::Kind::Bool;
+    v->b = true;
+    c.p += 4;
+    return true;
+  }
+  if (c.end - c.p >= 5 && std::strncmp(c.p, "false", 5) == 0) {
+    v->kind = JsonValue::Kind::Bool;
+    v->b = false;
+    c.p += 5;
+    return true;
+  }
+  if (c.end - c.p >= 4 && std::strncmp(c.p, "null", 4) == 0) {
+    v->kind = JsonValue::Kind::Null;
+    c.p += 4;
+    return true;
+  }
+  // Number. Find its extent, then decide integer vs double.
+  const char* start = c.p;
+  if (!c.at_end() && (*c.p == '-' || *c.p == '+')) ++c.p;
+  bool is_double = false;
+  while (!c.at_end() &&
+         (std::isdigit(static_cast<unsigned char>(*c.p)) || *c.p == '.' ||
+          *c.p == 'e' || *c.p == 'E' || *c.p == '-' || *c.p == '+')) {
+    if (*c.p == '.' || *c.p == 'e' || *c.p == 'E') is_double = true;
+    ++c.p;
+  }
+  if (c.p == start) return fail(err, "expected value");
+  const std::string tok(start, static_cast<std::size_t>(c.p - start));
+  errno = 0;
+  char* endp = nullptr;
+  if (is_double) {
+    v->kind = JsonValue::Kind::Double;
+    v->d = std::strtod(tok.c_str(), &endp);
+  } else {
+    v->kind = JsonValue::Kind::Int;
+    v->i = std::strtoll(tok.c_str(), &endp, 10);
+  }
+  if (errno == ERANGE || !endp || *endp != '\0')
+    return fail(err, "bad number '" + tok + "'");
+  return true;
+}
+
+}  // namespace
+
+bool parse_json_object(std::string_view line, JsonObject* out,
+                       std::string* err) {
+  out->clear();
+  Cursor c{line.data(), line.data() + line.size()};
+  skip_ws(c);
+  if (c.at_end() || *c.p != '{') return fail(err, "expected '{'");
+  ++c.p;
+  skip_ws(c);
+  if (!c.at_end() && *c.p == '}') {
+    ++c.p;
+  } else {
+    while (true) {
+      skip_ws(c);
+      std::string key;
+      if (!parse_string(c, &key, err)) return false;
+      skip_ws(c);
+      if (c.at_end() || *c.p != ':') return fail(err, "expected ':'");
+      ++c.p;
+      JsonValue v;
+      if (!parse_value(c, &v, err)) return false;
+      (*out)[key] = std::move(v);
+      skip_ws(c);
+      if (c.at_end()) return fail(err, "unterminated object");
+      if (*c.p == ',') {
+        ++c.p;
+        continue;
+      }
+      if (*c.p == '}') {
+        ++c.p;
+        break;
+      }
+      return fail(err, "expected ',' or '}'");
+    }
+  }
+  skip_ws(c);
+  if (!c.at_end()) return fail(err, "trailing garbage after object");
+  return true;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool take_int(const JsonValue& v, int lo, int hi, int* out, std::string* err,
+              const char* name) {
+  if (v.kind != JsonValue::Kind::Int)
+    return fail(err, std::string(name) + " must be an integer");
+  if (v.i < lo || v.i > hi)
+    return fail(err, std::string(name) + " out of range");
+  *out = static_cast<int>(v.i);
+  return true;
+}
+
+bool take_str(const JsonValue& v, std::string* out, std::string* err,
+              const char* name) {
+  if (v.kind != JsonValue::Kind::Str)
+    return fail(err, std::string(name) + " must be a string");
+  *out = v.s;
+  return true;
+}
+
+}  // namespace
+
+bool decode_request(std::string_view line, Request* out, std::string* err) {
+  JsonObject obj;
+  if (!parse_json_object(line, &obj, err)) return false;
+  out->id.clear();
+  out->cmd = "point";
+  out->query = PointQuery();
+  if (auto it = obj.find("id"); it != obj.end()) {
+    if (it->second.kind == JsonValue::Kind::Str) out->id = it->second.s;
+    else if (it->second.kind == JsonValue::Kind::Int)
+      out->id = std::to_string(it->second.i);
+    else return fail(err, "id must be a string or integer");
+    obj.erase(it);
+  }
+  if (auto it = obj.find("cmd"); it != obj.end()) {
+    if (!take_str(it->second, &out->cmd, err, "cmd")) return false;
+    obj.erase(it);
+  }
+  if (out->cmd == "ping" || out->cmd == "stats" || out->cmd == "shutdown") {
+    if (!obj.empty())
+      return fail(err, "unexpected field '" + obj.begin()->first + "'");
+    return true;
+  }
+  if (out->cmd != "point")
+    return fail(err, "bad cmd '" + out->cmd + "'");
+  PointQuery& q = out->query;
+  for (auto& [key, v] : obj) {
+    if (key == "arch") {
+      if (!take_str(v, &q.arch, err, "arch")) return false;
+    } else if (key == "method") {
+      std::string s;
+      if (!take_str(v, &s, err, "method")) return false;
+      if (!method_from_string(s, &q.method))
+        return fail(err, "bad method '" + s + "'");
+    } else if (key == "launch") {
+      if (!take_str(v, &q.launch, err, "launch")) return false;
+    } else if (key == "warp") {
+      if (!take_str(v, &q.warp, err, "warp")) return false;
+    } else if (key == "group") {
+      if (!take_int(v, 1, 32, &q.group, err, "group")) return false;
+    } else if (key == "gpus") {
+      if (!take_int(v, 1, 64, &q.gpus, err, "gpus")) return false;
+    } else if (key == "blocks_per_sm") {
+      if (!take_int(v, 1, 1 << 20, &q.blocks_per_sm, err, "blocks_per_sm"))
+        return false;
+    } else if (key == "threads") {
+      if (!take_int(v, 1, 1024, &q.threads, err, "threads")) return false;
+    } else if (key == "repeats") {
+      if (!take_int(v, 1, 100000, &q.repeats, err, "repeats")) return false;
+    } else if (key == "seed") {
+      if (v.kind != JsonValue::Kind::Int)
+        return fail(err, "seed must be an integer");
+      q.seed = static_cast<std::uint64_t>(v.i);
+    } else if (key == "noise") {
+      if (v.kind != JsonValue::Kind::Double && v.kind != JsonValue::Kind::Int)
+        return fail(err, "noise must be a number");
+      q.noise = v.as_double();
+    } else if (key == "queue") {
+      if (!take_str(v, &q.queue, err, "queue")) return false;
+    } else if (key == "sm_clusters") {
+      if (!take_int(v, 0, 1 << 20, &q.sm_clusters, err, "sm_clusters"))
+        return false;
+    } else if (key == "exec") {
+      if (!take_str(v, &q.exec, err, "exec")) return false;
+    } else if (key == "shard_jobs") {
+      if (!take_int(v, 0, 4096, &q.shard_jobs, err, "shard_jobs"))
+        return false;
+    } else {
+      return fail(err, "unknown field '" + key + "'");
+    }
+  }
+  const std::string diag = validate(q);
+  if (!diag.empty()) return fail(err, diag);
+  return true;
+}
+
+std::string encode_point_request(const std::string& id, const PointQuery& q) {
+  char num[256];
+  std::string out = "{\"id\":\"" + json_escape(id) + "\",\"cmd\":\"point\"";
+  out += ",\"arch\":\"" + json_escape(q.arch) + "\"";
+  out += ",\"method\":\"" + std::string(to_string(q.method)) + "\"";
+  out += ",\"launch\":\"" + json_escape(q.launch) + "\"";
+  out += ",\"warp\":\"" + json_escape(q.warp) + "\"";
+  std::snprintf(num, sizeof num,
+                ",\"group\":%d,\"gpus\":%d,\"blocks_per_sm\":%d,\"threads\":%d,"
+                "\"repeats\":%d,\"seed\":%lld,\"noise\":%.17g",
+                q.group, q.gpus, q.blocks_per_sm, q.threads, q.repeats,
+                static_cast<long long>(q.seed), q.noise);
+  out += num;
+  out += ",\"queue\":\"" + json_escape(q.queue) + "\"";
+  std::snprintf(num, sizeof num, ",\"sm_clusters\":%d", q.sm_clusters);
+  out += num;
+  out += ",\"exec\":\"" + json_escape(q.exec) + "\"";
+  std::snprintf(num, sizeof num, ",\"shard_jobs\":%d}", q.shard_jobs);
+  out += num;
+  return out;
+}
+
+std::string encode_point_response(const std::string& id, bool cached,
+                                  const std::string& fingerprint_hex,
+                                  const std::string& result_json,
+                                  double queue_wait_us, double exec_wall_us) {
+  char metrics[96];
+  std::snprintf(metrics, sizeof metrics,
+                ",\"queue_wait_us\":%.1f,\"exec_wall_us\":%.1f}", queue_wait_us,
+                exec_wall_us);
+  std::string out = "{\"id\":\"" + json_escape(id) + "\",\"ok\":true,";
+  out += cached ? "\"cached\":true," : "\"cached\":false,";
+  out += "\"fingerprint\":\"" + fingerprint_hex + "\",\"result\":";
+  out += result_json;
+  out += metrics;
+  return out;
+}
+
+std::string encode_error(const std::string& id, std::string_view code,
+                         std::string_view detail) {
+  std::string out = "{\"id\":\"" + json_escape(id) + "\",\"ok\":false,\"error\":\"";
+  out += code;
+  out += "\",\"detail\":\"";
+  out += json_escape(detail);
+  out += "\"}";
+  return out;
+}
+
+std::string extract_object_field(std::string_view line, std::string_view field) {
+  const std::string needle = "\"" + std::string(field) + "\":{";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::string();
+  std::size_t i = at + needle.size() - 1;  // index of '{'
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t j = i; j < line.size(); ++j) {
+    const char ch = line[j];
+    if (in_str) {
+      if (ch == '\\') ++j;
+      else if (ch == '"') in_str = false;
+      continue;
+    }
+    if (ch == '"') in_str = true;
+    else if (ch == '{') ++depth;
+    else if (ch == '}') {
+      if (--depth == 0) return std::string(line.substr(i, j - i + 1));
+    }
+  }
+  return std::string();
+}
+
+std::string extract_scalar_field(std::string_view line, std::string_view field) {
+  const std::string needle = "\"" + std::string(field) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string_view::npos) return std::string();
+  std::size_t i = at + needle.size();
+  if (i >= line.size()) return std::string();
+  if (line[i] == '"') {
+    for (std::size_t j = i + 1; j < line.size(); ++j) {
+      if (line[j] == '\\') ++j;
+      else if (line[j] == '"')
+        return std::string(line.substr(i, j - i + 1));
+    }
+    return std::string();
+  }
+  std::size_t j = i;
+  while (j < line.size() && line[j] != ',' && line[j] != '}') ++j;
+  return std::string(line.substr(i, j - i));
+}
+
+}  // namespace simd

@@ -1,0 +1,85 @@
+// Wire protocol: newline-delimited JSON over a local stream socket. One
+// request line in, one response line out, strictly in order per connection.
+//
+// Requests are *flat* JSON objects (string / number / bool values only —
+// nesting is rejected), e.g.
+//
+//   {"id":"7","cmd":"point","arch":"v100","method":"grid_sync",
+//    "blocks_per_sm":4,"threads":256,"repeats":10,"seed":3}
+//
+// `cmd` defaults to "point"; "ping" and "stats" are daemon introspection.
+// Responses echo `id` and carry either `"ok":true` with a payload or
+// `"ok":false` with `"error"`. A point response embeds the cached-or-fresh
+// result object verbatim (the byte-identity contract lives there) plus
+// per-request metrics:
+//
+//   {"id":"7","ok":true,"cached":false,"fingerprint":"<16 hex>",
+//    "result":{"value":...,"value2":...,"unit":"us"},
+//    "queue_wait_us":12.4,"exec_wall_us":8123.0}
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "simd/point.hpp"
+
+namespace simd {
+
+/// One flat JSON scalar.
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Int, Double, Str };
+  Kind kind = Kind::Null;
+  bool b = false;
+  std::int64_t i = 0;
+  double d = 0;
+  std::string s;
+
+  double as_double() const { return kind == Kind::Int ? static_cast<double>(i) : d; }
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parse one flat JSON object line. False (with *err set) on malformed
+/// input, nested containers, or trailing garbage.
+bool parse_json_object(std::string_view line, JsonObject* out, std::string* err);
+
+std::string json_escape(std::string_view s);
+
+/// A decoded request.
+struct Request {
+  std::string id;         // echoed verbatim in the response ("" if absent)
+  std::string cmd;        // "point" | "ping" | "stats" | "shutdown"
+  PointQuery query;       // for cmd == "point"
+};
+
+/// Decode a request line: parse, pick out id/cmd, map the remaining fields
+/// onto PointQuery, and validate. False (with *err) on any failure; *out->id
+/// is still populated when the line parsed far enough to find it.
+bool decode_request(std::string_view line, Request* out, std::string* err);
+
+/// Encode a point request line carrying every query field explicitly (the
+/// canonical client form; the daemon also accepts sparse requests with
+/// defaulted fields).
+std::string encode_point_request(const std::string& id, const PointQuery& q);
+
+// ---- response encoders (daemon side) --------------------------------------
+
+std::string encode_point_response(const std::string& id, bool cached,
+                                  const std::string& fingerprint_hex,
+                                  const std::string& result_json,
+                                  double queue_wait_us, double exec_wall_us);
+std::string encode_error(const std::string& id, std::string_view code,
+                         std::string_view detail);
+
+/// Extract the verbatim `"field":{...}` object substring from a response
+/// line (balanced-brace scan). Empty string when absent. The replay client
+/// uses this to diff daemon results byte-for-byte against direct execution.
+std::string extract_object_field(std::string_view line, std::string_view field);
+
+/// Extract a top-level scalar field's raw token ("true", "\"abc\"", "12.5");
+/// empty when absent.
+std::string extract_scalar_field(std::string_view line, std::string_view field);
+
+}  // namespace simd

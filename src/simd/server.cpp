@@ -1,0 +1,318 @@
+#include "simd/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "simd/fingerprint.hpp"
+#include "vgpu/env.hpp"
+#include "vgpu/machine_pool.hpp"
+
+namespace simd {
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+ServerOptions resolve_options(ServerOptions o) {
+  if (o.workers < 1) o.workers = 1;
+  if (o.queue_limit <= 0) {
+    o.queue_limit = static_cast<int>(
+        vgpu::env_int("SIMD_QUEUE_LIMIT", 64, "max outstanding points"));
+    if (o.queue_limit < 1) o.queue_limit = 1;
+  }
+  if (o.cache_max == 0) {
+    const long v = vgpu::env_int("SIMD_CACHE_MAX", 1 << 20, "cache entries");
+    o.cache_max = v < 1 ? 1 : static_cast<std::size_t>(v);
+  }
+  return o;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(resolve_options(std::move(opts))), cache_(opts_.cache_max) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  {
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    if (started_) throw std::runtime_error("simd: server already started");
+    started_ = true;
+  }
+  pool_ = std::make_unique<sweep::ThreadPool>(opts_.workers);
+  dispatch_thread_ = std::thread([this] {
+    pool_->run(static_cast<std::size_t>(opts_.workers),
+               [this](std::size_t) { worker_loop(); });
+  });
+  if (opts_.socket_path.empty()) return;  // in-process mode (tests)
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("simd: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("simd: socket path too long: " +
+                             opts_.socket_path);
+  std::strncpy(addr.sun_path, opts_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(opts_.socket_path.c_str());  // clear a stale socket file
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    throw std::runtime_error("simd: bind(" + opts_.socket_path + ") failed: " +
+                             std::strerror(errno));
+  if (::listen(listen_fd_, 64) != 0)
+    throw std::runtime_error("simd: listen() failed");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> stop_lk(stop_mu_);
+  if (stopped_ || !started_) return;
+  stopped_ = true;
+
+  // 1. Stop taking new connections.
+  accept_stop_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
+  }
+
+  // 2. Close admissions; existing queue entries stay and drain.
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    draining_ = true;
+  }
+  qcv_.notify_all();
+
+  // 3. Workers drain every admitted point, then the grid returns.
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (pool_) pool_->shutdown();
+
+  // 4. Every future is resolved and every response written by its
+  //    connection thread; unblock the idle ones and join them all.
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (auto& t : conns) t.join();
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    for (int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+}
+
+void Server::accept_loop() {
+  while (!accept_stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);
+    if (r <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    if (accept_stop_.load()) {  // raced stop(): don't add past the fd sweep
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void Server::connection_loop(int fd) {
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (open && (pos = buf.find('\n')) != std::string::npos) {
+      const std::string line = buf.substr(0, pos);
+      buf.erase(0, pos + 1);
+      if (line.empty()) continue;
+      std::string resp = handle_line(line);
+      resp.push_back('\n');
+      std::size_t off = 0;
+      while (off < resp.size()) {
+        const ssize_t w = ::send(fd, resp.data() + off, resp.size() - off,
+                                 MSG_NOSIGNAL);
+        if (w <= 0) {
+          open = false;
+          break;
+        }
+        off += static_cast<std::size_t>(w);
+      }
+    }
+  }
+  // The thread owns its fd's close; stop() only shutdown()s to unblock the
+  // recv. Remove-and-close under conn_mu_ so stop never touches a reused fd.
+  std::lock_guard<std::mutex> lk(conn_mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+  ::close(fd);
+}
+
+std::string Server::handle_line(const std::string& line) {
+  Request req;
+  std::string err;
+  if (!decode_request(line, &req, &err)) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return encode_error(req.id, "bad_request", err);
+  }
+  if (req.cmd == "ping")
+    return "{\"id\":\"" + json_escape(req.id) + "\",\"ok\":true,\"pong\":true}";
+  if (req.cmd == "stats") return stats_json(req.id);
+  if (req.cmd == "shutdown") {
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+    return "{\"id\":\"" + json_escape(req.id) +
+           "\",\"ok\":true,\"draining\":true}";
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t fp = fingerprint(req.query);
+  const std::string fphex = fingerprint_hex(fp);
+
+  // Fast path: a hit never queues and never builds (or resets) a Machine —
+  // it is served straight off this connection thread.
+  std::string result;
+  if (cache_.get(fp, &result)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return encode_point_response(req.id, true, fphex, result, 0.0, 0.0);
+  }
+
+  auto job = std::make_shared<Job>();
+  job->query = req.query;
+  job->fp = fp;
+  job->enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    if (draining_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return encode_error(req.id, "shutting_down", "daemon is draining");
+    }
+    if (outstanding_ >= static_cast<std::uint64_t>(opts_.queue_limit)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return encode_error(req.id, "overloaded",
+                          "outstanding point limit " +
+                              std::to_string(opts_.queue_limit) +
+                              " reached; retry later");
+    }
+    ++outstanding_;
+    queue_.push_back(job);
+  }
+  qcv_.notify_one();
+  job->done.get_future().get();
+  if (!job->error.empty())
+    return encode_error(req.id, "sim_error", job->error);
+  if (job->coalesced) hits_.fetch_add(1, std::memory_order_relaxed);
+  return encode_point_response(req.id, job->coalesced, fphex, job->result,
+                               job->queue_wait_us, job->exec_wall_us);
+}
+
+void Server::worker_loop() {
+  // Each worker pins its own machine pool for its whole life: repeated
+  // misses with the same machine shape reset a warm Machine in
+  // O(changed-state) instead of reconstructing it.
+  vgpu::MachinePool mpool;
+  vgpu::MachinePool::Scope scope(mpool);
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(qmu_);
+      qcv_.wait(lk, [&] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute_job(job);
+    {
+      // Free the admission slot *before* resolving the future: a client
+      // whose request just completed must be able to admit its next one.
+      std::lock_guard<std::mutex> lk(qmu_);
+      --outstanding_;
+    }
+    job->done.set_value();
+  }
+}
+
+void Server::execute_job(const std::shared_ptr<Job>& job) {
+  const auto start = std::chrono::steady_clock::now();
+  job->queue_wait_us = elapsed_us(job->enqueued, start);
+  // Re-probe: a duplicate miss admitted behind its twin coalesces into a
+  // cache hit instead of re-simulating.
+  if (cache_.get(job->fp, &job->result)) {
+    job->coalesced = true;
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    try {
+      const PointResult r = run_point(job->query);
+      job->result = serialize_result(r);
+      cache_.put(job->fp, job->result);
+      executed_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      job->error = e.what();
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    job->exec_wall_us =
+        elapsed_us(start, std::chrono::steady_clock::now());
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(qmu_);
+    s.outstanding = outstanding_;
+  }
+  s.cache_size = cache_.size();
+  s.machines_built = vgpu::machines_built();
+  return s;
+}
+
+std::string Server::stats_json(const std::string& id) const {
+  const ServerStats s = stats();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"id\":\"%s\",\"ok\":true,\"stats\":{\"cache_size\":%llu,"
+      "\"coalesced\":%llu,\"errors\":%llu,\"executed\":%llu,\"hits\":%llu,"
+      "\"machines_built\":%llu,\"outstanding\":%llu,\"queue_limit\":%d,"
+      "\"rejected\":%llu,\"requests\":%llu,\"workers\":%d}}",
+      json_escape(id).c_str(), static_cast<unsigned long long>(s.cache_size),
+      static_cast<unsigned long long>(s.coalesced),
+      static_cast<unsigned long long>(s.errors),
+      static_cast<unsigned long long>(s.executed),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.machines_built),
+      static_cast<unsigned long long>(s.outstanding), opts_.queue_limit,
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.requests), opts_.workers);
+  return buf;
+}
+
+}  // namespace simd

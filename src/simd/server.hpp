@@ -1,0 +1,152 @@
+// The simulation daemon: a long-running service answering point queries
+// over a local (AF_UNIX) stream socket, newline-delimited JSON both ways.
+//
+// Request path:
+//
+//   connection thread: parse -> fingerprint -> cache probe
+//     hit   -> respond immediately (no queueing, no Machine construction)
+//     miss  -> admission check: outstanding (queued + executing) points are
+//              capped at `queue_limit`; beyond it the request is *rejected*
+//              with an explicit {"error":"overloaded"} response — explicit
+//              backpressure, never a silent hang. Admitted misses join one
+//              fair FIFO shared by every connection and block on a future.
+//   worker threads (a sweep::ThreadPool grid, one vgpu::MachinePool scope
+//   each so repeated misses reuse warm machines): pop FIFO -> re-probe the
+//   cache (a duplicate miss admitted behind its twin coalesces into a hit)
+//   -> run_point -> serialize -> cache.put -> resolve the future.
+//
+// Graceful drain (stop(), the SIGTERM path): stop accepting connections,
+// close admissions (new misses get {"error":"shutting_down"}), let workers
+// drain every admitted point, resolve every future, shut the worker pool
+// down (ThreadPool::shutdown — idempotent), then unblock and join the
+// connection threads. In-flight points always complete and their responses
+// are written before exit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simd/cache.hpp"
+#include "simd/point.hpp"
+#include "simd/protocol.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace simd {
+
+struct ServerOptions {
+  std::string socket_path;
+  /// Executor threads for misses (sweep::ThreadPool jobs), >= 1.
+  int workers = 1;
+  /// Admission bound: max outstanding (admitted, not yet completed) points.
+  /// 0 = SIMD_QUEUE_LIMIT env, else 64.
+  int queue_limit = 0;
+  /// Cache capacity in entries. 0 = SIMD_CACHE_MAX env, else 1 << 20.
+  std::size_t cache_max = 0;
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;   // point requests parsed OK
+  std::uint64_t hits = 0;       // served from cache (fast path + coalesced)
+  std::uint64_t executed = 0;   // ran a simulation
+  std::uint64_t coalesced = 0;  // admitted as miss, cache-served after queue
+  std::uint64_t rejected = 0;   // overloaded / shutting_down backpressure
+  std::uint64_t errors = 0;     // parse/validation/simulation errors
+  std::uint64_t outstanding = 0;  // currently admitted, not completed
+  std::uint64_t cache_size = 0;
+  std::uint64_t machines_built = 0;  // vgpu::machines_built() snapshot
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the accept loop and the worker grid. Throws
+  /// std::runtime_error on socket failure.
+  void start();
+
+  /// Graceful drain; idempotent and callable from any thread. Blocks until
+  /// every admitted point has completed and every thread is joined.
+  void stop();
+
+  const ServerOptions& options() const { return opts_; }
+  ServerStats stats() const;
+
+  /// Set by a {"cmd":"shutdown"} request. The server cannot stop() from a
+  /// connection thread (it would join itself) — the owner's wait loop polls
+  /// this and performs the drain.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// One request line -> one response line, exactly as a connection would
+  /// see it. Public so tests and the in-process direct mode can exercise
+  /// the full path without a socket.
+  std::string handle_line(const std::string& line);
+
+ private:
+  struct Job {
+    PointQuery query;
+    std::uint64_t fp = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    /// Resolved after the fields below are final; the future.get() in the
+    /// connection thread synchronizes-with the worker's set_value().
+    std::promise<void> done;
+    std::string result;  // serialized result object
+    std::string error;   // nonempty on simulation failure
+    double queue_wait_us = 0;
+    double exec_wall_us = 0;
+    bool coalesced = false;
+  };
+
+  void accept_loop();
+  void connection_loop(int fd);
+  void worker_loop();
+  void execute_job(const std::shared_ptr<Job>& job);
+  std::string stats_json(const std::string& id) const;
+
+  ServerOptions opts_;
+  ResultCache cache_;
+  std::unique_ptr<sweep::ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;  // runs pool_->run(workers, worker_loop)
+
+  int listen_fd_ = -1;
+  std::atomic<bool> accept_stop_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+
+  mutable std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::uint64_t outstanding_ = 0;  // queued + executing
+  bool draining_ = false;
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace simd

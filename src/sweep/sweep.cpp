@@ -8,6 +8,8 @@
 #include <string>
 #include <thread>
 
+#include "vgpu/env.hpp"
+
 namespace sweep {
 
 int hardware_jobs() {
@@ -18,48 +20,20 @@ int hardware_jobs() {
 
 namespace {
 
-/// Whole-string integer parse shared by the CLI and env paths; a typo must
-/// never silently become 0 (atoi("four") == 0 would mean "all cores").
-bool parse_whole_int(const char* s, long* out) {
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0') return false;
-  *out = v;
-  return true;
-}
-
+// The CLI path dies on a typo (parse_jobs_or_die); the env path goes through
+// vgpu::env_int, which is resolved inside a lazy static initializer where
+// exiting is too harsh — it warns and keeps the serial default instead of
+// letting atoi's 0 silently select every core.
 int initial_default_jobs() {
-  if (const char* e = std::getenv("SYNCBENCH_JOBS")) {
-    long j = 0;
-    if (!parse_whole_int(e, &j)) {
-      // The CLI path dies on a typo (parse_jobs_or_die); the env path is
-      // resolved inside a lazy static initializer where exiting is too
-      // harsh, so warn and keep the serial default instead of letting
-      // atoi's 0 silently select every core.
-      std::fprintf(stderr,
-                   "warning: ignoring SYNCBENCH_JOBS='%s' "
-                   "(want an integer; 0 = all cores)\n",
-                   e);
-      return 1;
-    }
-    return j <= 0 ? hardware_jobs() : static_cast<int>(j);
-  }
-  return 1;
+  // Unset and garbage both fall back to the serial default of 1; an explicit
+  // value <= 0 selects all cores.
+  const long j = vgpu::env_int("SYNCBENCH_JOBS", 1, "0 = all cores");
+  return j <= 0 ? hardware_jobs() : static_cast<int>(j);
 }
 
 int initial_batch_points() {
-  if (const char* e = std::getenv("SYNCBENCH_BATCH")) {
-    long b = 0;
-    if (!parse_whole_int(e, &b)) {
-      std::fprintf(stderr,
-                   "warning: ignoring SYNCBENCH_BATCH='%s' "
-                   "(want an integer; 0 = unbatched)\n",
-                   e);
-      return 0;
-    }
-    return b <= 0 ? 0 : static_cast<int>(b);
-  }
-  return 0;
+  const long b = vgpu::env_int("SYNCBENCH_BATCH", 0, "0 = unbatched");
+  return b <= 0 ? 0 : static_cast<int>(b);
 }
 
 std::atomic<int>& default_jobs_slot() {
@@ -178,7 +152,7 @@ namespace {
 /// silently select maximum parallelism.
 int parse_jobs_or_die(const char* s) {
   long v = 0;
-  if (!parse_whole_int(s, &v)) {
+  if (!vgpu::parse_env_int(s, &v)) {
     std::fprintf(stderr, "invalid --jobs value '%s' (want an integer; 0 = all cores)\n", s);
     std::exit(2);
   }

@@ -10,13 +10,22 @@ ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  // Claim the worker threads under the lock: exactly one caller swaps them
+  // out and joins; every other (or later) caller sees an empty vector and
+  // returns immediately, which makes shutdown idempotent and race-free
+  // against the destructor. Workers drain the published batch before they
+  // re-check stop_, so a run() pending on another thread still completes.
+  std::vector<std::thread> workers;
   {
     std::unique_lock<std::mutex> lk(mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
   work_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers) w.join();
 }
 
 void ThreadPool::work_on(Batch& b, std::unique_lock<std::mutex>& lk) {

@@ -26,6 +26,17 @@ class ThreadPool {
 
   int jobs() const { return jobs_; }
 
+  /// Stop the pool's worker threads: idempotent and callable from any thread
+  /// (including concurrently with itself and with an active run()). A batch
+  /// in flight drains first — workers finish handing out and executing every
+  /// pending task index before they exit, so a run() blocked on the batch
+  /// still completes with its every-task-once contract intact. Exactly one
+  /// caller joins the workers; later (or concurrent) calls return without
+  /// touching them. After shutdown, run() executes batches inline on the
+  /// calling thread. This is the daemon SIGTERM path: signal handler ->
+  /// Server::stop() -> shutdown(), possibly racing the destructor.
+  void shutdown();
+
   /// Execute body(0) .. body(num_tasks-1), each exactly once, and block
   /// until all complete. The caller participates as a worker. If any tasks
   /// throw, the exception of the lowest-index failing task is rethrown

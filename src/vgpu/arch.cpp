@@ -213,4 +213,10 @@ const ArchSpec& p100() {
   return spec;
 }
 
+const ArchSpec* arch_by_name(std::string_view name) {
+  if (name == "v100") return &v100();
+  if (name == "p100") return &p100();
+  return nullptr;
+}
+
 }  // namespace vgpu

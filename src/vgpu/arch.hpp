@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "vgpu/time.hpp"
 
@@ -201,5 +202,10 @@ inline bool operator!=(const ArchSpec& a, const ArchSpec& b) { return !(a == b);
 /// The two platforms evaluated in the paper.
 const ArchSpec& v100();  // Volta, DGX-1 member, 80 SMs @ 1312 MHz
 const ArchSpec& p100();  // Pascal, PCIe pair, 56 SMs @ 1189 MHz
+
+/// Look up a calibrated architecture by its spec name ("v100" / "p100");
+/// nullptr for anything else. The string is the wire form used by the
+/// simulation daemon's point queries and fingerprints.
+const ArchSpec* arch_by_name(std::string_view name);
 
 }  // namespace vgpu

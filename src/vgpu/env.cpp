@@ -1,0 +1,27 @@
+#include "vgpu/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vgpu {
+
+bool parse_env_int(const char* s, long* out) {
+  if (!s || !*s) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+long env_int(const char* name, long fallback, const char* hint) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  long out = 0;
+  if (parse_env_int(v, &out)) return out;
+  std::fprintf(stderr, "warning: ignoring %s='%s' (want an integer%s%s)\n",
+               name, v, hint ? "; " : "", hint ? hint : "");
+  return fallback;
+}
+
+}  // namespace vgpu

@@ -1,0 +1,22 @@
+// Strict environment-variable parsing shared by every VGPU_* / SYNCBENCH_* /
+// GSB_* / SIMD_* integer knob.
+//
+// The contract (the PR 6 SYNCBENCH_JOBS fix, generalized): a typo must never
+// silently become a number — atoi("four") == 0 once selected "all cores".
+// Whole-string parses only; garbage warns to stderr and falls back to the
+// caller's default, so a long-running process (daemon, lazy static
+// initializer) keeps a sane configuration instead of exiting.
+#pragma once
+
+namespace vgpu {
+
+/// Whole-string integer parse. Returns false (out untouched) unless `s` is
+/// exactly one base-10 integer.
+bool parse_env_int(const char* s, long* out);
+
+/// Read env var `name` as a strict integer: `fallback` when unset; warn on
+/// stderr ("warning: ignoring NAME='...'") and return `fallback` when set to
+/// garbage. `hint` is appended to the warning, e.g. "0 = all cores".
+long env_int(const char* name, long fallback, const char* hint = nullptr);
+
+}  // namespace vgpu

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "vgpu/common.hpp"
+#include "vgpu/env.hpp"
 #include "vgpu/time.hpp"
 
 namespace vgpu {
@@ -81,12 +82,14 @@ inline QueueKind resolve_queue_kind(QueueKind k) {
 /// Mailbox ring capacity: VGPU_MAIL_RING slots per destination shard before
 /// cross-shard pushes spill into the parked overflow list. Read at queue
 /// construction (deliberately not cached so tests can vary it per queue).
+/// Unlike the warn-and-default knobs, a bogus capacity throws: the ring is a
+/// correctness-sensitive structure and a silently-defaulted capacity would
+/// hide the misconfiguration from the determinism fuzzes that vary it.
 inline std::size_t resolve_mail_ring_capacity() {
   const char* v = std::getenv("VGPU_MAIL_RING");
   if (!v || !*v) return 256;
-  char* end = nullptr;
-  const long n = std::strtol(v, &end, 10);
-  if (end == nullptr || *end != '\0' || n < 1)
+  long n = 0;
+  if (!parse_env_int(v, &n) || n < 1)
     throw SimError(
         std::string("VGPU_MAIL_RING must be a positive integer, got '") + v +
         "'");

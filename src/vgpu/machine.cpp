@@ -6,7 +6,17 @@
 #include <sstream>
 #include <thread>
 
+#include "vgpu/env.hpp"
+
 namespace vgpu {
+
+namespace {
+std::atomic<std::uint64_t> machines_built_count{0};
+}  // namespace
+
+std::uint64_t machines_built() {
+  return machines_built_count.load(std::memory_order_relaxed);
+}
 
 MachineConfig MachineConfig::dgx1_v100(int num_devices) {
   MachineConfig c;
@@ -39,10 +49,8 @@ namespace {
 /// so the budget must be re-read per resolution.
 int resolve_shard_jobs(int configured, int num_shards) {
   int jobs = configured;
-  if (jobs <= 0) {
-    const char* v = std::getenv("VGPU_SHARD_JOBS");
-    if (v && *v) jobs = std::atoi(v);
-  }
+  if (jobs <= 0)
+    jobs = static_cast<int>(env_int("VGPU_SHARD_JOBS", 0, "0 = auto"));
   if (jobs <= 0) {
     // hardware_concurrency() re-reads sysfs on every call (~3 us on glibc);
     // cache it — the core count is fixed for the process lifetime, and the
@@ -53,10 +61,8 @@ int resolve_shard_jobs(int configured, int num_shards) {
   return std::max(1, std::min(jobs, num_shards));
 }
 
-/// 0 = auto: VGPU_SM_CLUSTERS if set ("auto"/"gpc" resolve to the arch's GPC
-/// count), else 1 — the calibrated single-cluster model. Not cached
-/// statically: sweep::set_sm_clusters exports the variable between Machine
-/// constructions.
+}  // namespace
+
 int resolve_sm_clusters(int configured, const ArchSpec& arch) {
   int clusters = configured;
   if (clusters == 0) {
@@ -68,9 +74,8 @@ int resolve_sm_clusters(int configured, const ArchSpec& arch) {
       } else {
         // Whole-string parse: a typo must not silently select a cluster
         // count (the model parameter makes runs incomparable).
-        char* end = nullptr;
-        const long parsed = std::strtol(v, &end, 10);
-        if (end == v || *end != '\0' || parsed <= 0)
+        long parsed = 0;
+        if (!parse_env_int(v, &parsed) || parsed <= 0)
           throw SimError(std::string("VGPU_SM_CLUSTERS must be a positive "
                                      "integer, 'auto' or 'gpc', got '") +
                          v + "'");
@@ -81,6 +86,8 @@ int resolve_sm_clusters(int configured, const ArchSpec& arch) {
   if (clusters <= 0) clusters = 1;
   return std::min(clusters, arch.num_sms);
 }
+
+namespace {
 
 /// Not cached statically: like VGPU_SM_CLUSTERS, the variable may be
 /// toggled between Machine constructions (fuzz harnesses compare widened
@@ -109,6 +116,7 @@ Machine::Machine(MachineConfig cfg)
       queue_(cfg_.queue, std::max(1, cfg_.num_devices) * sm_clusters_),
       fabric_(cfg_.topology, sm_clusters_),
       noise_(cfg_.noise_seed, cfg_.noise_amplitude) {
+  machines_built_count.fetch_add(1, std::memory_order_relaxed);
   if (cfg_.num_devices < 1) throw SimError("machine needs at least one device");
   if (cfg_.topology.num_devices < cfg_.num_devices)
     throw SimError("topology smaller than device count");

@@ -122,6 +122,21 @@ inline const char* to_string(ExecMode m) {
   return "?";
 }
 
+/// Resolved SM-cluster count for a machine config (>= 1, clamped to the
+/// arch's SM count): `configured` when positive, else VGPU_SM_CLUSTERS
+/// ("auto"/"gpc" = the arch's GPC count), else 1. Exposed so the simulation
+/// daemon can fingerprint the *resolved* model parameter — two queries that
+/// resolve to different cluster counts simulate different machines and must
+/// hash apart, while the executor knobs (shard jobs, exec mode) never move
+/// the timeline and stay out of the fingerprint.
+int resolve_sm_clusters(int configured, const ArchSpec& arch);
+
+/// Process-wide count of Machine constructions. Telemetry for the machine
+/// pool and the simulation daemon's content-addressed cache: a cache hit
+/// must not construct (or even pool-reset) a Machine, which tests assert by
+/// differencing this counter around warm requests.
+std::uint64_t machines_built();
+
 struct MachineConfig {
   ArchSpec arch;
   int num_devices = 1;

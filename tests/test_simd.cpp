@@ -1,0 +1,363 @@
+// The simulation daemon: protocol round trips, the content-addressed cache
+// (byte-identity and the no-Machine-construction-on-hit contract), bounded
+// admission with explicit backpressure, duplicate-miss coalescing, graceful
+// drain, and the socket path end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "simd/cache.hpp"
+#include "simd/client.hpp"
+#include "simd/fingerprint.hpp"
+#include "simd/point.hpp"
+#include "simd/protocol.hpp"
+#include "simd/server.hpp"
+#include "vgpu/machine.hpp"
+
+namespace {
+
+using simd::Client;
+using simd::Method;
+using simd::PointQuery;
+using simd::Server;
+using simd::ServerOptions;
+
+/// A cheap point (~0.1 ms) and a slow one (~1 s on this class of host) —
+/// the latter keeps a worker busy long enough to observe queue states.
+PointQuery fast_point(std::uint64_t seed = 0) {
+  PointQuery q;
+  q.method = Method::WarpSync;
+  q.repeats = 8;
+  q.seed = seed;
+  return q;
+}
+
+PointQuery slow_point(std::uint64_t seed = 0) {
+  PointQuery q;
+  q.method = Method::BlockSync;
+  q.threads = 1024;
+  q.blocks_per_sm = 2;
+  q.repeats = 400;
+  q.seed = seed;
+  return q;
+}
+
+std::string point_line(const PointQuery& q, const std::string& id = "t") {
+  return simd::encode_point_request(id, q);
+}
+
+std::string scalar(const std::string& resp, const char* field) {
+  return simd::extract_scalar_field(resp, field);
+}
+
+void wait_for_outstanding(Server& server, std::uint64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.stats().outstanding != want) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "timed out waiting for outstanding == " << want;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+std::string tmp_socket_path(const char* tag) {
+  return "/tmp/simd_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// ---- protocol -------------------------------------------------------------
+
+TEST(SimdProtocol, ParsesFlatObjects) {
+  simd::JsonObject obj;
+  std::string err;
+  ASSERT_TRUE(simd::parse_json_object(
+      R"({"a":"x","b":12,"c":-3.5,"d":true,"e":null})", &obj, &err))
+      << err;
+  EXPECT_EQ(obj["a"].s, "x");
+  EXPECT_EQ(obj["b"].i, 12);
+  EXPECT_DOUBLE_EQ(obj["c"].d, -3.5);
+  EXPECT_TRUE(obj["d"].b);
+  EXPECT_EQ(obj["e"].kind, simd::JsonValue::Kind::Null);
+}
+
+TEST(SimdProtocol, RejectsNestingAndGarbage) {
+  simd::JsonObject obj;
+  std::string err;
+  EXPECT_FALSE(simd::parse_json_object(R"({"a":{"b":1}})", &obj, &err));
+  EXPECT_FALSE(simd::parse_json_object(R"({"a":[1]})", &obj, &err));
+  EXPECT_FALSE(simd::parse_json_object(R"({"a":1,)", &obj, &err));
+  EXPECT_FALSE(simd::parse_json_object(R"({"a":1} trailing)", &obj, &err));
+  EXPECT_FALSE(simd::parse_json_object("not json", &obj, &err));
+}
+
+TEST(SimdProtocol, RequestRoundTripsThroughEncode) {
+  const PointQuery q = slow_point(7);
+  simd::Request req;
+  std::string err;
+  ASSERT_TRUE(simd::decode_request(point_line(q, "42"), &req, &err)) << err;
+  EXPECT_EQ(req.id, "42");
+  EXPECT_EQ(req.cmd, "point");
+  EXPECT_EQ(simd::fingerprint(req.query), simd::fingerprint(q));
+}
+
+TEST(SimdProtocol, DecodeRejectsUnknownFieldsAndBadValues) {
+  simd::Request req;
+  std::string err;
+  EXPECT_FALSE(simd::decode_request(R"({"bogus":1})", &req, &err));
+  EXPECT_NE(err.find("unknown field"), std::string::npos) << err;
+  EXPECT_FALSE(simd::decode_request(R"({"arch":"k80"})", &req, &err));
+  EXPECT_FALSE(simd::decode_request(R"({"method":"teleport"})", &req, &err));
+  EXPECT_FALSE(simd::decode_request(R"({"threads":4096})", &req, &err));
+  // Residency violation caught by validate through the decoder.
+  EXPECT_FALSE(simd::decode_request(
+      R"({"method":"grid_sync","blocks_per_sm":4,"threads":1024})", &req,
+      &err));
+}
+
+TEST(SimdProtocol, ExtractorsPullVerbatimSubstrings) {
+  const std::string resp = simd::encode_point_response(
+      "9", false, "00ff00ff00ff00ff", R"({"value":1.5,"value2":0,"unit":"us"})",
+      12.25, 900.5);
+  EXPECT_EQ(simd::extract_object_field(resp, "result"),
+            R"({"value":1.5,"value2":0,"unit":"us"})");
+  EXPECT_EQ(scalar(resp, "cached"), "false");
+  EXPECT_EQ(scalar(resp, "fingerprint"), "\"00ff00ff00ff00ff\"");
+  EXPECT_EQ(scalar(resp, "queue_wait_us"), "12.2");
+}
+
+// ---- cache ----------------------------------------------------------------
+
+TEST(SimdCache, FifoEvictionKeepsTheBound) {
+  simd::ResultCache cache(2);
+  cache.put(1, "a");
+  cache.put(2, "b");
+  cache.put(3, "c");  // evicts 1
+  std::string out;
+  EXPECT_FALSE(cache.get(1, &out));
+  EXPECT_TRUE(cache.get(2, &out));
+  EXPECT_EQ(out, "b");
+  EXPECT_TRUE(cache.get(3, &out));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---- server (in-process: empty socket path skips the listener) ------------
+
+TEST(SimdServer, CacheHitIsByteIdenticalAndBuildsNoMachine) {
+  Server server(ServerOptions{"", 1, 4, 64});
+  server.start();
+
+  const std::string line = point_line(fast_point(11), "a");
+  const std::string first = server.handle_line(line);
+  ASSERT_EQ(scalar(first, "ok"), "true") << first;
+  EXPECT_EQ(scalar(first, "cached"), "false");
+  const std::string fresh_result = simd::extract_object_field(first, "result");
+  ASSERT_FALSE(fresh_result.empty());
+
+  const std::uint64_t built_before = vgpu::machines_built();
+  const std::string second = server.handle_line(line);
+  const std::uint64_t built_after = vgpu::machines_built();
+
+  ASSERT_EQ(scalar(second, "ok"), "true") << second;
+  EXPECT_EQ(scalar(second, "cached"), "true");
+  // Byte identity: the hit serves the exact bytes the fresh run produced.
+  EXPECT_EQ(simd::extract_object_field(second, "result"), fresh_result);
+  // And it performed no simulation work at all.
+  EXPECT_EQ(built_after, built_before)
+      << "a cache hit must not construct a Machine";
+  EXPECT_EQ(server.stats().executed, 1u);
+  EXPECT_EQ(server.stats().hits, 1u);
+
+  // A direct library run of the same query serializes to the same bytes.
+  EXPECT_EQ(simd::serialize_result(simd::run_point(fast_point(11))),
+            fresh_result);
+  server.stop();
+}
+
+TEST(SimdServer, AdmissionControlRejectsBeyondTheLimit) {
+  // One worker, one outstanding slot: while the slow point executes, any
+  // further miss must get an explicit overloaded response, never a hang.
+  Server server(ServerOptions{"", 1, 1, 64});
+  server.start();
+
+  std::string slow_resp;
+  std::thread submitter([&] {
+    slow_resp = server.handle_line(point_line(slow_point(1), "slow"));
+  });
+  wait_for_outstanding(server, 1);
+
+  const std::string rejected =
+      server.handle_line(point_line(slow_point(2), "reject-me"));
+  EXPECT_EQ(scalar(rejected, "ok"), "false") << rejected;
+  EXPECT_EQ(scalar(rejected, "error"), "\"overloaded\"") << rejected;
+  EXPECT_EQ(scalar(rejected, "id"), "\"reject-me\"");
+
+  submitter.join();
+  EXPECT_EQ(scalar(slow_resp, "ok"), "true") << slow_resp;
+  EXPECT_EQ(server.stats().rejected, 1u);
+  // Capacity freed: the same query now admits (and is a fresh miss).
+  const std::string retried =
+      server.handle_line(point_line(slow_point(2), "retry"));
+  EXPECT_EQ(scalar(retried, "ok"), "true") << retried;
+  server.stop();
+}
+
+TEST(SimdServer, DuplicateMissesCoalesceIntoOneExecution) {
+  Server server(ServerOptions{"", 1, 8, 64});
+  server.start();
+
+  const std::string line = point_line(slow_point(3), "dup");
+  std::vector<std::string> resp(2);
+  std::thread a([&] { resp[0] = server.handle_line(line); });
+  std::thread b([&] { resp[1] = server.handle_line(line); });
+  a.join();
+  b.join();
+
+  int cached = 0;
+  for (const std::string& r : resp) {
+    ASSERT_EQ(scalar(r, "ok"), "true") << r;
+    if (scalar(r, "cached") == "true") ++cached;
+  }
+  EXPECT_EQ(cached, 1) << "exactly one of two equal misses executes";
+  EXPECT_EQ(server.stats().executed, 1u);
+  EXPECT_EQ(simd::extract_object_field(resp[0], "result"),
+            simd::extract_object_field(resp[1], "result"));
+  server.stop();
+}
+
+TEST(SimdServer, GracefulStopDrainsInFlightPoints) {
+  Server server(ServerOptions{"", 1, 4, 64});
+  server.start();
+
+  std::string resp;
+  std::thread submitter([&] {
+    resp = server.handle_line(point_line(slow_point(4), "inflight"));
+  });
+  wait_for_outstanding(server, 1);
+  server.stop();  // must block until the in-flight point completed
+  submitter.join();
+  ASSERT_EQ(scalar(resp, "ok"), "true") << resp;
+  EXPECT_EQ(scalar(resp, "cached"), "false");
+  EXPECT_EQ(server.stats().executed, 1u);
+  EXPECT_EQ(server.stats().outstanding, 0u);
+
+  // After the drain, new misses are refused with explicit backpressure.
+  const std::string refused =
+      server.handle_line(point_line(slow_point(5), "late"));
+  EXPECT_EQ(scalar(refused, "error"), "\"shutting_down\"") << refused;
+  server.stop();  // idempotent
+}
+
+TEST(SimdServer, StatsAndPingRespond) {
+  Server server(ServerOptions{"", 1, 4, 64});
+  server.start();
+  EXPECT_EQ(server.handle_line(R"({"id":"p","cmd":"ping"})"),
+            R"({"id":"p","ok":true,"pong":true})");
+  const std::string stats = server.handle_line(R"({"cmd":"stats"})");
+  EXPECT_EQ(scalar(stats, "ok"), "true");
+  EXPECT_EQ(scalar(stats, "requests"), "0");
+  EXPECT_EQ(scalar(stats, "queue_limit"), "4");
+  server.stop();
+}
+
+// ---- server (socket path) -------------------------------------------------
+
+TEST(SimdServer, SocketEndToEnd) {
+  const std::string path = tmp_socket_path("e2e");
+  Server server(ServerOptions{path, 2, 8, 64});
+  server.start();
+
+  Client client;
+  std::string err, resp;
+  ASSERT_TRUE(client.connect_to(path, &err)) << err;
+  ASSERT_TRUE(client.request(R"({"id":"1","cmd":"ping"})", &resp, &err)) << err;
+  EXPECT_EQ(scalar(resp, "pong"), "true");
+
+  // Fresh miss, then a hit from a *different* connection: the cache is
+  // shared across connections, not per-client.
+  ASSERT_TRUE(client.request(point_line(fast_point(21), "2"), &resp, &err))
+      << err;
+  EXPECT_EQ(scalar(resp, "cached"), "false") << resp;
+  const std::string fresh = simd::extract_object_field(resp, "result");
+
+  Client other;
+  ASSERT_TRUE(other.connect_to(path, &err)) << err;
+  ASSERT_TRUE(other.request(point_line(fast_point(21), "3"), &resp, &err))
+      << err;
+  EXPECT_EQ(scalar(resp, "cached"), "true") << resp;
+  EXPECT_EQ(simd::extract_object_field(resp, "result"), fresh);
+
+  // Malformed line gets an error response, and the connection survives.
+  ASSERT_TRUE(client.request("not json", &resp, &err)) << err;
+  EXPECT_EQ(scalar(resp, "error"), "\"bad_request\"");
+  ASSERT_TRUE(client.request(R"({"id":"4","cmd":"ping"})", &resp, &err)) << err;
+  EXPECT_EQ(scalar(resp, "pong"), "true");
+
+  server.stop();
+  // The socket file is gone and new connections fail.
+  Client late;
+  EXPECT_FALSE(late.connect_to(path, &err));
+}
+
+TEST(SimdServer, ReplayMixAgainstSocketMatchesDirectExecution) {
+  const std::string path = tmp_socket_path("replay");
+  Server server(ServerOptions{path, 2, 16, 64});
+  server.start();
+
+  simd::MixSpec spec;
+  spec.name = "tab2";
+  spec.requests = 10;
+  spec.hit_ratio = 0.5;
+  spec.seed = 5;
+  spec.repeats = 8;
+
+  std::ostringstream daemon_dump, direct_dump;
+  simd::ReplayReport report;
+  std::string err;
+  ASSERT_TRUE(
+      simd::replay_mix(path, spec, 2, &daemon_dump, &report, &err))
+      << err;
+  EXPECT_EQ(report.requests, 10);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.rejected, 0);
+  EXPECT_GT(report.points_per_sec, 0.0);
+
+  simd::direct_mix(spec, direct_dump);
+  // The CI smoke leg's contract, in-process: byte-for-byte equality.
+  EXPECT_EQ(daemon_dump.str(), direct_dump.str());
+
+  // Second replay of the same mix: everything cache-served.
+  simd::ReplayReport warm;
+  ASSERT_TRUE(simd::replay_mix(path, spec, 2, nullptr, &warm, &err)) << err;
+  EXPECT_EQ(warm.hits, warm.requests);
+  EXPECT_EQ(warm.misses, 0);
+  server.stop();
+}
+
+TEST(SimdMix, DeterministicAndHitRatioShaped) {
+  simd::MixSpec spec;
+  spec.name = "fig4";
+  spec.requests = 20;
+  spec.hit_ratio = 0.75;
+  spec.seed = 9;
+  const auto a = simd::make_mix(spec);
+  const auto b = simd::make_mix(spec);
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(simd::fingerprint(a[i]), simd::fingerprint(b[i])) << i;
+  // 25% of 20 = 5 uniques; every later request revisits one of them.
+  std::set<std::uint64_t> uniq;
+  for (const auto& q : a) uniq.insert(simd::fingerprint(q));
+  EXPECT_EQ(uniq.size(), 5u);
+  for (const auto& q : a) EXPECT_EQ(simd::validate(q), "");
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// The daemon's cache key contract. Golden pins freeze the canonical hash
+// stream (any accidental reordering, field addition or encoding change
+// breaks them loudly — which is the point: a silently changed fingerprint
+// would split or, worse, alias cache entries). The mutation tests pin the
+// inclusion list: every execution-relevant field moves the hash, and the
+// executor knobs (exec mode, shard jobs) — whose timeline invariance
+// test_determinism pins — do not.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "simd/fingerprint.hpp"
+#include "simd/point.hpp"
+#include "vgpu/event_queue.hpp"
+
+namespace {
+
+using simd::fingerprint;
+using simd::fingerprint_hex;
+using simd::Method;
+using simd::PointQuery;
+using simd::validate;
+
+/// A fully explicit query: queue and sm_clusters pinned so the hash never
+/// consults VGPU_QUEUE / VGPU_SM_CLUSTERS and the pins hold in any
+/// environment.
+PointQuery pinned_query() {
+  PointQuery q;
+  q.queue = "calendar";
+  q.sm_clusters = 1;
+  return q;
+}
+
+TEST(SimdFingerprint, GoldenPins) {
+  EXPECT_EQ(fingerprint_hex(fingerprint(pinned_query())),
+            "8cb5f9e3dd625735");
+
+  PointQuery warp = pinned_query();
+  warp.arch = "p100";
+  warp.method = Method::WarpSync;
+  warp.warp = "tile";
+  warp.group = 32;
+  warp.repeats = 16;
+  EXPECT_EQ(fingerprint_hex(fingerprint(warp)), "8b5294a88f1d402f");
+
+  PointQuery mgrid;
+  mgrid.method = Method::MGridSync;
+  mgrid.gpus = 4;
+  mgrid.blocks_per_sm = 2;
+  mgrid.threads = 256;
+  mgrid.seed = 42;
+  mgrid.noise = 0.25;
+  mgrid.queue = "heap";
+  mgrid.sm_clusters = 2;
+  EXPECT_EQ(fingerprint_hex(fingerprint(mgrid)), "7df374691e2cd3ea");
+}
+
+TEST(SimdFingerprint, EveryExecRelevantFieldChangesTheHash) {
+  const PointQuery base = pinned_query();
+  const std::uint64_t fp0 = fingerprint(base);
+
+  std::vector<PointQuery> mutants;
+  {
+    PointQuery q = base;
+    q.arch = "p100";
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.method = Method::BlockSync;
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.launch = "traditional";
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.warp = "coalesced";
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.group = 16;
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.method = Method::MGridSync;  // gpus>1 needs a multi-device method
+    mutants.push_back(q);
+    q.gpus = 2;
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.blocks_per_sm = 2;
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.threads = 64;
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.repeats = 11;
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.seed = 1;
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.noise = 0.1;
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.queue = "heap";
+    mutants.push_back(q);
+  }
+  {
+    PointQuery q = base;
+    q.sm_clusters = 4;
+    mutants.push_back(q);
+  }
+
+  std::set<std::uint64_t> seen = {fp0};
+  for (const PointQuery& q : mutants) {
+    ASSERT_EQ(validate(q), "") << "mutant must stay valid";
+    const std::uint64_t fp = fingerprint(q);
+    EXPECT_NE(fp, fp0) << "mutation did not move the fingerprint";
+    // Mutants must also not collide with each other (distinct configs).
+    EXPECT_TRUE(seen.insert(fp).second) << "two distinct mutants collided";
+  }
+}
+
+TEST(SimdFingerprint, ExecutorKnobsDoNotChangeTheHash) {
+  const PointQuery base = pinned_query();
+  const std::uint64_t fp0 = fingerprint(base);
+  for (const char* exec : {"auto", "serial", "sharded"}) {
+    for (int shard_jobs : {0, 1, 4}) {
+      PointQuery q = base;
+      q.exec = exec;
+      q.shard_jobs = shard_jobs;
+      EXPECT_EQ(fingerprint(q), fp0)
+          << "executor knob (" << exec << ", " << shard_jobs
+          << ") leaked into the cache key";
+    }
+  }
+}
+
+TEST(SimdFingerprint, AutoQueueHashesAsItsResolvedKind) {
+  PointQuery q = pinned_query();
+  q.queue = "auto";
+  PointQuery resolved = q;
+  resolved.queue =
+      vgpu::to_string(vgpu::resolve_queue_kind(vgpu::QueueKind::Auto));
+  EXPECT_EQ(fingerprint(q), fingerprint(resolved));
+}
+
+TEST(SimdFingerprint, AutoSmClustersHashesAsItsResolvedCount) {
+  // sm_clusters = 0 defers to VGPU_SM_CLUSTERS; whatever it resolves to,
+  // hashing the explicit resolved count must land on the same key.
+  PointQuery q = pinned_query();
+  q.sm_clusters = 0;
+  PointQuery resolved = q;
+  resolved.sm_clusters =
+      vgpu::resolve_sm_clusters(0, *vgpu::arch_by_name(q.arch));
+  EXPECT_EQ(fingerprint(q), fingerprint(resolved));
+}
+
+TEST(SimdFingerprint, HexFormIsFixedWidthLowercase) {
+  EXPECT_EQ(fingerprint_hex(0), "0000000000000000");
+  EXPECT_EQ(fingerprint_hex(0xABCDEF0123456789ull), "abcdef0123456789");
+}
+
+}  // namespace

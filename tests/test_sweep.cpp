@@ -5,9 +5,12 @@
 // simulates its own System.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "scuda/system.hpp"
@@ -153,6 +156,50 @@ TEST(ThreadPool, NestedRunOnADifferentPoolStillRunsInParallel) {
 // ---------------------------------------------------------------------------
 // sweep::map
 // ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a double join
+  pool.shutdown();
+}
+
+TEST(ThreadPool, RunAfterShutdownExecutesInline) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  std::vector<int> counts(16, 0);
+  pool.run(counts.size(), [&](std::size_t i) { ++counts[i]; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ThreadPool, ConcurrentShutdownFromManyThreadsJoinsExactlyOnce) {
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(4);
+    // Give the workers something to drain while shutdowns race.
+    std::atomic<int> ran{0};
+    std::thread work([&] {
+      pool.run(64, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    std::vector<std::thread> stoppers;
+    for (int s = 0; s < 4; ++s)
+      stoppers.emplace_back([&] { pool.shutdown(); });
+    for (auto& t : stoppers) t.join();
+    work.join();
+    // The every-task-once contract survives a shutdown racing the batch.
+    EXPECT_EQ(ran.load(), 64) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ShutdownConcurrentWithDestructorIsSafe) {
+  for (int round = 0; round < 8; ++round) {
+    auto pool = std::make_unique<ThreadPool>(4);
+    std::thread stopper([&] { pool->shutdown(); });
+    stopper.join();
+    pool.reset();  // destructor after (or racing the tail of) shutdown
+  }
+}
 
 TEST(SweepMap, PreservesPointOrder) {
   std::vector<int> points;
