@@ -4,6 +4,7 @@
 // this one keeps the simulator honest about its own cost.
 #include <benchmark/benchmark.h>
 
+#include "allreduce/allreduce.hpp"
 #include "reduction/reduce.hpp"
 #include "simd/client.hpp"
 #include "simd/protocol.hpp"
@@ -321,6 +322,57 @@ BENCHMARK(BM_ShardedMachineDrainSingleGpu)
     ->Args({4, 0})
     ->Args({8, 1})
     ->Unit(benchmark::kMillisecond);
+
+void allreduce_point(benchmark::State& state, allreduce::Schedule sched,
+                     int shard_jobs) {
+  // One all-reduce simulation point: 8-GPU DGX-1, 2 MB of f64 gradients per
+  // device, warmup + measured pass (the characterize_allreduce cell shape).
+  // shard_jobs 0 is the serial oracle; 4 shards the devices across four
+  // workers. Timelines are bit-identical across rows (test_allreduce pins
+  // this); only wall-clock moves. The ring is the expensive row — it
+  // simulates ~2(N-1)/N·n warp-level element ops per device — while
+  // host-staged is nearly free for the simulator (functional memcpys plus a
+  // host-side fold), so the gated claim is that sharding buys the ring
+  // enough that the *fancy* schedule's simulation keeps up with the trivial
+  // one on multi-core hosts.
+  constexpr int kDevs = 8;
+  const std::int64_t n = (2 << 20) / 8;
+  for (auto _ : state) {
+    MachineConfig cfg = MachineConfig::dgx1_v100(kDevs);
+    cfg.exec = shard_jobs == 0 ? ExecMode::Serial : ExecMode::Sharded;
+    cfg.shard_jobs = shard_jobs;
+    scuda::System sys(cfg);
+    std::vector<DevPtr> grads;
+    for (int d = 0; d < kDevs; ++d) grads.push_back(sys.malloc(d, n * 8));
+    allreduce::fill_gradients(sys, grads, n, allreduce::DType::F64);
+    auto r = allreduce::run_all_reduce(sys, sched, allreduce::DType::F64,
+                                       grads, n);
+    benchmark::DoNotOptimize(r.micros);
+  }
+  state.SetBytesProcessed(state.iterations() * n * 8 * kDevs);
+}
+
+void BM_AllReduceRing(benchmark::State& state) {
+  allreduce_point(state, allreduce::Schedule::Ring,
+                  static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_AllReduceRing)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AllReduceTree(benchmark::State& state) {
+  allreduce_point(state, allreduce::Schedule::Tree,
+                  static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_AllReduceTree)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_AllReduceHostStaged(benchmark::State& state) {
+  allreduce_point(state, allreduce::Schedule::HostStaged,
+                  static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_AllReduceHostStaged)->Arg(0)->Unit(benchmark::kMillisecond);
 
 /// Barrier-bound ping-pong body: `work_rounds` of (counter bump, sync group
 /// `group`), then `idle_rounds` of bare syncs — the arrivals a device must

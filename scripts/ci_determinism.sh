@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Determinism matrix: the bit-identical-timeline contract under both queue
+# kinds, both executors, SM clusters, mailbox rings, and the all-reduce
+# schedules. Extracted from the inline CI run-block so local runs and CI
+# execute the exact same matrix:
+#
+#   ./scripts/ci_determinism.sh [build-dir]     # default build dir: ./build
+#
+# The calendar queue is the default; the heap stays as the differential-
+# testing oracle. Both must reproduce the bit-identical timeline the suite
+# pins — under the serial oracle executor and the sharded conservative-window
+# executor alike, at one SM cluster per device, under cluster sharding, and
+# for the ring/tree all-reduce schedules whose pair sync groups lean on the
+# group-aware shard lookahead.
+set -euo pipefail
+
+cd "${1:-build}"
+
+run() {
+  echo "+ $*"
+  env "$@"
+}
+
+run VGPU_QUEUE=heap ./test_determinism
+run VGPU_QUEUE=calendar ./test_determinism
+run VGPU_QUEUE=heap ./test_event_queue
+run VGPU_EXEC=sharded ./test_determinism
+run VGPU_EXEC=sharded VGPU_QUEUE=heap ./test_determinism
+run VGPU_EXEC=sharded ./test_multi_gpu_reduction
+run VGPU_SM_CLUSTERS=4 ./test_determinism
+run VGPU_EXEC=sharded VGPU_SM_CLUSTERS=4 ./test_determinism
+run ./test_cluster_shards
+run VGPU_QUEUE=heap ./test_machine_pool
+run VGPU_EXEC=sharded ./test_machine_pool
+run SYNCBENCH_BATCH=4 ./test_sweep
+run VGPU_EXEC=sharded ./test_sync_groups
+run VGPU_EXEC=sharded VGPU_QUEUE=heap ./test_sync_groups
+run VGPU_MAIL_RING=2 ./test_event_queue
+run VGPU_EXEC=sharded VGPU_MAIL_RING=2 ./test_determinism
+run VGPU_EXEC=sharded VGPU_LOOKAHEAD_MATRIX=0 ./test_determinism
+run VGPU_EXEC=sharded ./test_allreduce
+run VGPU_EXEC=sharded VGPU_QUEUE=heap ./test_allreduce
+run VGPU_EXEC=sharded VGPU_MAIL_RING=2 ./test_allreduce

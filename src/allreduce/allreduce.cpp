@@ -1,0 +1,383 @@
+#include "allreduce/allreduce.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace allreduce {
+
+using namespace vgpu;
+using scuda::HostThread;
+using scuda::LaunchParams;
+using scuda::SyncGroupSpec;
+
+const char* to_string(Schedule s) {
+  switch (s) {
+    case Schedule::HostStaged: return "host-staged";
+    case Schedule::Ring: return "ring";
+    case Schedule::Tree: return "tree";
+  }
+  return "?";
+}
+
+const char* to_string(DType t) {
+  switch (t) {
+    case DType::F64: return "f64";
+    case DType::I64: return "i64";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Gradient pattern
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kPatternPeriod = 128;
+}  // namespace
+
+std::int64_t grad_i64(int dev, std::int64_t i) {
+  return (i + 13 * static_cast<std::int64_t>(dev)) % kPatternPeriod + 1;
+}
+
+double grad_f64(int dev, std::int64_t i) {
+  return static_cast<double>(grad_i64(dev, i)) * 0.015625;  // k/64, exact
+}
+
+std::int64_t expected_i64(int gpus, std::int64_t i, int passes) {
+  std::int64_t s = 0;
+  for (int g = 0; g < gpus; ++g) s += grad_i64(g, i);
+  for (int p = 1; p < passes; ++p) s *= gpus;
+  return s;
+}
+
+double expected_f64(int gpus, std::int64_t i, int passes) {
+  // Every term is k/64 with k <= 128 and gpus <= 16, so the sum (and its
+  // per-pass gpus multiples) stays exactly representable: any association
+  // the schedules use yields the same bits.
+  return static_cast<double>(expected_i64(gpus, i, passes)) * 0.015625;
+}
+
+void fill_gradients(System& sys, const std::vector<DevPtr>& grads,
+                    std::int64_t n, DType dt) {
+  const int gpus = static_cast<int>(grads.size());
+  for (int g = 0; g < gpus; ++g) {
+    if (dt == DType::F64) {
+      std::vector<double> v(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i)
+        v[static_cast<std::size_t>(i)] = grad_f64(g, i);
+      sys.fill_f64(grads[static_cast<std::size_t>(g)], v);
+    } else {
+      std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i)
+        v[static_cast<std::size_t>(i)] = grad_i64(g, i);
+      sys.fill_i64(grads[static_cast<std::size_t>(g)], v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel building blocks
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Registers reused across every per-step emission so unrolled N-step
+/// kernels stay within the register file (a 16-device ring would otherwise
+/// burn ~15 fresh loop frames per phase).
+struct LoopRegs {
+  Reg gtid, gsize, i, hi, pred, addr_dst, addr_src, v, w;
+  static LoopRegs alloc(KernelBuilder& b) {
+    LoopRegs r{b.reg(), b.reg(), b.reg(), b.reg(), b.reg(),
+               b.reg(), b.reg(), b.reg(), b.reg()};
+    b.sreg(r.gtid, SpecialReg::GTid);
+    b.sreg(r.gsize, SpecialReg::GSize);
+    return r;
+  }
+};
+
+/// Grid-stride over elements [lo, hi):
+///   dst[i] = src[i] + (accumulate ? dst[i] : 0)
+/// Bounds are build-time constants (chunk offsets resolved per device), so
+/// the loop carries no modular arithmetic.
+void emit_range_op(KernelBuilder& b, LoopRegs& r, Reg dst, Reg src,
+                   std::int64_t lo, std::int64_t hi, bool accumulate,
+                   DType dt) {
+  if (lo >= hi) return;
+  b.mov(r.i, lo);
+  b.iadd(r.i, r.i, r.gtid);
+  b.mov(r.hi, hi);
+  b.loop_while(
+      [&] {
+        b.setp(r.pred, r.i, Cmp::Lt, r.hi);
+        return r.pred;
+      },
+      [&] {
+        b.ishl(r.addr_dst, r.i, 3);
+        b.iadd(r.addr_src, r.addr_dst, src);
+        b.iadd(r.addr_dst, r.addr_dst, dst);
+        b.ldg(r.v, r.addr_src);
+        if (accumulate) {
+          b.ldg(r.w, r.addr_dst);
+          if (dt == DType::F64)
+            b.fadd(r.v, r.v, r.w);
+          else
+            b.iadd(r.v, r.v, r.w);
+        }
+        b.stg(r.addr_dst, r.v);
+        b.iadd(r.i, r.i, r.gsize);
+      });
+}
+
+std::int64_t chunk_lo(int c, std::int64_t n, int gpus) {
+  return static_cast<std::int64_t>(c) * n / gpus;
+}
+std::int64_t chunk_hi(int c, std::int64_t n, int gpus) {
+  return static_cast<std::int64_t>(c + 1) * n / gpus;
+}
+
+/// Proper edge coloring of the ring cycle C_N (edge e = {e, e+1 mod N}):
+/// alternate two colors; odd N gives the wrap-around edge a third color.
+/// Every device syncs its two incident edges in ascending (color, edge)
+/// order, so all devices agree on a global phase order over the matchings —
+/// the standard argument that pairwise barriers in color order cannot
+/// deadlock (each matching's barriers complete independently).
+int ring_edge_color(int e, int gpus) {
+  return (gpus % 2 == 1 && e == gpus - 1) ? 2 : e % 2;
+}
+
+/// One ring step boundary for device g: barrier with the predecessor edge
+/// (data-ready) and the successor edge (release own buffer), color-ordered.
+void emit_ring_boundary(KernelBuilder& b, int g, int gpus) {
+  if (gpus == 2) {
+    b.mgrid_sync(0);  // the 2-cycle folds to a single pair group
+    return;
+  }
+  const int e_in = (g + gpus - 1) % gpus;
+  const int e_out = g;
+  int first = e_in, second = e_out;
+  if (std::make_pair(ring_edge_color(e_out, gpus), e_out) <
+      std::make_pair(ring_edge_color(e_in, gpus), e_in))
+    std::swap(first, second);
+  b.mgrid_sync(first);
+  b.mgrid_sync(second);
+}
+
+int ctz(int x) {
+  int r = 0;
+  while ((x & 1) == 0) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// Does device g receive from a child in binomial round r? (Root receives
+/// in every round it has a child for; other devices until they send.)
+bool tree_receives(int g, int r) { return g == 0 || ctz(g) > r; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+// Both kernels take the same params on every device: params[d] = raw DevPtr
+// of device d's gradient buffer. Each device's program indexes the buffers
+// it needs at build time.
+
+ProgramPtr ring_kernel(int dev, int gpus, std::int64_t n, DType dt) {
+  KernelBuilder b("allreduce_ring_" + std::string(to_string(dt)) + "_d" +
+                  std::to_string(dev));
+  Reg self = b.reg(), prev = b.reg();
+  b.ld_param(self, dev);
+  b.ld_param(prev, (dev + gpus - 1) % gpus);
+  LoopRegs r = LoopRegs::alloc(b);
+
+  // Reduce-scatter: step s pulls the predecessor's running sum of chunk
+  // (dev - s - 1) and folds it into the local copy. After N-1 steps this
+  // device owns chunk (dev + 1) mod N fully reduced.
+  for (int s = 0; s < gpus - 1; ++s) {
+    if (s > 0) emit_ring_boundary(b, dev, gpus);
+    const int c = ((dev - s - 1) % gpus + gpus) % gpus;
+    emit_range_op(b, r, self, prev, chunk_lo(c, n, gpus),
+                  chunk_hi(c, n, gpus), /*accumulate=*/true, dt);
+  }
+  // Phase boundary: the predecessor's owned chunk must be final before the
+  // all-gather starts pulling it.
+  emit_ring_boundary(b, dev, gpus);
+  // All-gather: step s copies reduced chunk (dev - s) from the predecessor.
+  for (int s = 0; s < gpus - 1; ++s) {
+    if (s > 0) emit_ring_boundary(b, dev, gpus);
+    const int c = ((dev - s) % gpus + gpus) % gpus;
+    emit_range_op(b, r, self, prev, chunk_lo(c, n, gpus),
+                  chunk_hi(c, n, gpus), /*accumulate=*/false, dt);
+  }
+  b.exit();
+  return b.finish();
+}
+
+ProgramPtr tree_kernel(int dev, int gpus, std::int64_t n, DType dt) {
+  KernelBuilder b("allreduce_tree_" + std::string(to_string(dt)) + "_d" +
+                  std::to_string(dev));
+  Reg self = b.reg(), other = b.reg();
+  b.ld_param(self, dev);
+  LoopRegs r = LoopRegs::alloc(b);
+
+  int rounds = 0;
+  while ((1 << rounds) < gpus) ++rounds;
+
+  // Up-sweep: child c sends in round ctz(c) over edge group c-1; the
+  // receiver folds the child's partial into its own buffer. Each edge is
+  // barriered once here (child data ready) and once in the down-sweep
+  // (parent result ready).
+  for (int rd = 0; rd < rounds; ++rd) {
+    const int child = dev + (1 << rd);
+    if (tree_receives(dev, rd) && child < gpus) {
+      b.mgrid_sync(child - 1);
+      b.ld_param(other, child);
+      emit_range_op(b, r, self, other, 0, n, /*accumulate=*/true, dt);
+    }
+    if (dev != 0 && ctz(dev) == rd) b.mgrid_sync(dev - 1);
+  }
+  // Down-sweep: wait for the parent's final result, copy it, then release
+  // each child (descending round order mirrors the parent's own wait).
+  if (dev != 0) {
+    b.mgrid_sync(dev - 1);
+    b.ld_param(other, dev - (1 << ctz(dev)));
+    emit_range_op(b, r, self, other, 0, n, /*accumulate=*/false, dt);
+  }
+  for (int rd = rounds - 1; rd >= 0; --rd) {
+    const int child = dev + (1 << rd);
+    if (tree_receives(dev, rd) && child < gpus) b.mgrid_sync(child - 1);
+  }
+  b.exit();
+  return b.finish();
+}
+
+std::vector<SyncGroupSpec> ring_groups(int gpus) {
+  std::vector<SyncGroupSpec> specs;
+  if (gpus == 2) {
+    specs.push_back(SyncGroupSpec{{0, 1}});
+    return specs;
+  }
+  for (int e = 0; e < gpus; ++e)
+    specs.push_back(SyncGroupSpec{{e, (e + 1) % gpus}});
+  return specs;
+}
+
+std::vector<SyncGroupSpec> tree_groups(int gpus) {
+  std::vector<SyncGroupSpec> specs;
+  for (int c = 1; c < gpus; ++c)
+    specs.push_back(SyncGroupSpec{{c - (1 << ctz(c)), c}});
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// Host orchestration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Host-side fold rate for the staged schedule: one core streaming G input
+/// buffers and one output (memory-bound, ~8 GB/s effective).
+constexpr double kHostSumGbs = 8.0;
+
+Ps host_sum_cost(int gpus, std::int64_t bytes) {
+  const double total = static_cast<double>(gpus + 1) * static_cast<double>(bytes);
+  return static_cast<Ps>(total / (kHostSumGbs * 1e9) * 1e12);
+}
+
+double host_staged_pass(System& sys, HostThread& h,
+                        const std::vector<DevPtr>& grads, std::int64_t n,
+                        DType dt) {
+  const int gpus = static_cast<int>(grads.size());
+  const std::int64_t bytes = n * 8;
+  // Staging + accumulator buffers are host heap memory; their contents are
+  // functional only (the fold is charged via advance, not simulated).
+  std::vector<std::vector<std::uint64_t>> staged(
+      static_cast<std::size_t>(gpus),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(n)));
+  std::vector<std::uint64_t> acc(static_cast<std::size_t>(n));
+  const double t0 = h.now_us();
+  sys.parallel(h, gpus, [&](HostThread& th, int tid) {
+    sys.memcpy_d2h(th, staged[static_cast<std::size_t>(tid)].data(),
+                   grads[static_cast<std::size_t>(tid)], bytes);
+    sys.barrier(th);
+    if (tid == 0) {
+      // Deterministic ascending-device fold (the cxxnet SimpleSynch shape).
+      if (dt == DType::F64) {
+        auto* out = reinterpret_cast<double*>(acc.data());
+        for (std::int64_t i = 0; i < n; ++i) {
+          double s = 0.0;
+          for (int g = 0; g < gpus; ++g)
+            s += reinterpret_cast<const double*>(
+                staged[static_cast<std::size_t>(g)].data())[i];
+          out[i] = s;
+        }
+      } else {
+        auto* out = reinterpret_cast<std::int64_t*>(acc.data());
+        for (std::int64_t i = 0; i < n; ++i) {
+          std::int64_t s = 0;
+          for (int g = 0; g < gpus; ++g)
+            s += reinterpret_cast<const std::int64_t*>(
+                staged[static_cast<std::size_t>(g)].data())[i];
+          out[i] = s;
+        }
+      }
+      th.advance(host_sum_cost(gpus, bytes));
+    }
+    sys.barrier(th);
+    sys.memcpy_h2d(th, grads[static_cast<std::size_t>(tid)], acc.data(), bytes);
+  });
+  return h.now_us() - t0;
+}
+
+}  // namespace
+
+AllReduceRun run_all_reduce(System& sys, Schedule s, DType dt,
+                            const std::vector<DevPtr>& grads, std::int64_t n,
+                            const Options& opt) {
+  const int gpus = static_cast<int>(grads.size());
+  if (gpus < 1 || gpus > sys.num_devices())
+    throw SimError("all_reduce: gradient count must be 1..num_devices");
+  if (n < 1) throw SimError("all_reduce: need at least one element");
+
+  AllReduceRun run;
+  if (gpus == 1) return run;  // one device already holds the sum
+
+  std::vector<int> devs;
+  std::vector<LaunchParams> per_dev;
+  std::vector<SyncGroupSpec> specs;
+  if (s != Schedule::HostStaged) {
+    std::vector<std::int64_t> params;
+    for (const DevPtr& p : grads) params.push_back(p.raw);
+    const int blocks = std::min(16, sys.arch().num_sms);
+    for (int d = 0; d < gpus; ++d) {
+      devs.push_back(d);
+      ProgramPtr prog = s == Schedule::Ring ? ring_kernel(d, gpus, n, dt)
+                                            : tree_kernel(d, gpus, n, dt);
+      per_dev.push_back(LaunchParams{std::move(prog), blocks, 256, 0, params});
+    }
+    specs = s == Schedule::Ring ? ring_groups(gpus) : tree_groups(gpus);
+  }
+
+  auto pass = [&](HostThread& h) {
+    if (s == Schedule::HostStaged) return host_staged_pass(sys, h, grads, n, dt);
+    const double t0 = h.now_us();
+    sys.launch_cooperative_multi(h, devs, per_dev, specs);
+    for (int d = 0; d < gpus; ++d) sys.device_synchronize(h, d);
+    return h.now_us() - t0;
+  };
+
+  sys.run([&](HostThread& h) {
+    // Warm-up passes re-reduce the previous output; the timeline is
+    // data-independent, so only the measured (last) pass's timing matters.
+    for (int p = 0; p < opt.warmup_passes; ++p) pass(h);
+    run.micros = pass(h);
+  });
+  run.algbw_gbs = static_cast<double>(n) * 8 / (run.micros * 1e3);
+  return run;
+}
+
+}  // namespace allreduce

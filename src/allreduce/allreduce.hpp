@@ -1,0 +1,106 @@
+// Gradient all-reduce schedules over the reduction + fabric + sync-group
+// primitives: the first bandwidth-shaped workload family in the repo
+// (data-parallel training sync, cxxnet SimpleSynch / Synkhronos-style).
+//
+// Three schedules, one contract (every device ends holding the element-wise
+// sum of all devices' gradients, in place):
+//
+//  * HostStaged — gather -> reduce -> broadcast through the host links:
+//    every device DMAs its gradient down over PCIe, one host thread folds
+//    the G buffers (charged at a host-memory streaming rate), and every
+//    device DMAs the result back up. No fabric traffic, no kernels; two
+//    PCIe latencies plus a host pass that scales with G*n. Wins when the
+//    model is small enough that fabric barrier rounds dominate.
+//
+//  * Ring — the classic 2(N-1)-step chunked ring (reduce-scatter then
+//    all-gather). Each device's kernel pulls its ring predecessor's chunk
+//    through remote loads priced by the per-pair link regulators, so
+//    disjoint neighbor pairs stream concurrently at full per-link
+//    bandwidth. Step boundaries are fenced by N pair sync groups (group k =
+//    devices {k, k+1 mod N}); each device orders its two incident-edge
+//    barriers by a proper edge coloring of the ring cycle, which is what
+//    makes the pairwise fence deadlock-free. Moves 2B(N-1)/N bytes per
+//    device regardless of N: bandwidth-optimal, barrier-heavy.
+//
+//  * Tree — binomial recursive halving/doubling: an up-sweep reduces along
+//    parent links (child c joins parent c - 2^ctz(c)), a down-sweep
+//    broadcasts the result back. One pair sync group per tree edge, each
+//    barriered twice (data ready / result ready); edges within a round are
+//    disjoint so they drain in parallel. 2*ceil(log2 N) rounds of full-size
+//    transfers priced by Topology hop costs: latency-light, bandwidth-heavy.
+//
+// All three run inside scuda::System, so the serial-vs-sharded bit-identity
+// contract holds: ring/tree cross-device traffic is fenced by the kernels'
+// sync groups (the PR 7-8 group-aware lookahead), and host-staged never
+// touches the fabric at all. test_allreduce pins the matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scuda/system.hpp"
+
+namespace allreduce {
+
+using scuda::System;
+using vgpu::DevPtr;
+
+enum class Schedule { HostStaged, Ring, Tree };
+enum class DType { F64, I64 };
+
+const char* to_string(Schedule s);
+const char* to_string(DType t);
+
+inline const Schedule kAllSchedules[] = {Schedule::HostStaged, Schedule::Ring,
+                                         Schedule::Tree};
+
+/// One timed all-reduce execution.
+struct AllReduceRun {
+  double micros = 0;       // virtual time of the measured pass
+  double algbw_gbs = 0;    // n*8 bytes / time (the "algorithm bandwidth")
+};
+
+/// Deterministic per-device gradient pattern (period 128, exact in double:
+/// every value is k/64 with k in [1, 128], so sums of <= 16 devices are
+/// exact regardless of association — fp equivalence across schedules is
+/// testable to the bit while staying representative).
+double grad_f64(int dev, std::int64_t i);
+std::int64_t grad_i64(int dev, std::int64_t i);
+/// Element i of the reduced gradient after `passes` all-reduce passes over
+/// `gpus` devices (pass p+1 re-reduces pass p's output, so each pass
+/// multiplies the one-pass sum by another factor of `gpus`).
+double expected_f64(int gpus, std::int64_t i, int passes = 1);
+std::int64_t expected_i64(int gpus, std::int64_t i, int passes = 1);
+
+/// (Re)load every device's gradient buffer with its pattern. Untimed.
+void fill_gradients(System& sys, const std::vector<DevPtr>& grads,
+                    std::int64_t n, DType dt);
+
+struct Options {
+  /// Un-measured passes run first to warm the launch pipeline. Each pass
+  /// re-reduces the previous output (the timeline is data-independent, so
+  /// warm-up only shifts values, never timing); verify against
+  /// expected_*(gpus, i, warmup_passes + 1).
+  int warmup_passes = 1;
+};
+
+/// In-place all-reduce of grads[d][0..n) across all devices of `sys`.
+/// grads[d] must live on device d; one buffer per device of the machine.
+AllReduceRun run_all_reduce(System& sys, Schedule s, DType dt,
+                            const std::vector<DevPtr>& grads, std::int64_t n,
+                            const Options& opt = {});
+
+/// The per-device ring/tree kernels, exposed for tests and tooling.
+/// `dev` is the device's rank in the launch; params are the raw DevPtrs the
+/// schedule wires up (see allreduce.cpp).
+vgpu::ProgramPtr ring_kernel(int dev, int gpus, std::int64_t n, DType dt);
+vgpu::ProgramPtr tree_kernel(int dev, int gpus, std::int64_t n, DType dt);
+
+/// Sync-group specs the schedules launch with: ring = N cycle-edge pair
+/// groups (one group {0,1} when N == 2), tree = one group per binomial-tree
+/// edge (group c-1 = {parent(c), c}).
+std::vector<scuda::SyncGroupSpec> ring_groups(int gpus);
+std::vector<scuda::SyncGroupSpec> tree_groups(int gpus);
+
+}  // namespace allreduce

@@ -81,6 +81,29 @@ Topology Topology::dgx1_nvlink(int num_devices) {
   return t;
 }
 
+Topology Topology::nvswitch(int num_devices) {
+  if (num_devices < 1 || num_devices > 16)
+    throw SimError("NVSwitch topology supports 1..16 devices");
+  Topology t;
+  t.num_devices = num_devices;
+  t.hops.assign(static_cast<std::size_t>(num_devices),
+                std::vector<int>(static_cast<std::size_t>(num_devices), 1));
+  t.link_gbs.assign(static_cast<std::size_t>(num_devices),
+                    std::vector<double>(static_cast<std::size_t>(num_devices), 25.0));
+  for (int i = 0; i < num_devices; ++i) {
+    t.hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+    t.link_gbs[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0.0;
+  }
+  // One switch traversal costs slightly more than a direct cube-mesh link
+  // but never degrades to the 2-hop route; the barrier stays 1-hop-priced
+  // for any participant set.
+  t.hop_latency = us(2.0);
+  t.barrier_base_1hop = us(5.0);
+  t.barrier_base_2hop = us(5.0);
+  t.barrier_per_gpu = us(0.2);
+  return t;
+}
+
 Topology Topology::pcie(int num_devices) {
   Topology t;
   t.num_devices = num_devices;

@@ -68,6 +68,10 @@ struct Topology {
   static Topology single(); // one device, no fabric
   static Topology dgx1_nvlink(int num_devices = 8);
   static Topology pcie(int num_devices = 2);
+  /// DGX-2-style NVSwitch fabric: up to 16 GPUs, every pair one switch hop
+  /// at full per-direction NVLink bandwidth. The all-to-all mesh is what the
+  /// all-reduce schedule sweeps use to scale past the cube-mesh's 8 devices.
+  static Topology nvswitch(int num_devices = 16);
 };
 
 /// Structural equality over every field — the machine pool uses this to

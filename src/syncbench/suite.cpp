@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "allreduce/allreduce.hpp"
 #include "sweep/sweep.hpp"
 #include "vgpu/occupancy.hpp"
 
@@ -582,6 +583,71 @@ std::vector<DeadlockOutcome> partial_sync_matrix(const MachineConfig& cfg) {
                               partial_mgrid_sync_kernel(), sms, 64, {1}, 2));
   }
   return rows;
+}
+
+const char* AllReducePoint::winner() const {
+  if (ring_us <= host_staged_us && ring_us <= tree_us) return "ring";
+  if (tree_us <= host_staged_us) return "tree";
+  return "host-staged";
+}
+
+std::vector<AllReducePoint> characterize_allreduce(
+    const std::vector<std::int64_t>& model_bytes, int max_gpus) {
+  // Three fabrics: the paper's cube-mesh (<= 8 devices), the NVSwitch box
+  // that scales the grid to 16, and the PCIe-only fallback. One grid cell =
+  // one simulation point measuring all three schedules on one machine;
+  // cells of a (topology, gpus) column are consecutive so map_batched keeps
+  // them on one warm pooled machine.
+  struct Topo {
+    const char* name;
+    int cap;
+    MachineConfig (*config)(int);
+  };
+  static const Topo kTopos[] = {
+      {"dgx1-nvlink", 8, &MachineConfig::dgx1_v100},
+      {"nvswitch", 16, &MachineConfig::dgx2_v100},
+      {"pcie", 16, [](int g) {
+         MachineConfig c;
+         c.arch = vgpu::v100();
+         c.num_devices = g;
+         c.topology = vgpu::Topology::pcie(g);
+         return c;
+       }},
+  };
+  struct Pt {
+    const Topo* topo;
+    int gpus;
+    std::int64_t bytes;
+  };
+  std::vector<Pt> grid;
+  for (const Topo& t : kTopos)
+    for (int g = 2; g <= std::min(max_gpus, t.cap); g *= 2)
+      for (std::int64_t b : model_bytes) grid.push_back({&t, g, b});
+
+  const auto pts = sweep::map_batched(
+      grid,
+      [](const Pt& p) -> AllReducePoint {
+        scuda::System sys(p.topo->config(p.gpus));
+        const std::int64_t n = p.bytes / 8;
+        std::vector<DevPtr> grads;
+        for (int d = 0; d < p.gpus; ++d) grads.push_back(sys.malloc(d, n * 8));
+        AllReducePoint out;
+        out.topology = p.topo->name;
+        out.gpus = p.gpus;
+        out.bytes = p.bytes;
+        auto time = [&](allreduce::Schedule s) {
+          allreduce::fill_gradients(sys, grads, n, allreduce::DType::F64);
+          return allreduce::run_all_reduce(sys, s, allreduce::DType::F64,
+                                           grads, n)
+              .micros;
+        };
+        out.host_staged_us = time(allreduce::Schedule::HostStaged);
+        out.ring_us = time(allreduce::Schedule::Ring);
+        out.tree_us = time(allreduce::Schedule::Tree);
+        return out;
+      },
+      sweep::point_jobs(), std::max(1, sweep::batch_points()));
+  return pts;
 }
 
 }  // namespace syncbench

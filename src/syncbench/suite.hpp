@@ -87,6 +87,26 @@ struct SyncGroupPoint {
 std::vector<SyncGroupPoint> characterize_sync_groups(
     const std::function<MachineConfig(int)>& config_for_gpus, int max_gpus);
 
+// ---- All-reduce schedules (data-parallel training sync) ----------------------
+struct AllReducePoint {
+  std::string topology;    // "dgx1-nvlink", "nvswitch", "pcie"
+  int gpus = 0;
+  std::int64_t bytes = 0;  // gradient bytes per device
+  double host_staged_us = 0;
+  double ring_us = 0;
+  double tree_us = 0;
+  /// Name of the cheapest schedule at this grid point.
+  const char* winner() const;
+};
+/// Model-size × device-count (2..max_gpus) × topology grid for the gradient
+/// all-reduce schedules (src/allreduce). Every cell is one simulation point
+/// (one machine, all three schedules measured back to back) and the grid
+/// always runs through sweep::map_batched so consecutive cells of one
+/// (topology, gpus) column share a warm pooled machine; --jobs/--batch (or
+/// SYNCBENCH_JOBS/SYNCBENCH_BATCH) apply as everywhere else.
+std::vector<AllReducePoint> characterize_allreduce(
+    const std::vector<std::int64_t>& model_bytes, int max_gpus);
+
 // ---- Table III (shared-memory scenarios feeding the model) -------------------
 struct SmemPoint {
   std::string scenario;

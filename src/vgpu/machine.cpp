@@ -26,6 +26,14 @@ MachineConfig MachineConfig::dgx1_v100(int num_devices) {
   return c;
 }
 
+MachineConfig MachineConfig::dgx2_v100(int num_devices) {
+  MachineConfig c;
+  c.arch = v100();
+  c.num_devices = num_devices;
+  c.topology = Topology::nvswitch(num_devices);
+  return c;
+}
+
 MachineConfig MachineConfig::p100_pcie(int num_devices) {
   MachineConfig c;
   c.arch = p100();

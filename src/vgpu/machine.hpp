@@ -178,6 +178,8 @@ struct MachineConfig {
 
   /// The paper's platforms.
   static MachineConfig dgx1_v100(int num_devices = 8);
+  /// NVSwitch all-to-all box (DGX-2-style): V100s, 2..16 devices.
+  static MachineConfig dgx2_v100(int num_devices = 16);
   static MachineConfig p100_pcie(int num_devices = 2);
   static MachineConfig single(const ArchSpec& arch);
 };

@@ -1,0 +1,268 @@
+// Gradient all-reduce schedules (src/allreduce). Pins
+//  * schedule equivalence: host-staged, ring and tree produce the same
+//    reduced gradients on every device — bit-exact for i64, ULP-bounded for
+//    f64 (the test pattern makes every association exact, so the bound is
+//    tight) — across even/odd and non-power-of-two device counts;
+//  * serial-vs-sharded bit-identity with seeded noise at 1/2/4 shard jobs,
+//    both queue kinds, for all three schedules: the ring's cycle-edge pair
+//    groups and the tree's twice-barriered edge groups must satisfy the
+//    group-aware lookahead contract, or the sharded timeline would move;
+//  * the NVSwitch (DGX-2-style) topology that scales the sweeps to 16
+//    devices, and argument validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "allreduce/allreduce.hpp"
+#include "fabric/topology.hpp"
+#include "test_util.hpp"
+#include "vgpu/arch.hpp"
+
+namespace {
+
+using allreduce::DType;
+using allreduce::Schedule;
+using scuda::System;
+using vgpu::DevPtr;
+using vgpu::ExecMode;
+using vgpu::MachineConfig;
+using vgpu::Ps;
+using vgpu::SimError;
+
+MachineConfig config_for(int gpus) {
+  return gpus > 8 ? MachineConfig::dgx2_v100(gpus)
+                  : MachineConfig::dgx1_v100(gpus);
+}
+
+std::vector<DevPtr> alloc_grads(System& sys, int gpus, std::int64_t n) {
+  std::vector<DevPtr> grads;
+  for (int d = 0; d < gpus; ++d) grads.push_back(sys.malloc(d, n * 8));
+  return grads;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule equivalence
+// ---------------------------------------------------------------------------
+
+TEST(AllReduce, SchedulesAgreeBitExactForI64) {
+  // 3 exercises the odd-ring wrap-around color; 6 the non-power-of-two
+  // binomial tree; 16 the NVSwitch box. n is not divisible by any count, so
+  // ring chunks are ragged.
+  const std::int64_t n = 1037;
+  for (int gpus : {2, 3, 6, 8, 16}) {
+    System sys(config_for(gpus));
+    auto grads = alloc_grads(sys, gpus, n);
+    for (Schedule s : allreduce::kAllSchedules) {
+      allreduce::fill_gradients(sys, grads, n, DType::I64);
+      allreduce::run_all_reduce(sys, s, DType::I64, grads, n,
+                                {/*warmup_passes=*/0});
+      for (int d = 0; d < gpus; ++d) {
+        const auto out = sys.read_i64(grads[static_cast<std::size_t>(d)], n);
+        for (std::int64_t i = 0; i < n; ++i)
+          ASSERT_EQ(out[static_cast<std::size_t>(i)],
+                    allreduce::expected_i64(gpus, i))
+              << allreduce::to_string(s) << " gpus " << gpus << " dev " << d
+              << " elem " << i;
+      }
+    }
+  }
+}
+
+TEST(AllReduce, SchedulesAgreeWithinUlpForF64) {
+  const std::int64_t n = 773;
+  for (int gpus : {2, 5, 8, 16}) {
+    System sys(config_for(gpus));
+    auto grads = alloc_grads(sys, gpus, n);
+    for (Schedule s : allreduce::kAllSchedules) {
+      allreduce::fill_gradients(sys, grads, n, DType::F64);
+      allreduce::run_all_reduce(sys, s, DType::F64, grads, n,
+                                {/*warmup_passes=*/0});
+      for (int d = 0; d < gpus; ++d) {
+        const auto out = sys.read_f64(grads[static_cast<std::size_t>(d)], n);
+        for (std::int64_t i = 0; i < n; ++i) {
+          const double want = allreduce::expected_f64(gpus, i);
+          const double got = out[static_cast<std::size_t>(i)];
+          // Reduction order differs per schedule; allow 2 ULP (the k/64
+          // pattern actually makes every association exact, so this bound
+          // holds with room to spare).
+          const double ulp =
+              std::nextafter(want, 2 * want) - want;
+          ASSERT_NEAR(got, want, 2 * ulp)
+              << allreduce::to_string(s) << " gpus " << gpus << " dev " << d
+              << " elem " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(AllReduce, WarmupPassesCompoundTheSum) {
+  // Each pass re-reduces the previous output, so pass count is verifiable:
+  // after warmup + measured the value is the one-pass sum times gpus.
+  const std::int64_t n = 257;
+  const int gpus = 4;
+  System sys(config_for(gpus));
+  auto grads = alloc_grads(sys, gpus, n);
+  allreduce::fill_gradients(sys, grads, n, DType::I64);
+  allreduce::run_all_reduce(sys, Schedule::Ring, DType::I64, grads, n,
+                            {/*warmup_passes=*/1});
+  const auto out = sys.read_i64(grads[0], n);
+  for (std::int64_t i = 0; i < n; ++i)
+    ASSERT_EQ(out[static_cast<std::size_t>(i)],
+              allreduce::expected_i64(gpus, i, /*passes=*/2))
+        << i;
+}
+
+// ---------------------------------------------------------------------------
+// Serial-vs-sharded bit-identity
+// ---------------------------------------------------------------------------
+
+struct Capture {
+  std::vector<std::vector<std::int64_t>> bufs;  // raw bits per device
+  double micros = 0;
+  Ps end_now = 0;
+};
+
+Capture run_schedule(Schedule s, DType dt, int gpus, std::int64_t n,
+                     std::uint64_t seed, double amp, vgpu::QueueKind queue,
+                     ExecMode exec, int shard_jobs) {
+  MachineConfig cfg = config_for(gpus);
+  cfg.noise_seed = seed;
+  cfg.noise_amplitude = amp;
+  cfg.queue = queue;
+  cfg.exec = exec;
+  cfg.shard_jobs = shard_jobs;
+  System sys(cfg);
+  auto grads = alloc_grads(sys, gpus, n);
+  allreduce::fill_gradients(sys, grads, n, dt);
+  Capture c;
+  c.micros = allreduce::run_all_reduce(sys, s, dt, grads, n,
+                                       {/*warmup_passes=*/1})
+                 .micros;
+  for (int d = 0; d < gpus; ++d)
+    c.bufs.push_back(sys.read_i64(grads[static_cast<std::size_t>(d)], n));
+  c.end_now = sys.machine().queue().now();
+  return c;
+}
+
+void expect_identical(const Capture& a, const Capture& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.micros, b.micros) << what;
+  EXPECT_EQ(a.end_now, b.end_now) << what;
+  ASSERT_EQ(a.bufs.size(), b.bufs.size()) << what;
+  for (std::size_t d = 0; d < a.bufs.size(); ++d)
+    EXPECT_EQ(a.bufs[d], b.bufs[d]) << what << " device " << d;
+}
+
+class AllReduceDeterminism : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(AllReduceDeterminism, SerialVsShardedBitIdenticalWithNoise) {
+  const Schedule s = GetParam();
+  const int gpus = 4;
+  const std::int64_t n = 768;
+  for (vgpu::QueueKind q : {vgpu::QueueKind::Heap, vgpu::QueueKind::Calendar}) {
+    for (double amp : {0.0, 0.03}) {
+      const std::uint64_t seed = amp > 0 ? 41u : 0u;
+      const Capture serial = run_schedule(s, DType::F64, gpus, n, seed, amp, q,
+                                          ExecMode::Serial, 0);
+      for (int jobs : {1, 2, 4}) {
+        const Capture sharded = run_schedule(s, DType::F64, gpus, n, seed, amp,
+                                             q, ExecMode::Sharded, jobs);
+        expect_identical(serial, sharded,
+                         std::string(allreduce::to_string(s)) + " " +
+                             vgpu::to_string(q) + " amp " +
+                             std::to_string(amp) + " jobs " +
+                             std::to_string(jobs));
+      }
+    }
+  }
+}
+
+TEST_P(AllReduceDeterminism, HeapVsCalendarBitIdentical) {
+  const Schedule s = GetParam();
+  const Capture heap = run_schedule(s, DType::I64, 4, 512, 7, 0.02,
+                                    vgpu::QueueKind::Heap, ExecMode::Serial, 0);
+  const Capture cal =
+      run_schedule(s, DType::I64, 4, 512, 7, 0.02, vgpu::QueueKind::Calendar,
+                   ExecMode::Serial, 0);
+  expect_identical(heap, cal, allreduce::to_string(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, AllReduceDeterminism,
+                         ::testing::Values(Schedule::HostStaged, Schedule::Ring,
+                                           Schedule::Tree),
+                         [](const ::testing::TestParamInfo<Schedule>& info) {
+                           switch (info.param) {
+                             case Schedule::HostStaged: return "HostStaged";
+                             case Schedule::Ring: return "Ring";
+                             case Schedule::Tree: return "Tree";
+                           }
+                           return "unknown";
+                         });
+
+TEST(AllReduce, SixteenDeviceRingShardedMatchesSerial) {
+  // The widest launch the sweeps use: 16 devices on the NVSwitch box,
+  // sharded at 4 jobs vs the serial oracle, with noise.
+  const Capture serial =
+      run_schedule(Schedule::Ring, DType::I64, 16, 320, 11, 0.02,
+                   vgpu::QueueKind::Calendar, ExecMode::Serial, 0);
+  const Capture sharded =
+      run_schedule(Schedule::Ring, DType::I64, 16, 320, 11, 0.02,
+                   vgpu::QueueKind::Calendar, ExecMode::Sharded, 4);
+  expect_identical(serial, sharded, "16-device ring");
+  for (std::int64_t i = 0; i < 320; ++i)
+    ASSERT_EQ(serial.bufs[5][static_cast<std::size_t>(i)],
+              allreduce::expected_i64(16, i, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Topology + validation
+// ---------------------------------------------------------------------------
+
+TEST(AllReduce, NvswitchTopologyIsAllToAllOneHop) {
+  const vgpu::Topology t = vgpu::Topology::nvswitch(16);
+  EXPECT_EQ(t.num_devices, 16);
+  for (int a = 0; a < 16; ++a)
+    for (int b = 0; b < 16; ++b) {
+      EXPECT_EQ(t.hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)],
+                a == b ? 0 : 1);
+      if (a != b) {
+        EXPECT_DOUBLE_EQ(t.pair_bandwidth_gbs(a, b), 25.0);
+      }
+    }
+  // 1-hop barrier pricing for any participant set (no 2-hop step).
+  EXPECT_EQ(t.fabric_barrier_cost(16),
+            t.barrier_base_1hop + 16 * t.barrier_per_gpu);
+  EXPECT_THROW(vgpu::Topology::nvswitch(17), SimError);
+  EXPECT_THROW(vgpu::Topology::nvswitch(0), SimError);
+}
+
+TEST(AllReduce, ValidatesArguments) {
+  System sys(MachineConfig::dgx1_v100(2));
+  auto grads = alloc_grads(sys, 2, 64);
+  std::vector<DevPtr> three = grads;
+  three.push_back(grads[0]);
+  EXPECT_THROW(allreduce::run_all_reduce(sys, Schedule::Ring, DType::F64,
+                                         three, 64),
+               SimError);
+  EXPECT_THROW(allreduce::run_all_reduce(sys, Schedule::Ring, DType::F64,
+                                         grads, 0),
+               SimError);
+}
+
+TEST(AllReduce, SingleDeviceIsANoOp) {
+  System sys(MachineConfig::single(vgpu::v100()));
+  auto grads = alloc_grads(sys, 1, 128);
+  allreduce::fill_gradients(sys, grads, 128, DType::I64);
+  const auto r = allreduce::run_all_reduce(sys, Schedule::Ring, DType::I64,
+                                           grads, 128);
+  EXPECT_EQ(r.micros, 0.0);
+  const auto out = sys.read_i64(grads[0], 128);
+  for (std::int64_t i = 0; i < 128; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], allreduce::grad_i64(0, i));
+}
+
+}  // namespace

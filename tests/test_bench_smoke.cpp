@@ -95,6 +95,19 @@ TEST(BenchSmoke, MultiGpuBarriers) {
   }
 }
 
+TEST(BenchSmoke, AllReduceGrid) {
+  // 3 topologies x gpus {2,4} x one small model: the full grid shape without
+  // the characterization sizes (those are the bench binary's job).
+  const auto pts = characterize_allreduce({64 << 10}, 4);
+  ASSERT_EQ(pts.size(), 6u);
+  for (const auto& p : pts) {
+    EXPECT_GT(p.host_staged_us, 0.0) << p.topology << "/" << p.gpus;
+    EXPECT_GT(p.ring_us, 0.0) << p.topology << "/" << p.gpus;
+    EXPECT_GT(p.tree_us, 0.0) << p.topology << "/" << p.gpus;
+    EXPECT_FALSE(std::string(p.winner()).empty());
+  }
+}
+
 TEST(BenchSmoke, SmemScenarios) {
   const auto pts = characterize_smem(v100());
   ASSERT_FALSE(pts.empty());
